@@ -1,0 +1,99 @@
+"""Ablation benches for DESIGN.md's called-out design choices.
+
+1. **Score form**: CAD's product |dA| * |dc| against its two factors in
+   isolation (ADJ, COM) on the synthetic benchmark — quantifies how
+   much each factor contributes (the paper's Section 3.4 argument).
+2. **δ-selection policy**: the paper's single global δ against a
+   per-transition top-l policy on the Enron-like timeline. Global δ
+   must keep calm transitions silent; top-l by construction cannot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AdjDetector, ComDetector
+from repro.core import CadDetector, anomaly_sets_at, select_global_threshold
+from repro.datasets import EnronLikeSimulator, generate_gaussian_mixture_instance
+from repro.evaluation import compare_detectors
+from repro.pipeline import render_table
+
+
+@pytest.fixture(scope="module")
+def instances():
+    result = []
+    for seed in range(3):
+        instance = generate_gaussian_mixture_instance(n=240, seed=seed)
+        result.append((instance.graph, instance.node_labels))
+    return result
+
+
+def test_ablation_product_form(benchmark, instances, emit):
+    def run():
+        return compare_detectors(
+            [
+                CadDetector(method="exact", seed=0),
+                AdjDetector(),
+                ComDetector(method="exact"),
+            ],
+            instances,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ("|dA| * |dc|  (CAD)", results["CAD"].mean_auc),
+        ("|dA| only    (ADJ)", results["ADJ"].mean_auc),
+        ("|dc| only    (COM)", results["COM"].mean_auc),
+    ]
+    emit("ablation_score_form", render_table(
+        ("score form", "mean AUC"), rows,
+        title="Ablation: CAD's product form vs its factors",
+        float_format="{:.3f}",
+    ))
+    assert results["CAD"].mean_auc > results["ADJ"].mean_auc + 0.1
+    assert results["CAD"].mean_auc > results["COM"].mean_auc + 0.1
+
+
+def test_ablation_threshold_policy(benchmark, emit):
+    data = EnronLikeSimulator(seed=42).generate()
+    detector = CadDetector(method="exact", seed=0)
+
+    def score_all():
+        return detector.score_sequence(data.graph)
+
+    scored = benchmark.pedantic(score_all, rounds=1, iterations=1)
+
+    # Paper policy: one global delta for the whole sequence.
+    delta = select_global_threshold(scored, 5)
+    global_counts = []
+    for scores in scored:
+        _mask, nodes, _ns = anomaly_sets_at(scores, delta)
+        global_counts.append(nodes.size)
+    global_counts = np.array(global_counts)
+
+    # Alternative policy: per-transition top-5 nodes, always.
+    top_counts = np.full(len(scored), 5)
+
+    calm = np.array(data.calm_transitions)
+    turmoil = np.array(data.turmoil_transitions)
+    rows = [
+        ("global delta (paper)",
+         int((global_counts[calm] == 0).sum()), len(calm),
+         float(global_counts[turmoil].mean())),
+        ("per-transition top-5",
+         int((top_counts[calm] == 0).sum()), len(calm),
+         float(top_counts[turmoil].mean())),
+    ]
+    emit("ablation_threshold_policy", render_table(
+        ("policy", "silent calm transitions", "calm total",
+         "mean nodes per turmoil transition"),
+        rows,
+        title="Ablation: global-delta vs per-transition top-l",
+        float_format="{:.2f}",
+    ))
+
+    # the global policy silences most calm transitions
+    assert (global_counts[calm] == 0).sum() > len(calm) * 0.6
+    # and spends more than the average budget on turbulent ones
+    assert global_counts[turmoil].mean() > 5.0
+    # the top-l policy never stays silent (its structural weakness)
+    assert (top_counts[calm] == 0).sum() == 0

@@ -1,0 +1,62 @@
+"""Methodology bench: approximate vs exact commute times.
+
+Khoa & Chawla's guarantee (paper Section 3.1): with k = O(log n /
+eps^2) sketch dimensions, commute distances are preserved within
+1 ± eps. This bench measures the median/p95 relative error of the
+embedding against the exact pseudoinverse across k, and times the two
+backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import random_sparse_graph
+from repro.linalg import CommuteTimeEmbedding, commute_time_matrix
+from repro.pipeline import render_table
+
+K_GRID = (8, 16, 32, 64, 128, 256)
+N = 300
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_sparse_graph(N, mean_degree=6.0, seed=7,
+                               connected=True)
+
+
+@pytest.fixture(scope="module")
+def exact(graph):
+    return commute_time_matrix(graph.adjacency)
+
+
+def test_embedding_error_vs_k(benchmark, graph, exact, emit):
+    iu = np.triu_indices(N, k=1)
+
+    def build(k=64):
+        return CommuteTimeEmbedding(graph.adjacency, k=k, seed=0)
+
+    benchmark(build)
+
+    rows = []
+    for k in K_GRID:
+        embedding = CommuteTimeEmbedding(graph.adjacency, k=k, seed=1)
+        approx = embedding.commute_time_matrix()
+        relative = np.abs(approx[iu] - exact[iu]) / exact[iu]
+        rows.append((
+            k,
+            float(np.median(relative)),
+            float(np.percentile(relative, 95)),
+            float(relative.max()),
+        ))
+    emit("embedding_accuracy", render_table(
+        ("k", "median rel err", "p95 rel err", "max rel err"), rows,
+        title="Approximate commute-time embedding error vs k "
+              f"(n={N} random sparse graph)",
+        float_format="{:.3f}",
+    ))
+
+    medians = {k: median for k, median, _p95, _mx in rows}
+    # JL error shrinks with k ...
+    assert medians[K_GRID[-1]] < medians[K_GRID[0]]
+    # ... and is already usable at the paper's k=50 scale
+    assert medians[64] < 0.25

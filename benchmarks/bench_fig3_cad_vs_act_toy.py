@@ -1,0 +1,54 @@
+"""Figure 3 reproduction: normalized CAD vs ACT node scores on the toy.
+
+Paper shape: CAD's normalized ΔN is ~1 for the six responsible nodes
+and near 0 elsewhere; ACT (w=1) spreads mass onto affected-but-not-
+responsible nodes and barely lifts b1/r1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ActDetector
+from repro.core import CadDetector
+from repro.datasets import toy_example
+from repro.pipeline import render_table
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return toy_example()
+
+
+def test_fig3_normalized_scores(benchmark, toy, emit):
+    cad = CadDetector(method="exact")
+    act = ActDetector(window=1)
+
+    def run_both():
+        cad_scores = cad.score_sequence(toy.graph)[0]
+        act_scores = act.score_sequence(toy.graph)[0]
+        return cad_scores, act_scores
+
+    cad_scores, act_scores = benchmark(run_both)
+
+    cad_norm = cad_scores.normalized_node_scores()
+    act_norm = act_scores.normalized_node_scores()
+    universe = toy.graph.universe
+    rows = [
+        (label, cad_norm[i], act_norm[i],
+         "responsible" if label in toy.anomalous_nodes else "-")
+        for i, label in enumerate(universe)
+    ]
+    emit("fig3_cad_vs_act_toy", render_table(
+        ("node", "CAD", "ACT", "ground truth"), rows,
+        title="Figure 3: normalized anomaly scores, CAD vs ACT",
+        float_format="{:.3f}",
+    ))
+
+    mask = np.zeros(17, dtype=bool)
+    mask[universe.indices_of(toy.anomalous_nodes)] = True
+    # CAD separates responsible nodes crisply...
+    assert cad_norm[mask].min() > 5 * cad_norm[~mask].max()
+    # ...ACT's separation is strictly worse (the paper's contrast)
+    cad_gap = cad_norm[mask].min() - cad_norm[~mask].max()
+    act_gap = act_norm[mask].min() - act_norm[~mask].max()
+    assert cad_gap > act_gap

@@ -1,0 +1,72 @@
+"""Figure 6 reproduction: node-ROC comparison of the five detectors.
+
+Paper values (2000-point mixtures, 100 realisations): AUCs of
+CAD / ADJ / COM / ACT / CLC = 0.88 / 0.53 / 0.51 / 0.53 / 0.49.
+This bench runs smaller instances and fewer realisations; the claim
+that must hold is the *shape* — CAD wins by a wide margin, every
+baseline sits far below (see EXPERIMENTS.md for the measured values
+and the calibration notes on the paper's under-specified noise model).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ActDetector, AdjDetector, ClcDetector, ComDetector
+from repro.core import CadDetector
+from repro.datasets import generate_gaussian_mixture_instance
+from repro.evaluation import compare_detectors
+from repro.pipeline import render_series, render_table
+
+NUM_REALISATIONS = 5
+N = 240
+
+
+@pytest.fixture(scope="module")
+def instances():
+    result = []
+    for seed in range(NUM_REALISATIONS):
+        instance = generate_gaussian_mixture_instance(n=N, seed=seed)
+        result.append((instance.graph, instance.node_labels))
+    return result
+
+
+def test_fig6_roc_comparison(benchmark, instances, emit):
+    detectors = [
+        CadDetector(method="exact", seed=0),
+        AdjDetector(),
+        ComDetector(method="exact"),
+        ActDetector(),
+        ClcDetector(),
+    ]
+
+    def run():
+        return compare_detectors(detectors, instances)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    paper = {"CAD": 0.88, "ADJ": 0.53, "COM": 0.51, "ACT": 0.53,
+             "CLC": 0.49}
+    rows = [
+        (name, evaluation.mean_auc, evaluation.std_auc, paper[name])
+        for name, evaluation in results.items()
+    ]
+    parts = [render_table(
+        ("method", "AUC (measured)", "std", "AUC (paper)"), rows,
+        title="Figure 6: node-level AUC, five methods",
+        float_format="{:.3f}",
+    )]
+    # averaged ROC curves on a coarse grid (text stand-in for the plot)
+    grid_points = np.linspace(0.0, 1.0, 11)
+    for name, evaluation in results.items():
+        grid, tpr = evaluation.mean_curve
+        sampled = np.interp(grid_points, grid, tpr)
+        parts.append(render_series(
+            f"ROC {name}", [f"{x:.1f}" for x in grid_points], sampled,
+            x_label="FPR", y_label="TPR", y_format="{:.3f}",
+        ))
+    emit("fig6_roc_comparison", "\n\n".join(parts))
+
+    cad = results["CAD"].mean_auc
+    assert cad > 0.85
+    for name in ("ADJ", "COM", "ACT", "CLC"):
+        assert results[name].mean_auc < cad - 0.1, name

@@ -1,0 +1,93 @@
+"""Figures 9 & 10 reproduction: precipitation teleconnections.
+
+Paper narrative (January sequences, 10-NN value-space graphs, l=30,
+1994→1995 transition):
+
+* the top anomalous edges connect the shifted regions (southern
+  Africa, Brazil, Malaysia wetter; Peru, Australia drier) with regions
+  whose rainfall did *not* change (eastern equatorial Africa, Amazon)
+  or with each other (Figure 9);
+* the per-region year-over-year rainfall deltas show the shifts are
+  subtle relative to ordinary interannual swings (Figure 10) — it is
+  the simultaneity across regions, not the magnitude, that CAD reads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CadDetector
+from repro.datasets import PrecipitationSimulator
+from repro.datasets.precipitation import EVENT_SHIFTS
+from repro.pipeline import render_series, render_table
+
+
+@pytest.fixture(scope="module")
+def data():
+    return PrecipitationSimulator(seed=3).generate(month=1)
+
+
+def test_fig9_10_teleconnections(benchmark, data, emit):
+    detector = CadDetector(method="exact", seed=0)
+
+    def run():
+        return detector.score_sequence(data.graph)
+
+    scored = benchmark.pedantic(run, rounds=1, iterations=1)
+    event = data.event_transition
+    scores = scored[event]
+    universe = data.graph.universe
+
+    def region_of(label) -> str:
+        return data.node_region(universe.index_of(label)) or "background"
+
+    top = scores.top_edges(15)
+    rows = [
+        (region_of(u), region_of(v), value) for u, v, value in top
+    ]
+    parts = [render_table(
+        ("endpoint region", "endpoint region", "delta_E"), rows,
+        title=f"Figure 9: top anomalous edges at the "
+              f"{data.years[event]}->{data.years[event + 1]} "
+              "January transition",
+    )]
+
+    # Figure 10: year-over-year January rainfall deltas per region
+    for region in ("southern_africa", "brazil", "peru", "australia"):
+        series = data.yearly_region_means(region)
+        deltas = np.diff(series)
+        parts.append(render_series(
+            f"Figure 10 ({region})",
+            [f"{a}->{b}" for a, b in zip(data.years[:-1],
+                                         data.years[1:])],
+            deltas, x_label="years", y_label="delta rainfall",
+            y_format="{:+.3f}",
+        ))
+    emit("fig9_10_precipitation", "\n\n".join(parts))
+
+    shifted = set(EVENT_SHIFTS)
+    touching = sum(
+        1 for u_region, v_region, _ in rows
+        if u_region in shifted or v_region in shifted
+    )
+    # the event dominates the top edges
+    assert touching >= 12
+    # at least one edge pairs a shifted region with an unchanged one
+    unchanged = {"eastern_equatorial_africa", "amazon_basin"}
+    assert any(
+        (u in shifted and v in unchanged)
+        or (v in shifted and u in unchanged)
+        for u, v, _ in rows
+    )
+    # the event transition carries the largest anomaly mass around the
+    # event (its reversal the following year is the runner-up)
+    masses = np.array([s.total_edge_score() for s in scored])
+    assert masses[event] >= np.sort(masses)[-5]
+    # Figure 10's point: the event-year shift is within the ordinary
+    # swing range (subtle), for at least one shifted region
+    subtle = 0
+    for region in EVENT_SHIFTS:
+        series = data.yearly_region_means(region)
+        deltas = np.abs(np.diff(series))
+        if deltas[event] < deltas.max() * 1.5:
+            subtle += 1
+    assert subtle >= 3

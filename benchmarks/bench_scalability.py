@@ -1,0 +1,97 @@
+"""Section 4.1.3 reproduction: runtime scaling of the five methods.
+
+Paper shape (random sparse graphs, m = O(n), sizes up to 1e7):
+
+* ADJ is fastest, ACT next, CLC roughly a third of CAD, CAD ~ COM;
+* CAD scales near-linearly.
+
+Pure Python cannot reach n = 1e7 in minutes; this bench sweeps sizes
+up to a few tens of thousands, reports the same runtime ordering and
+fits the scaling exponent of CAD (must be close to 1 on a log-log fit;
+the paper's O(n log n) reads as slope ~1 over practical ranges).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ActDetector, AdjDetector, ClcDetector, ComDetector
+from repro.core import CadDetector
+from repro.datasets import generate_scalability_instance
+from repro.evaluation import fit_scaling_exponent, time_callable
+from repro.pipeline import render_table
+
+SIZES = (1000, 3000, 10000, 30000)
+CLC_MAX_N = 3000  # all-pairs Dijkstra beyond this is impractical here
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {
+        n: generate_scalability_instance(n, seed=n) for n in SIZES
+    }
+
+
+def _detectors():
+    return {
+        "CAD": CadDetector(method="approx", k=16, seed=0),
+        "COM": ComDetector(method="approx", k=16, seed=0),
+        "ACT": ActDetector(),
+        "ADJ": AdjDetector(),
+        "CLC": ClcDetector(backend="scipy"),
+    }
+
+
+def test_scalability_ordering_and_exponent(benchmark, workloads, emit):
+    timings: dict[str, dict[int, float]] = {}
+    for name, detector in _detectors().items():
+        timings[name] = {}
+        for n, instance in workloads.items():
+            if name == "CLC" and n > CLC_MAX_N:
+                continue
+            graph = instance.graph
+            result = time_callable(
+                f"{name}@{n}",
+                lambda d=detector, g=graph: d.score_sequence(g),
+                repeats=1,
+            )
+            timings[name][n] = result.best
+
+    def cad_run():
+        detector = CadDetector(method="approx", k=16, seed=0)
+        detector.score_sequence(workloads[SIZES[1]].graph)
+
+    benchmark.pedantic(cad_run, rounds=1, iterations=1)
+
+    rows = []
+    for n in SIZES:
+        rows.append((
+            n,
+            int(workloads[n].num_edges),
+            *(timings[name].get(n, float("nan"))
+              for name in ("ADJ", "ACT", "CLC", "COM", "CAD")),
+        ))
+    table = render_table(
+        ("n", "m", "ADJ (s)", "ACT (s)", "CLC (s)", "COM (s)",
+         "CAD (s)"),
+        rows,
+        title="Section 4.1.3: per-transition runtime by method",
+        float_format="{:.3f}",
+    )
+
+    sizes = np.array(SIZES, dtype=float)
+    cad_seconds = np.array([timings["CAD"][n] for n in SIZES])
+    exponent = fit_scaling_exponent(sizes, cad_seconds)
+    emit("scalability", table + "\n\n"
+         f"CAD log-log scaling exponent: {exponent:.2f} "
+         "(near-linear expected)")
+
+    largest = SIZES[-1]
+    # runtime ordering at the largest size (paper's ordering)
+    assert timings["ADJ"][largest] < timings["CAD"][largest]
+    assert timings["ACT"][largest] < timings["CAD"][largest]
+    # CAD and COM are the same computation family
+    assert timings["COM"][largest] < 5 * timings["CAD"][largest]
+    # CLC blows up fastest: already slower than CAD at its own cap
+    assert timings["CLC"][CLC_MAX_N] > timings["CAD"][CLC_MAX_N]
+    # near-linear scaling (generous band for noisy wall clock)
+    assert exponent < 1.6

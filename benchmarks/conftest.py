@@ -1,0 +1,34 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark regenerates one table or figure of the paper. The
+rendered rows/series are printed (visible with ``pytest -s``) *and*
+written to ``benchmarks/results/<experiment>.txt`` so the output
+survives pytest's capture; EXPERIMENTS.md summarises them.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Writer that persists and prints one experiment's output."""
+    def _emit(experiment: str, text: str) -> None:
+        path = results_dir / f"{experiment}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {experiment} ===", file=sys.stderr)
+        print(text, file=sys.stderr)
+
+    return _emit

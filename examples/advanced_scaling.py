@@ -1,0 +1,91 @@
+"""Advanced: sparsify dense snapshots + swap the distance measure.
+
+Two production levers on one workload:
+
+1. the paper's §4.1 similarity graphs are *complete* (n² edges);
+   effective-resistance sparsification shrinks them with bounded
+   spectral error before CAD runs;
+2. the distance inside the score is pluggable — here we compare
+   commute time against shortest-path distance on a corrupted variant
+   where a few static shortcut edges break the shortest-path signal
+   (the paper's robustness argument, §3.1).
+
+Run:  python examples/advanced_scaling.py
+"""
+
+import numpy as np
+
+from repro import CadDetector, GenericDistanceDetector, sparsify
+from repro.datasets import generate_gaussian_mixture_instance
+from repro.evaluation import auc_score, node_ranking_scores
+from repro.graphs import DynamicGraph, GraphSnapshot
+from repro.pipeline import render_table
+
+
+def main() -> None:
+    instance = generate_gaussian_mixture_instance(n=200, seed=1)
+    detector = CadDetector(method="exact", seed=0)
+
+    # -- lever 1: sparsification ------------------------------------------
+    dense_scores = detector.score_sequence(instance.graph)[0]
+    dense_auc = auc_score(
+        instance.node_labels, node_ranking_scores(dense_scores)
+    )
+    samples = int(8 * 200 * np.log(200))
+    sparse_graph = DynamicGraph([
+        sparsify(instance.graph[0], samples, k=64, seed=2),
+        sparsify(instance.graph[1], samples, k=64, seed=3),
+    ])
+    sparse_scores = detector.score_sequence(sparse_graph)[0]
+    sparse_auc = auc_score(
+        instance.node_labels, node_ranking_scores(sparse_scores)
+    )
+    print(render_table(
+        ("input", "edges", "node AUC"),
+        [
+            ("dense similarity graph",
+             instance.graph[0].num_edges, dense_auc),
+            ("after resistance sampling",
+             sparse_graph[0].num_edges, sparse_auc),
+        ],
+        title="lever 1: spectral sparsification before CAD",
+        float_format="{:.3f}",
+    ))
+    print()
+
+    # -- lever 2: the distance measure --------------------------------------
+    rng = np.random.default_rng(0)
+    before = instance.graph[0].adjacency.toarray()
+    after = instance.graph[1].adjacency.toarray()
+    added = 0
+    while added < 6:  # static cross-cluster shortcuts, never scored
+        i, j = rng.integers(0, 200, size=2)
+        if i != j and instance.components[i] != instance.components[j]:
+            for matrix in (before, after):
+                matrix[i, j] = matrix[j, i] = 0.8
+            added += 1
+    g_t = GraphSnapshot(before, instance.graph.universe)
+    corrupted = DynamicGraph([g_t, GraphSnapshot(after, g_t.universe)])
+
+    rows = []
+    for name in ("commute", "shortest_path"):
+        scores = GenericDistanceDetector(name).score_sequence(
+            corrupted
+        )[0]
+        rows.append((name, auc_score(
+            instance.node_labels, node_ranking_scores(scores)
+        )))
+    print(render_table(
+        ("distance inside the score", "node AUC"),
+        rows,
+        title="lever 2: distance choice under static shortcut edges",
+        float_format="{:.3f}",
+    ))
+    print()
+    print("commute time averages over all paths, so a handful of "
+          "static shortcuts barely disturb it; shortest-path distance "
+          "is decided by a single path and collapses.")
+
+
+if __name__ == "__main__":
+    main()

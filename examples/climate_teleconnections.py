@@ -1,0 +1,62 @@
+"""Finding climate teleconnections in precipitation networks.
+
+The paper's Section 4.2.3: build, for each January, a 10-nearest-
+neighbour graph over land locations in *precipitation-value* space, so
+distant regions with similar rainfall become adjacent. A La Niña-style
+year shifts several regions simultaneously but subtly; the resulting
+graph rewiring is what CAD localizes — the flagged edges connect the
+shifted regions to regions whose rainfall did not change.
+
+Run:  python examples/climate_teleconnections.py
+"""
+
+import numpy as np
+
+from repro import CadDetector
+from repro.datasets import PrecipitationSimulator
+from repro.datasets.precipitation import EVENT_SHIFTS
+from repro.pipeline import render_series, render_table
+
+
+def main() -> None:
+    print("simulating 21 Januaries of world precipitation ...")
+    data = PrecipitationSimulator(seed=3).generate(month=1)
+    print(f"  {data.graph}")
+    event = data.event_transition
+    print(f"  injected teleconnection year: {data.years[event + 1]}")
+    print()
+
+    detector = CadDetector(method="exact", seed=0)
+    scored = detector.score_sequence(data.graph)
+    scores = scored[event]
+    universe = data.graph.universe
+
+    def region(label) -> str:
+        name = data.node_region(universe.index_of(label))
+        return name or str(label)
+
+    print(render_table(
+        ("location / region", "location / region", "delta_E"),
+        [(region(u), region(v), value)
+         for u, v, value in scores.top_edges(10)],
+        title=f"top anomalous edges, January {data.years[event]} -> "
+              f"{data.years[event + 1]}",
+    ))
+    print()
+
+    masses = [s.total_edge_score() for s in scored]
+    print(render_series(
+        "total anomaly mass per January transition",
+        [f"{a}->{b}" for a, b in zip(data.years[:-1], data.years[1:])],
+        masses, x_label="years", y_label="mass", y_format="{:.3e}",
+    ))
+    print()
+    print("regions shifted by the event:",
+          ", ".join(sorted(EVENT_SHIFTS)))
+    print("note how the flagged edges pair shifted regions with "
+          "unchanged ones (eastern equatorial Africa, Amazon) — the "
+          "teleconnection signature of the paper's Figure 9.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Discovering collaboration shifts in a co-authorship network.
+
+The paper's DBLP experiment (Section 4.2.2): on yearly co-authorship
+graphs, CAD surfaces authors whose collaboration pattern changed
+structurally — a jump to a distant research field scores higher than a
+hop to a nearby sub-field, and severed long-standing ties are found
+too. This example runs the pipeline on the simulated network with all
+three injected archetypes.
+
+Run:  python examples/collaboration_shifts.py
+"""
+
+from collections import Counter
+
+from repro import CadDetector
+from repro.datasets import generate_dblp_instance
+from repro.evaluation import rank_of
+from repro.pipeline import render_table
+
+
+def main() -> None:
+    print("simulating the co-authorship network ...")
+    data = generate_dblp_instance(seed=7)
+    print(f"  {data.graph}")
+    print()
+
+    detector = CadDetector(method="exact", seed=0)
+    report = detector.detect(data.graph, anomalies_per_transition=20)
+
+    rows = []
+    for event in data.events:
+        scores = report.transitions[event.transition].scores
+        index = data.graph.universe.index_of(event.author)
+        rows.append((
+            event.name,
+            f"{data.graph[event.transition].time}->"
+            f"{data.graph[event.transition + 1].time}",
+            event.author,
+            float(scores.node_scores[index]),
+            rank_of(index, scores.node_scores),
+        ))
+    print(render_table(
+        ("injected event", "transition", "author", "delta_N",
+         "rank among all authors"),
+        rows, title="CAD on the three collaboration-shift archetypes",
+    ))
+    print()
+
+    cross = next(e for e in data.events
+                 if e.name == "cross_field_switch")
+    transition = report.transitions[cross.transition]
+    counts: Counter = Counter()
+    for u, v, _score in transition.anomalous_edges:
+        counts[u] += 1
+        counts[v] += 1
+    print(render_table(
+        ("author", "anomalous edges", "field"),
+        [(label, count, data.fields[label])
+         for label, count in counts.most_common(5)],
+        title="2005 -> 2006: anomalous-edge counts "
+              "(the cross-field mover should lead)",
+    ))
+    print()
+    print("note the severity ordering: the cross-field switch outranks "
+          "the sub-field switch, matching the paper's Rountev vs "
+          "Orlando comparison.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Insider-threat detection on a simulated organizational email network.
+
+The paper's motivating application (Section 1): find employees whose
+*relationships* change anomalously, not merely employees whose email
+volume changes. This example simulates a 151-employee organization over
+48 months with scripted events (a CEO suddenly forming a cross-role
+communication hub, a VP merely multiplying volume to existing contacts,
+and several more), runs CAD and ACT, and contrasts what each flags.
+
+Run:  python examples/insider_threat.py
+"""
+
+from collections import Counter
+
+from repro import ActDetector, CadDetector
+from repro.datasets import EnronLikeSimulator
+from repro.pipeline import render_bar_chart, render_table
+
+
+def main() -> None:
+    print("simulating the organizational email network ...")
+    data = EnronLikeSimulator(seed=42).generate()
+    print(f"  {data.graph}")
+    print("scripted events:")
+    for event in data.events:
+        months = f"months {min(event.months)}-{max(event.months)}"
+        kind = "relational" if event.relational else "volume-only"
+        print(f"  - {event.name} ({months}, {kind}): "
+              f"{event.description}")
+    print()
+
+    detector = CadDetector(method="exact", seed=0)
+    report = detector.detect(data.graph, anomalies_per_transition=5)
+
+    print(render_bar_chart(
+        [f"{i:02d} {data.graph[i + 1].time}"
+         for i in range(data.graph.num_transitions)],
+        report.node_counts(),
+        title="CAD: anomalous node count per monthly transition",
+    ))
+    print()
+
+    hub = 31  # the key player's hub forms between months 31 and 32
+    transition = report.transitions[hub]
+    counts: Counter = Counter()
+    for u, v, _score in transition.anomalous_edges:
+        counts[u] += 1
+        counts[v] += 1
+    print(render_table(
+        ("employee", "anomalous edges", "role"),
+        [(label, count, data.roles[label])
+         for label, count in counts.most_common(6)],
+        title=f"who drives the {transition.time_from} -> "
+              f"{transition.time_to} anomaly?",
+    ))
+    print()
+
+    act_report = ActDetector(window=3).detect(data.graph, top_nodes=5)
+    act_nodes = act_report.transitions[hub].anomalous_nodes
+    print("ACT's top nodes at the same transition:",
+          ", ".join(str(node) for node in act_nodes) or "(none)")
+    print()
+    print(f"ground truth: the hub-forming CEO is {data.key_player!r}; "
+          f"{data.volume_player!r} only multiplied volume to existing "
+          "contacts.")
+    print("CAD pins the hub former; ACT is drawn to the volume change.")
+
+
+if __name__ == "__main__":
+    main()

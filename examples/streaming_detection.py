@@ -1,0 +1,55 @@
+"""Online detection with streaming δ updates and explanations.
+
+The paper's threshold selection is offline; its suggested online
+variant re-derives δ from the scores seen so far. This example feeds
+the simulated organizational network month by month, reports anomalies
+*as they arrive*, and prints an attribution (which edges, with which
+|ΔA| / |Δc| factors) for the headline actor — then shows that the
+finalized streaming result matches the offline run exactly.
+
+Run:  python examples/streaming_detection.py
+"""
+
+from repro import CadDetector, StreamingCadDetector, explain_node
+from repro.datasets import EnronLikeSimulator
+
+
+def main() -> None:
+    data = EnronLikeSimulator(seed=42).generate()
+    stream = StreamingCadDetector(
+        anomalies_per_transition=5, warmup=6, method="exact", seed=0,
+    )
+
+    print("streaming the monthly snapshots ...")
+    headline = None
+    for snapshot in data.graph:
+        result = stream.push(snapshot)
+        if result is None or not result.is_anomalous:
+            continue
+        nodes = ", ".join(str(n) for n in result.anomalous_nodes[:4])
+        print(f"  [{result.time_from} -> {result.time_to}] "
+              f"{len(result.anomalous_edges)} anomalous edges; "
+              f"top actors: {nodes}")
+        if data.key_player in result.anomalous_nodes[:2]:
+            headline = result
+
+    if headline is not None:
+        print()
+        print("attribution for the headline actor:")
+        explanation = explain_node(headline.scores, data.key_player)
+        print(explanation.describe())
+
+    print()
+    offline = CadDetector(method="exact", seed=0).detect(
+        data.graph, anomalies_per_transition=5
+    )
+    finalized = stream.finalize()
+    same = (finalized.node_counts().tolist()
+            == offline.node_counts().tolist())
+    print(f"finalized streaming == offline global-delta result: {same}")
+    print(f"final online delta: {stream.current_delta:.4g} "
+          f"(offline: {offline.threshold:.4g})")
+
+
+if __name__ == "__main__":
+    main()

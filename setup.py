@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs in offline environments without
+the ``wheel`` package (``pip install -e . --no-use-pep517``)."""
+
+from setuptools import setup
+
+setup()

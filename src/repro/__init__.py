@@ -1,0 +1,130 @@
+"""repro — a reproduction of *Localizing anomalous changes in
+time-evolving graphs* (Sricharan & Das, SIGMOD 2014).
+
+The package implements **CAD** (Commute-time based Anomaly Detection in
+dynamic graphs) together with every substrate it relies on — a
+temporal-graph model, Laplacian solvers, an approximate commute-time
+embedding, the paper's baseline detectors, its dataset simulators and
+its evaluation harness.
+
+Quick start::
+
+    import repro
+
+    toy = repro.toy_example()
+    detector = repro.CadDetector(method="exact")
+    report = detector.detect(toy.graph, anomalies_per_transition=6)
+    print(report.summary())
+"""
+
+from .baselines import (
+    ActDetector,
+    AdjDetector,
+    AfmDetector,
+    ClcDetector,
+    ComDetector,
+)
+from .core import (
+    CadDetector,
+    CommuteTimeCalculator,
+    DetectionReport,
+    Detector,
+    GenericDistanceDetector,
+    OnlineThresholdSelector,
+    StreamingCadDetector,
+    TransitionResult,
+    TransitionScores,
+    explain_node,
+    explain_transition,
+    select_global_threshold,
+)
+from .datasets import (
+    DblpLikeSimulator,
+    EnronLikeSimulator,
+    PrecipitationSimulator,
+    generate_dblp_instance,
+    generate_gaussian_mixture_instance,
+    generate_scalability_instance,
+    toy_example,
+)
+from .exceptions import (
+    DatasetError,
+    DetectionError,
+    EmbeddingError,
+    EvaluationError,
+    GraphConstructionError,
+    ReproError,
+    SolverError,
+    ThresholdError,
+)
+from .graphs import (
+    DynamicGraph,
+    GraphSnapshot,
+    NodeUniverse,
+    gaussian_similarity_graph,
+    knn_graph,
+    snapshot_from_edges,
+)
+from .linalg import (
+    CommuteTimeEmbedding,
+    IncrementalPseudoinverse,
+    LaplacianSolver,
+    commute_time_matrix,
+    laplacian,
+    laplacian_pseudoinverse,
+    sparsify,
+)
+from .pipeline import detect, make_detector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActDetector",
+    "AdjDetector",
+    "AfmDetector",
+    "CadDetector",
+    "ClcDetector",
+    "ComDetector",
+    "CommuteTimeCalculator",
+    "CommuteTimeEmbedding",
+    "DatasetError",
+    "DblpLikeSimulator",
+    "DetectionError",
+    "DetectionReport",
+    "Detector",
+    "DynamicGraph",
+    "EmbeddingError",
+    "EnronLikeSimulator",
+    "EvaluationError",
+    "GenericDistanceDetector",
+    "GraphConstructionError",
+    "GraphSnapshot",
+    "IncrementalPseudoinverse",
+    "LaplacianSolver",
+    "NodeUniverse",
+    "OnlineThresholdSelector",
+    "PrecipitationSimulator",
+    "ReproError",
+    "SolverError",
+    "StreamingCadDetector",
+    "ThresholdError",
+    "TransitionResult",
+    "TransitionScores",
+    "commute_time_matrix",
+    "detect",
+    "explain_node",
+    "explain_transition",
+    "sparsify",
+    "gaussian_similarity_graph",
+    "generate_dblp_instance",
+    "generate_gaussian_mixture_instance",
+    "generate_scalability_instance",
+    "knn_graph",
+    "laplacian",
+    "laplacian_pseudoinverse",
+    "make_detector",
+    "select_global_threshold",
+    "snapshot_from_edges",
+    "toy_example",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro`` entry point (delegates to the CLI)."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

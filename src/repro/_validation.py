@@ -1,0 +1,115 @@
+"""Shared argument-validation helpers.
+
+These helpers centralise the checks that many public entry points need:
+positive integers, probabilities, symmetric matrices, random-state
+normalisation. Each raises the narrowest sensible exception with a
+message naming the offending parameter, per the project convention that
+errors should never pass silently.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from .exceptions import GraphConstructionError
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Return ``value`` as an ``int`` if it is a positive integer.
+
+    Raises:
+        ValueError: if ``value`` is not an integer >= 1.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_non_negative_int(value: Any, name: str) -> int:
+    """Return ``value`` as an ``int`` if it is an integer >= 0."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValueError(f"{name} must be a non-negative integer, got {value!r}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return int(value)
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Return ``value`` as a ``float`` in [0, 1]."""
+    value = check_finite_float(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_finite_float(value: Any, name: str) -> float:
+    """Return ``value`` as a finite ``float``."""
+    try:
+        result = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{name} must be a real number, got {value!r}") from exc
+    if not np.isfinite(result):
+        raise ValueError(f"{name} must be finite, got {result}")
+    return result
+
+
+def check_positive_float(value: Any, name: str) -> float:
+    """Return ``value`` as a finite ``float`` > 0."""
+    result = check_finite_float(value, name)
+    if result <= 0.0:
+        raise ValueError(f"{name} must be > 0, got {result}")
+    return result
+
+
+def as_rng(seed: Any) -> np.random.Generator:
+    """Normalise ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    generator (returned unchanged so callers can share stream state).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def check_square(matrix: Any, name: str) -> None:
+    """Raise if ``matrix`` is not a 2-D square array/sparse matrix."""
+    shape = getattr(matrix, "shape", None)
+    if shape is None or len(shape) != 2 or shape[0] != shape[1]:
+        raise GraphConstructionError(
+            f"{name} must be a square 2-D matrix, got shape {shape}"
+        )
+
+
+def check_symmetric(matrix: sp.spmatrix | np.ndarray, name: str,
+                    atol: float = 1e-8) -> None:
+    """Raise :class:`GraphConstructionError` if ``matrix`` is asymmetric.
+
+    Works for both dense arrays and scipy sparse matrices; the sparse
+    path avoids densifying.
+    """
+    check_square(matrix, name)
+    if sp.issparse(matrix):
+        diff = (matrix - matrix.T).tocoo()
+        if diff.nnz and np.max(np.abs(diff.data)) > atol:
+            raise GraphConstructionError(f"{name} must be symmetric")
+    else:
+        dense = np.asarray(matrix)
+        if not np.allclose(dense, dense.T, atol=atol):
+            raise GraphConstructionError(f"{name} must be symmetric")
+
+
+def check_non_negative_weights(matrix: sp.spmatrix | np.ndarray,
+                               name: str) -> None:
+    """Raise :class:`GraphConstructionError` on negative entries."""
+    if sp.issparse(matrix):
+        data = matrix.data
+    else:
+        data = np.asarray(matrix).ravel()
+    if data.size and np.min(data) < 0:
+        raise GraphConstructionError(f"{name} must have non-negative weights")

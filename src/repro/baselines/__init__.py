@@ -1,0 +1,23 @@
+"""Baseline detectors from the paper's comparison (plus AFM extension)."""
+
+from .act import ActDetector
+from .adj import AdjDetector
+from .afm import AfmDetector, extract_features
+from .base import Detector, edge_scores_to_transition
+from .clc import ClcDetector
+from .com import ComDetector
+from .tsa import ArmaEventDetector, ar_residuals, fit_ar_coefficients
+
+__all__ = [
+    "ActDetector",
+    "AdjDetector",
+    "AfmDetector",
+    "ArmaEventDetector",
+    "ClcDetector",
+    "ComDetector",
+    "Detector",
+    "ar_residuals",
+    "edge_scores_to_transition",
+    "extract_features",
+    "fit_ar_coefficients",
+]

@@ -1,0 +1,35 @@
+"""ADJ baseline: adjacency-change-only edge scores.
+
+Section 3.4 of the paper defines ADJ as CAD with the commute-time
+factor removed::
+
+    ΔE_t(i, j) = |A_{t+1}(i, j) - A_t(i, j)|
+
+It flags every weight change regardless of structural significance, so
+benign wiggles between tightly coupled nodes score as high as genuine
+new bridges — the failure mode CAD's product form fixes.
+"""
+
+from __future__ import annotations
+
+from ..graphs.operations import union_support
+from ..graphs.snapshot import GraphSnapshot
+from ..core.detector import Detector
+from ..core.results import TransitionScores
+from ..core.scores import adjacency_change_on_pairs
+from .base import edge_scores_to_transition
+
+
+class AdjDetector(Detector):
+    """Adjacency-difference detector (the paper's ADJ)."""
+
+    name = "ADJ"
+
+    def score_transition(self, g_t: GraphSnapshot,
+                         g_t1: GraphSnapshot) -> TransitionScores:
+        g_t.require_same_universe(g_t1)
+        rows, cols = union_support(g_t, g_t1)
+        change = adjacency_change_on_pairs(g_t, g_t1, rows, cols)
+        return edge_scores_to_transition(
+            g_t.universe, rows, cols, change, self.name
+        )

@@ -1,0 +1,39 @@
+"""Baseline detector shared plumbing.
+
+All baselines implement the same :class:`~repro.core.Detector`
+interface as CAD, so every evaluation loop in the benchmarks treats
+the five methods of the paper's comparison identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.detector import Detector
+from ..core.results import TransitionScores
+from ..core.scores import aggregate_node_scores
+from ..graphs.snapshot import NodeUniverse
+
+__all__ = ["Detector", "edge_scores_to_transition"]
+
+
+def edge_scores_to_transition(universe: NodeUniverse,
+                              rows: np.ndarray,
+                              cols: np.ndarray,
+                              edge_scores: np.ndarray,
+                              detector: str,
+                              extras: dict | None = None,
+                              ) -> TransitionScores:
+    """Package per-edge scores (plus aggregated node scores) uniformly."""
+    node_scores = aggregate_node_scores(
+        len(universe), rows, cols, edge_scores
+    )
+    return TransitionScores(
+        universe=universe,
+        edge_rows=rows,
+        edge_cols=cols,
+        edge_scores=edge_scores,
+        node_scores=node_scores,
+        detector=detector,
+        extras=extras or {},
+    )

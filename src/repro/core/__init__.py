@@ -1,0 +1,61 @@
+"""The paper's primary contribution: the CAD detector and its parts."""
+
+from .cad import CadDetector, build_report
+from .commute import DEFAULT_EXACT_LIMIT, CommuteTimeCalculator
+from .detector import Detector
+from .explain import (
+    EdgeContribution,
+    NodeExplanation,
+    explain_node,
+    explain_transition,
+)
+from .generic import GenericDistanceDetector
+from .results import DetectionReport, TransitionResult, TransitionScores
+from .significance import (
+    permutation_null_max_scores,
+    significance_threshold,
+    significant_edges,
+)
+from .scores import (
+    adjacency_change_on_pairs,
+    aggregate_node_scores,
+    cad_edge_scores,
+)
+from .streaming import StreamingCadDetector
+from .thresholds import (
+    OnlineThresholdSelector,
+    anomaly_sets_at,
+    minimal_edge_set,
+    node_count_at,
+    select_global_threshold,
+    total_node_count,
+)
+
+__all__ = [
+    "CadDetector",
+    "CommuteTimeCalculator",
+    "DEFAULT_EXACT_LIMIT",
+    "DetectionReport",
+    "Detector",
+    "EdgeContribution",
+    "GenericDistanceDetector",
+    "NodeExplanation",
+    "OnlineThresholdSelector",
+    "StreamingCadDetector",
+    "TransitionResult",
+    "TransitionScores",
+    "adjacency_change_on_pairs",
+    "aggregate_node_scores",
+    "explain_node",
+    "explain_transition",
+    "anomaly_sets_at",
+    "build_report",
+    "cad_edge_scores",
+    "minimal_edge_set",
+    "node_count_at",
+    "permutation_null_max_scores",
+    "select_global_threshold",
+    "significance_threshold",
+    "significant_edges",
+    "total_node_count",
+]

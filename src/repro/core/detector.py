@@ -1,0 +1,65 @@
+"""The detector interface shared by CAD and all baselines.
+
+A detector turns one graph transition into :class:`TransitionScores`;
+everything downstream (ROC evaluation, threshold selection, report
+generation) is detector-agnostic, which is what makes the paper's
+five-way comparison (CAD / ACT / ADJ / COM / CLC) a one-loop affair.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..exceptions import DetectionError
+from ..graphs.dynamic import DynamicGraph
+from ..graphs.snapshot import GraphSnapshot
+from .results import TransitionScores
+
+
+class Detector(abc.ABC):
+    """Base class for transition anomaly detectors.
+
+    Subclasses implement :meth:`score_transition`; sequence scoring and
+    shared validation live here.
+    """
+
+    #: Short display name used in reports and benchmark tables.
+    name: str = "detector"
+
+    @abc.abstractmethod
+    def score_transition(self, g_t: GraphSnapshot,
+                         g_t1: GraphSnapshot) -> TransitionScores:
+        """Score one transition ``g_t -> g_t1``.
+
+        Implementations must return edge and/or node scores over the
+        shared universe; detectors without a natural edge notion leave
+        the edge arrays empty.
+        """
+
+    def score_sequence(self, graph: DynamicGraph) -> list[TransitionScores]:
+        """Score every consecutive transition of ``graph``.
+
+        Raises:
+            DetectionError: when the sequence has fewer than two
+                snapshots.
+        """
+        if len(graph) < 2:
+            raise DetectionError(
+                "scoring a sequence needs at least two snapshots, got "
+                f"{len(graph)}"
+            )
+        self.begin_sequence(graph)
+        return [
+            self.score_transition(g_t, g_t1)
+            for g_t, g_t1 in graph.transitions()
+        ]
+
+    def begin_sequence(self, graph: DynamicGraph) -> None:
+        """Hook called before sequence scoring starts.
+
+        Stateful detectors (ACT keeps a window of activity vectors)
+        reset themselves here. Default: no-op.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,146 @@
+"""Explanations: why was this node flagged?
+
+Localization is only actionable with attribution. Given a transition's
+scores and a node, :func:`explain_node` decomposes the node's ΔN into
+its incident edge contributions with both score factors, and
+:func:`explain_transition` summarises the actors of an anomaly set —
+the programmatic form of the paper's Figure 8 / DBLP case analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DetectionError
+from ..graphs.snapshot import NodeLabel
+from .results import TransitionResult, TransitionScores
+
+
+@dataclass(frozen=True)
+class EdgeContribution:
+    """One incident edge's share of a node's anomaly score.
+
+    Attributes:
+        neighbor: the other endpoint's label.
+        score: the edge's ΔE.
+        share: fraction of the node's ΔN this edge contributes.
+        adjacency_change: the |ΔA| factor (when the detector stored it).
+        distance_change: the |Δd| factor (when stored).
+    """
+
+    neighbor: NodeLabel
+    score: float
+    share: float
+    adjacency_change: float | None
+    distance_change: float | None
+
+
+@dataclass(frozen=True)
+class NodeExplanation:
+    """A node's anomaly score, decomposed over incident edges.
+
+    Attributes:
+        node: the explained node's label.
+        total_score: its ΔN.
+        contributions: incident edges sorted by descending score.
+    """
+
+    node: NodeLabel
+    total_score: float
+    contributions: list[EdgeContribution]
+
+    def top(self, count: int = 5) -> list[EdgeContribution]:
+        """The ``count`` largest contributions."""
+        return self.contributions[:count]
+
+    def describe(self) -> str:
+        """One paragraph of human-readable attribution."""
+        if not self.contributions:
+            return f"{self.node}: no scored incident edges."
+        lines = [
+            f"{self.node}: anomaly score {self.total_score:.4g} across "
+            f"{len(self.contributions)} scored edges; top contributors:"
+        ]
+        for contribution in self.top(5):
+            factors = ""
+            if contribution.adjacency_change is not None:
+                factors = (
+                    f" (|dA|={contribution.adjacency_change:.4g}, "
+                    f"|dd|={contribution.distance_change:.4g})"
+                )
+            lines.append(
+                f"  - with {contribution.neighbor}: "
+                f"{contribution.score:.4g} "
+                f"({contribution.share:.0%} of the score){factors}"
+            )
+        return "\n".join(lines)
+
+
+def explain_node(scores: TransitionScores,
+                 node: NodeLabel) -> NodeExplanation:
+    """Decompose one node's ΔN over its incident scored edges.
+
+    Args:
+        scores: a transition's scores (any edge-scoring detector).
+        node: label of the node to explain.
+
+    Raises:
+        DetectionError: when the detector produced no edge scores.
+    """
+    if scores.num_scored_edges == 0:
+        raise DetectionError(
+            f"detector {scores.detector!r} produced no edge scores; "
+            "node-level explanations need an edge-scoring detector"
+        )
+    index = scores.universe.index_of(node)
+    on_row = scores.edge_rows == index
+    on_col = scores.edge_cols == index
+    incident = np.flatnonzero(on_row | on_col)
+    total = float(scores.edge_scores[incident].sum())
+
+    adjacency = scores.extras.get("adjacency_change")
+    distance = scores.extras.get(
+        "commute_change", scores.extras.get("distance_change")
+    )
+    contributions = []
+    for p in incident:
+        other = int(scores.edge_cols[p] if on_row[p]
+                    else scores.edge_rows[p])
+        value = float(scores.edge_scores[p])
+        contributions.append(EdgeContribution(
+            neighbor=scores.universe.label_of(other),
+            score=value,
+            share=value / total if total > 0 else 0.0,
+            adjacency_change=(
+                float(adjacency[p]) if adjacency is not None else None
+            ),
+            distance_change=(
+                float(distance[p]) if distance is not None else None
+            ),
+        ))
+    contributions.sort(key=lambda c: -c.score)
+    return NodeExplanation(
+        node=node, total_score=total, contributions=contributions,
+    )
+
+
+def explain_transition(result: TransitionResult,
+                       top_nodes: int = 5) -> str:
+    """Narrative summary of one transition's anomaly set."""
+    if not result.is_anomalous:
+        return (
+            f"transition {result.index} "
+            f"({result.time_from} -> {result.time_to}): no anomalies."
+        )
+    lines = [
+        f"transition {result.index} "
+        f"({result.time_from} -> {result.time_to}): "
+        f"{len(result.anomalous_edges)} anomalous edges over "
+        f"{len(result.anomalous_nodes)} nodes.",
+    ]
+    for node in result.anomalous_nodes[:top_nodes]:
+        explanation = explain_node(result.scores, node)
+        lines.append(explanation.describe())
+    return "\n".join(lines)

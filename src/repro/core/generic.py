@@ -1,0 +1,101 @@
+"""CAD with a pluggable node-distance measure.
+
+The paper (Section 3.1) argues for commute time on robustness and
+scalability grounds but notes any node distance could drive the same
+score ``ΔE_t = |ΔA| * |Δd|``. :class:`GenericDistanceDetector` makes
+that choice explicit so the claim can be benchmarked
+(``benchmarks/bench_ablation_distance.py``): shortest-path distance is
+decided by a single path and is fragile to individual edge noise,
+while commute/forest distances average over all paths.
+
+The implementation computes full dense distance matrices per snapshot
+(cached for the snapshot shared by consecutive transitions), so it is
+meant for small/medium graphs — the scalable path is the commute-time
+embedding inside :class:`~repro.core.cad.CadDetector`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from ..exceptions import DetectionError
+from ..graphs.operations import union_support
+from ..graphs.snapshot import GraphSnapshot
+from ..linalg.distances import DISTANCE_REGISTRY
+from .detector import Detector
+from .results import TransitionScores
+from .scores import adjacency_change_on_pairs, aggregate_node_scores
+
+DistanceFunction = Callable[[object], np.ndarray]
+
+
+class GenericDistanceDetector(Detector):
+    """CAD's score with an arbitrary node-distance measure.
+
+    Args:
+        distance: a registry name (``"commute"``, ``"resistance"``,
+            ``"shortest_path"``, ``"forest"``) or a callable mapping an
+            adjacency matrix to a dense ``(n, n)`` distance matrix.
+        name: display name; defaults to ``CAD[<distance>]``.
+    """
+
+    def __init__(self, distance: str | DistanceFunction = "commute",
+                 name: str | None = None):
+        if isinstance(distance, str):
+            try:
+                self._distance = DISTANCE_REGISTRY[distance]
+            except KeyError:
+                known = ", ".join(sorted(DISTANCE_REGISTRY))
+                raise DetectionError(
+                    f"unknown distance {distance!r}; known: {known}"
+                ) from None
+            label = distance
+        else:
+            self._distance = distance
+            label = getattr(distance, "__name__", "custom")
+        self.name = name or f"CAD[{label}]"
+        self._cache: dict[int, tuple[GraphSnapshot, np.ndarray]] = {}
+        self._cache_order: list[int] = []
+
+    def score_transition(self, g_t: GraphSnapshot,
+                         g_t1: GraphSnapshot) -> TransitionScores:
+        g_t.require_same_universe(g_t1)
+        rows, cols = union_support(g_t, g_t1)
+        adjacency_change = adjacency_change_on_pairs(g_t, g_t1, rows, cols)
+        before = self._distances(g_t)
+        after = self._distances(g_t1)
+        distance_change = np.abs(after[rows, cols] - before[rows, cols])
+        edge_scores = adjacency_change * distance_change
+        return TransitionScores(
+            universe=g_t.universe,
+            edge_rows=rows,
+            edge_cols=cols,
+            edge_scores=edge_scores,
+            node_scores=aggregate_node_scores(
+                len(g_t.universe), rows, cols, edge_scores
+            ),
+            detector=self.name,
+            extras={
+                "adjacency_change": adjacency_change,
+                "distance_change": distance_change,
+            },
+        )
+
+    def _distances(self, snapshot: GraphSnapshot) -> np.ndarray:
+        """Distance matrix for a snapshot, cached (size 2)."""
+        key = id(snapshot)
+        cached = self._cache.get(key)
+        if cached is not None and cached[0] is snapshot:
+            return cached[1]
+        if snapshot.volume() <= 0:
+            matrix = np.zeros((snapshot.num_nodes, snapshot.num_nodes))
+        else:
+            matrix = self._distance(snapshot.adjacency)
+        self._cache[key] = (snapshot, matrix)
+        self._cache_order.append(key)
+        while len(self._cache_order) > 2:
+            evicted = self._cache_order.pop(0)
+            self._cache.pop(evicted, None)
+        return matrix

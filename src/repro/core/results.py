@@ -1,0 +1,201 @@
+"""Result containers shared by CAD and every baseline detector.
+
+Two layers:
+
+* :class:`TransitionScores` — the raw per-transition output of any
+  detector: sparse edge scores over the union support plus dense node
+  scores. ROC evaluation and ranking work directly on these.
+* :class:`TransitionResult` / :class:`DetectionReport` — the
+  *discrete* output of Algorithm 1 after threshold selection: anomalous
+  edge sets ``E_t`` and node sets ``V_t`` for each transition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import DetectionError
+from ..graphs.snapshot import NodeLabel, NodeUniverse
+
+
+@dataclass(frozen=True)
+class TransitionScores:
+    """Anomaly scores for one graph transition ``t -> t+1``.
+
+    Attributes:
+        universe: node universe the indices refer to.
+        edge_rows: edge endpoint indices (``edge_rows < edge_cols``).
+        edge_cols: see ``edge_rows``.
+        edge_scores: non-negative per-edge anomaly scores aligned with
+            the index arrays. Detectors that only score nodes (ACT,
+            CLC) leave the edge arrays empty.
+        node_scores: dense length-n node anomaly scores.
+        detector: name of the producing detector.
+        extras: optional per-edge diagnostics (e.g. CAD stores
+            ``adjacency_change`` and ``commute_change`` factors).
+    """
+
+    universe: NodeUniverse
+    edge_rows: np.ndarray
+    edge_cols: np.ndarray
+    edge_scores: np.ndarray
+    node_scores: np.ndarray
+    detector: str = ""
+    extras: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = len(self.universe)
+        if self.node_scores.shape != (n,):
+            raise DetectionError(
+                f"node_scores has shape {self.node_scores.shape}, "
+                f"expected ({n},)"
+            )
+        if not (
+            self.edge_rows.shape == self.edge_cols.shape
+            == self.edge_scores.shape
+        ):
+            raise DetectionError("edge index/score arrays must align")
+
+    @property
+    def num_scored_edges(self) -> int:
+        """Number of edges on the scored support."""
+        return int(self.edge_scores.size)
+
+    def total_edge_score(self) -> float:
+        """Total score mass ``sum_e DeltaE_t(e)`` (drives thresholds)."""
+        return float(self.edge_scores.sum())
+
+    def edge_score_matrix(self) -> sp.csr_matrix:
+        """Symmetric sparse matrix view of the edge scores."""
+        n = len(self.universe)
+        half = sp.coo_matrix(
+            (self.edge_scores, (self.edge_rows, self.edge_cols)),
+            shape=(n, n),
+        )
+        return (half + half.T).tocsr()
+
+    def top_edges(self, count: int = 10,
+                  ) -> list[tuple[NodeLabel, NodeLabel, float]]:
+        """The ``count`` highest-scoring edges as labelled triples."""
+        if self.edge_scores.size == 0:
+            return []
+        order = np.argsort(-self.edge_scores)[:count]
+        label = self.universe.label_of
+        return [
+            (label(int(self.edge_rows[p])), label(int(self.edge_cols[p])),
+             float(self.edge_scores[p]))
+            for p in order
+        ]
+
+    def top_nodes(self, count: int = 10) -> list[tuple[NodeLabel, float]]:
+        """The ``count`` highest-scoring nodes as labelled pairs."""
+        order = np.argsort(-self.node_scores)[:count]
+        label = self.universe.label_of
+        return [
+            (label(int(i)), float(self.node_scores[i])) for i in order
+        ]
+
+    def normalized_node_scores(self) -> np.ndarray:
+        """Node scores divided by their maximum (paper Figure 3).
+
+        Returns zeros when every score is zero.
+        """
+        peak = self.node_scores.max(initial=0.0)
+        if peak <= 0:
+            return np.zeros_like(self.node_scores)
+        return self.node_scores / peak
+
+
+@dataclass(frozen=True)
+class TransitionResult:
+    """Discrete anomaly sets for one transition (Algorithm 1 output).
+
+    Attributes:
+        index: transition index ``t`` (0-based; transition ``t -> t+1``).
+        time_from: time label of ``G_t`` (may be ``None``).
+        time_to: time label of ``G_{t+1}``.
+        anomalous_edges: ``E_t`` as ``(u, v, score)`` triples, sorted by
+            descending score.
+        anomalous_nodes: ``V_t`` — endpoints of ``E_t`` ordered by their
+            node score, descending.
+        scores: the underlying raw scores.
+    """
+
+    index: int
+    time_from: Any
+    time_to: Any
+    anomalous_edges: list[tuple[NodeLabel, NodeLabel, float]]
+    anomalous_nodes: list[NodeLabel]
+    scores: TransitionScores
+
+    @property
+    def is_anomalous(self) -> bool:
+        """True when this transition produced any anomalies (edges for
+        edge-scoring detectors, nodes for node-only detectors)."""
+        return bool(self.anomalous_edges) or bool(self.anomalous_nodes)
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Full output of a detector over a dynamic graph sequence.
+
+    Attributes:
+        detector: name of the detector that produced the report.
+        threshold: the δ actually used to cut anomaly sets.
+        transitions: one :class:`TransitionResult` per transition.
+    """
+
+    detector: str
+    threshold: float
+    transitions: list[TransitionResult]
+
+    def anomalous_transitions(self) -> list[TransitionResult]:
+        """Transitions with a non-empty anomaly set."""
+        return [t for t in self.transitions if t.is_anomalous]
+
+    def node_counts(self) -> np.ndarray:
+        """``|V_t|`` per transition (the bar heights of Figure 7)."""
+        return np.array(
+            [len(t.anomalous_nodes) for t in self.transitions], dtype=np.int64
+        )
+
+    def total_anomalous_nodes(self) -> int:
+        """``sum_t |V_t|`` (the paper's threshold-selection target)."""
+        return int(self.node_counts().sum())
+
+    def nodes_by_frequency(self) -> list[tuple[NodeLabel, int]]:
+        """Nodes ranked by how many transitions flagged them."""
+        counts: dict[NodeLabel, int] = {}
+        for transition in self.transitions:
+            for node in transition.anomalous_nodes:
+                counts[node] = counts.get(node, 0) + 1
+        return sorted(counts.items(), key=lambda item: (-item[1], str(item[0])))
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"detector={self.detector} threshold={self.threshold:.6g} "
+            f"transitions={len(self.transitions)} "
+            f"anomalous={len(self.anomalous_transitions())}",
+        ]
+        for transition in self.transitions:
+            if not transition.is_anomalous:
+                continue
+            nodes = ", ".join(str(v) for v in transition.anomalous_nodes[:8])
+            more = (
+                f" (+{len(transition.anomalous_nodes) - 8} more)"
+                if len(transition.anomalous_nodes) > 8 else ""
+            )
+            window = (
+                f"{transition.time_from}->{transition.time_to}"
+                if transition.time_from is not None else f"t={transition.index}"
+            )
+            lines.append(
+                f"  [{window}] edges={len(transition.anomalous_edges)} "
+                f"nodes: {nodes}{more}"
+            )
+        return "\n".join(lines)

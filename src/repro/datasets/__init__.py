@@ -1,0 +1,62 @@
+"""Dataset simulators: every workload of the paper's Section 4."""
+
+from .dblp import (
+    CollaborationEvent,
+    DblpLikeData,
+    DblpLikeSimulator,
+    generate_dblp_instance,
+)
+from .enron import (
+    EnronLikeData,
+    EnronLikeSimulator,
+    ScriptedEvent,
+    month_labels,
+)
+from .gaussian_mixture import (
+    DEFAULT_MEANS,
+    GaussianMixtureInstance,
+    generate_gaussian_mixture_instance,
+)
+from .precipitation import (
+    EVENT_SHIFTS,
+    REGIONS,
+    PrecipitationData,
+    PrecipitationSimulator,
+)
+from .random_graphs import ScalabilityInstance, generate_scalability_instance
+from .toy import (
+    ANOMALOUS_SCENARIOS,
+    BENIGN_SCENARIOS,
+    BLUE,
+    RED,
+    SCENARIOS,
+    ToyExample,
+    toy_example,
+)
+
+__all__ = [
+    "ANOMALOUS_SCENARIOS",
+    "BENIGN_SCENARIOS",
+    "BLUE",
+    "CollaborationEvent",
+    "DEFAULT_MEANS",
+    "DblpLikeData",
+    "DblpLikeSimulator",
+    "EVENT_SHIFTS",
+    "EnronLikeData",
+    "EnronLikeSimulator",
+    "GaussianMixtureInstance",
+    "PrecipitationData",
+    "PrecipitationSimulator",
+    "REGIONS",
+    "RED",
+    "SCENARIOS",
+    "ScalabilityInstance",
+    "ScriptedEvent",
+    "ToyExample",
+    "generate_dblp_instance",
+    "generate_gaussian_mixture_instance",
+    "generate_scalability_instance",
+    "month_labels",
+    "toy_example",
+]

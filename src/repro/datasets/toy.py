@@ -1,0 +1,123 @@
+"""The paper's 17-node illustrative example (Section 2.2, Figure 1).
+
+Two loosely connected communities — blue ``b1..b8`` and red
+``r1..r9`` — with five scripted weight changes between time slices
+``t`` and ``t+1``:
+
+* **S1** (Case 2): new edge ``b1–r1`` connecting the two communities
+  through previously distant nodes;
+* **S2** (Case 3): decrease on the bridge ``r7–r8`` whose weakening
+  splits ``{r4, r6, r8, r9}`` away from the rest of the red community;
+* **S3** (Case 1): large increase on ``b4–b5``;
+* **S4** (benign): small decrease on ``b1–b3`` (tightly coupled pair);
+* **S5** (benign): small increase on ``b2–b7`` (tightly coupled pair).
+
+The paper does not publish the underlying weights, so the exact Table
+1/2 values cannot be matched; the graph here is constructed so that
+the *qualitative* structure (community layout, bridge role of
+``r7–r8``, tight coupling of the benign pairs) matches Figure 1 and
+the score ordering/separation of Tables 1–2 is reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graphs.builders import snapshot_from_edges
+from ..graphs.dynamic import DynamicGraph
+from ..graphs.snapshot import NodeLabel, NodeUniverse
+
+BLUE = tuple(f"b{i}" for i in range(1, 9))
+RED = tuple(f"r{i}" for i in range(1, 10))
+
+#: Baseline (time t) weighted edges.
+_EDGES_T: list[tuple[str, str, float]] = [
+    # blue community: a well-knit cluster
+    ("b1", "b2", 2.0), ("b1", "b3", 2.0), ("b2", "b3", 2.0),
+    ("b2", "b7", 2.0), ("b3", "b4", 2.0), ("b4", "b5", 1.0),
+    ("b4", "b6", 2.0), ("b5", "b6", 2.0), ("b5", "b7", 2.0),
+    ("b6", "b8", 2.0), ("b7", "b8", 2.0), ("b1", "b5", 2.0),
+    ("b2", "b6", 2.0), ("b3", "b7", 2.0),
+    # red community, core blob {r1, r2, r3, r5, r7}
+    ("r1", "r2", 2.0), ("r1", "r3", 2.0), ("r2", "r3", 2.0),
+    ("r2", "r5", 2.0), ("r3", "r5", 2.0), ("r5", "r7", 2.0),
+    ("r1", "r7", 2.0), ("r3", "r7", 2.0),
+    # red community, satellite blob {r4, r6, r8, r9}
+    ("r4", "r6", 2.0), ("r4", "r8", 2.0), ("r6", "r8", 2.0),
+    ("r8", "r9", 2.0), ("r4", "r9", 2.0), ("r6", "r9", 2.0),
+    # the bridge tying the satellite blob to the red core
+    ("r7", "r8", 2.0),
+    # weak blue-red contacts keeping the graph connected
+    ("b8", "r2", 0.4), ("b6", "r3", 0.4),
+]
+
+#: The five scripted scenarios: edge -> (weight at t, weight at t+1).
+SCENARIOS: dict[str, tuple[str, str, float, float]] = {
+    "S1": ("b1", "r1", 0.0, 1.0),   # new inter-community edge (Case 2)
+    "S2": ("r7", "r8", 2.0, 0.7),   # bridge weakening (Case 3)
+    "S3": ("b4", "b5", 1.0, 4.0),   # large magnitude change (Case 1)
+    "S4": ("b1", "b3", 2.0, 1.7),   # benign wiggle, tight coupling
+    "S5": ("b2", "b7", 2.0, 2.3),   # benign wiggle, tight coupling
+}
+
+ANOMALOUS_SCENARIOS = ("S1", "S2", "S3")
+BENIGN_SCENARIOS = ("S4", "S5")
+
+
+@dataclass(frozen=True)
+class ToyExample:
+    """The toy dataset plus its ground truth.
+
+    Attributes:
+        graph: two-snapshot dynamic graph (times ``"t"``, ``"t+1"``).
+        anomalous_edges: the S1/S2/S3 edges as label pairs.
+        benign_edges: the S4/S5 edges as label pairs.
+        anomalous_nodes: endpoints of the anomalous edges — the paper's
+            expected detection set {b1, r1, r7, r8, b4, b5}.
+        scenarios: scenario id -> (u, v, weight_t, weight_t1).
+    """
+
+    graph: DynamicGraph
+    anomalous_edges: tuple[tuple[NodeLabel, NodeLabel], ...]
+    benign_edges: tuple[tuple[NodeLabel, NodeLabel], ...]
+    anomalous_nodes: tuple[NodeLabel, ...]
+    scenarios: dict[str, tuple[str, str, float, float]]
+
+
+def toy_example() -> ToyExample:
+    """Build the Section 2.2 toy example with ground truth attached."""
+    universe = NodeUniverse(BLUE + RED)
+
+    edges_t = list(_EDGES_T)
+    edges_t1 = []
+    changed = {(u, v): (before, after)
+               for u, v, before, after in SCENARIOS.values()}
+    for u, v, weight in edges_t:
+        key = (u, v) if (u, v) in changed else (v, u)
+        if key in changed:
+            edges_t1.append((u, v, changed[key][1]))
+        else:
+            edges_t1.append((u, v, weight))
+    # S1 adds a brand-new edge absent at time t.
+    u, v, before, after = SCENARIOS["S1"]
+    assert before == 0.0
+    edges_t1.append((u, v, after))
+
+    graph = DynamicGraph([
+        snapshot_from_edges(edges_t, universe, time="t"),
+        snapshot_from_edges(edges_t1, universe, time="t+1"),
+    ])
+    anomalous = tuple(
+        (SCENARIOS[s][0], SCENARIOS[s][1]) for s in ANOMALOUS_SCENARIOS
+    )
+    benign = tuple(
+        (SCENARIOS[s][0], SCENARIOS[s][1]) for s in BENIGN_SCENARIOS
+    )
+    nodes = tuple(sorted({node for edge in anomalous for node in edge}))
+    return ToyExample(
+        graph=graph,
+        anomalous_edges=anomalous,
+        benign_edges=benign,
+        anomalous_nodes=nodes,
+        scenarios=dict(SCENARIOS),
+    )

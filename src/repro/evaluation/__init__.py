@@ -1,0 +1,62 @@
+"""Evaluation harness: ROC/AUC, set metrics, sweeps, timing."""
+
+from .graph_distances import (
+    GRAPH_DISTANCES,
+    edit_distance,
+    flag_event_transitions,
+    mcs_distance,
+    modality_distance,
+    spectral_distance,
+    transition_distance_series,
+)
+from .metrics import (
+    SetMetrics,
+    node_ranking_scores,
+    precision_at_k,
+    rank_of,
+    recall_at_k,
+    set_metrics,
+)
+from .roc import RocCurve, auc_score, average_roc, roc_curve
+from .sequence import (
+    TimelineEvaluation,
+    evaluate_timeline,
+    summarize_timeline,
+)
+from .sweeps import (
+    DetectorEvaluation,
+    compare_detectors,
+    evaluate_detector,
+    sweep_parameter,
+)
+from .timing import TimingResult, fit_scaling_exponent, time_callable
+
+__all__ = [
+    "DetectorEvaluation",
+    "GRAPH_DISTANCES",
+    "RocCurve",
+    "edit_distance",
+    "flag_event_transitions",
+    "mcs_distance",
+    "modality_distance",
+    "spectral_distance",
+    "transition_distance_series",
+    "SetMetrics",
+    "TimelineEvaluation",
+    "TimingResult",
+    "evaluate_timeline",
+    "summarize_timeline",
+    "auc_score",
+    "average_roc",
+    "compare_detectors",
+    "evaluate_detector",
+    "fit_scaling_exponent",
+    "node_ranking_scores",
+    "precision_at_k",
+    "rank_of",
+    "recall_at_k",
+    "roc_curve",
+    "set_metrics",
+    "sweep_parameter",
+    "time_callable",
+]

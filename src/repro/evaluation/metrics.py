@@ -1,0 +1,124 @@
+"""Set metrics, node rankings, and ground-truth helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import EvaluationError
+from ..core.results import TransitionScores
+
+
+def node_ranking_scores(scores: TransitionScores,
+                        ranking: str = "max_edge") -> np.ndarray:
+    """Dense per-node ranking scores from a detector's transition output.
+
+    Args:
+        scores: any detector's transition scores.
+        ranking: ``"max_edge"`` — a node's score is its highest
+            incident edge score, which is exactly the node ordering
+            induced by sweeping δ in Algorithm 1 (nodes enter ``V_t``
+            when their top edge is admitted); ``"sum"`` — the ΔN
+            aggregate; ``"native"`` — the detector's own node scores
+            (the only option carrying information for edge-less
+            detectors like ACT/CLC).
+
+    Returns:
+        Length-n float array.
+    """
+    if ranking == "native":
+        return scores.node_scores.copy()
+    if ranking == "sum":
+        if scores.num_scored_edges == 0:
+            return scores.node_scores.copy()
+        from ..core.scores import aggregate_node_scores
+
+        return aggregate_node_scores(
+            len(scores.universe), scores.edge_rows, scores.edge_cols,
+            scores.edge_scores,
+        )
+    if ranking == "max_edge":
+        if scores.num_scored_edges == 0:
+            return scores.node_scores.copy()
+        ranking_scores = np.zeros(len(scores.universe))
+        np.maximum.at(ranking_scores, scores.edge_rows, scores.edge_scores)
+        np.maximum.at(ranking_scores, scores.edge_cols, scores.edge_scores)
+        return ranking_scores
+    raise EvaluationError(
+        f"ranking must be 'max_edge', 'sum' or 'native', got {ranking!r}"
+    )
+
+
+@dataclass(frozen=True)
+class SetMetrics:
+    """Precision/recall/F1 of a predicted set against ground truth."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+
+def set_metrics(predicted: set, truth: set) -> SetMetrics:
+    """Precision, recall and F1 of two item sets.
+
+    Empty predictions give precision 1 by convention (nothing claimed,
+    nothing wrong); empty truth gives recall 1.
+    """
+    tp = len(predicted & truth)
+    fp = len(predicted - truth)
+    fn = len(truth - predicted)
+    precision = tp / (tp + fp) if (tp + fp) else 1.0
+    recall = tp / (tp + fn) if (tp + fn) else 1.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if (precision + recall) > 0 else 0.0
+    )
+    return SetMetrics(
+        precision=precision, recall=recall, f1=f1,
+        true_positives=tp, false_positives=fp, false_negatives=fn,
+    )
+
+
+def precision_at_k(labels: np.ndarray, scores: np.ndarray, k: int) -> float:
+    """Fraction of the top-k scored items that are true positives."""
+    labels = np.asarray(labels).astype(bool)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise EvaluationError("labels and scores must align")
+    if k < 1 or k > labels.size:
+        raise EvaluationError(
+            f"k must lie in [1, {labels.size}], got {k}"
+        )
+    top = np.argsort(-scores, kind="stable")[:k]
+    return float(labels[top].mean())
+
+
+def recall_at_k(labels: np.ndarray, scores: np.ndarray, k: int) -> float:
+    """Fraction of true positives captured in the top-k scored items."""
+    labels = np.asarray(labels).astype(bool)
+    positives = int(labels.sum())
+    if positives == 0:
+        raise EvaluationError("recall@k needs at least one positive")
+    top = np.argsort(-np.asarray(scores, dtype=np.float64),
+                     kind="stable")[:k]
+    return float(labels[top].sum() / positives)
+
+
+def rank_of(labels_or_index, scores: np.ndarray) -> int:
+    """1-based rank of an item (by index) in a descending score order.
+
+    Ties are resolved pessimistically (worst rank among the ties), so
+    claims like "the injected event is top-ranked" cannot pass by tie
+    luck.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    index = int(labels_or_index)
+    if not 0 <= index < scores.size:
+        raise EvaluationError(
+            f"index {index} outside scores of length {scores.size}"
+        )
+    return int(np.sum(scores >= scores[index]))

@@ -1,0 +1,63 @@
+"""Wall-clock timing helpers for the scalability study (Section 4.1.3)."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Repeated wall-clock measurements of one operation.
+
+    Attributes:
+        label: what was measured.
+        seconds: per-repeat durations.
+    """
+
+    label: str
+    seconds: np.ndarray
+
+    @property
+    def mean(self) -> float:
+        """Mean duration in seconds."""
+        return float(self.seconds.mean())
+
+    @property
+    def best(self) -> float:
+        """Fastest repeat in seconds."""
+        return float(self.seconds.min())
+
+
+def time_callable(label: str,
+                  operation: Callable[[], object],
+                  repeats: int = 3) -> TimingResult:
+    """Time ``operation()`` over several repeats (result discarded)."""
+    repeats = check_positive_int(repeats, "repeats")
+    durations = np.empty(repeats)
+    for r in range(repeats):
+        start = time.perf_counter()
+        operation()
+        durations[r] = time.perf_counter() - start
+    return TimingResult(label=label, seconds=durations)
+
+
+def fit_scaling_exponent(sizes: np.ndarray,
+                         seconds: np.ndarray) -> float:
+    """Least-squares slope of log(time) against log(size).
+
+    An exponent near 1 confirms the near-linear scaling the paper
+    claims for CAD on sparse graphs (O(n log n) reads as slope ~1 on a
+    log-log plot over practical size ranges).
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    seconds = np.asarray(seconds, dtype=np.float64)
+    if sizes.size != seconds.size or sizes.size < 2:
+        raise ValueError("need >= 2 aligned (size, time) samples")
+    slope, _intercept = np.polyfit(np.log(sizes), np.log(seconds), deg=1)
+    return float(slope)

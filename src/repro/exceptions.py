@@ -1,0 +1,62 @@
+"""Error hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while still letting programming errors (``TypeError``
+from misuse of third-party APIs, etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphConstructionError(ReproError):
+    """Raised when a graph snapshot or sequence cannot be constructed.
+
+    Typical causes: non-square adjacency input, negative edge weights,
+    node labels outside the declared universe, or mismatched snapshot
+    shapes within a :class:`~repro.graphs.DynamicGraph`.
+    """
+
+
+class NodeUniverseMismatchError(GraphConstructionError):
+    """Raised when two graphs defined over different node universes are
+    combined in an operation that requires a shared universe."""
+
+
+class SolverError(ReproError):
+    """Raised when a linear-system solve fails to converge or the system
+    is malformed (e.g. right-hand side not orthogonal to the Laplacian
+    null space after grounding)."""
+
+
+class ConvergenceError(SolverError):
+    """Raised when an iterative method exhausts its iteration budget
+    without meeting its tolerance."""
+
+
+class EmbeddingError(ReproError):
+    """Raised when the approximate commute-time embedding cannot be
+    computed (e.g. empty graph, nonsensical dimension k)."""
+
+
+class DetectionError(ReproError):
+    """Raised when an anomaly detector is asked to score an invalid
+    transition (wrong universe, fewer than two snapshots, ...)."""
+
+
+class ThresholdError(ReproError):
+    """Raised when threshold selection is given unsatisfiable targets
+    (e.g. a requested anomaly budget larger than the score support)."""
+
+
+class DatasetError(ReproError):
+    """Raised by dataset simulators on invalid generation parameters."""
+
+
+class EvaluationError(ReproError):
+    """Raised by evaluation utilities on degenerate input, such as ROC
+    computation with single-class ground truth."""

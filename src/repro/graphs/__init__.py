@@ -1,0 +1,79 @@
+"""Temporal graph substrate: snapshots, sequences, builders, operations, IO."""
+
+from .builders import (
+    gaussian_similarity_graph,
+    knn_graph,
+    snapshot_from_dense,
+    snapshot_from_edges,
+    snapshot_from_networkx,
+    universe_from_edges,
+)
+from .dynamic import DynamicGraph
+from .generators import (
+    community_pair_graph,
+    perturb_weights,
+    random_sparse_graph,
+    random_symmetric_noise,
+    stochastic_block_model,
+)
+from .ingest import (
+    InteractionRecord,
+    aggregate_interactions,
+    month_of,
+    sliding_windows,
+    year_of,
+)
+from .io import (
+    read_json,
+    read_npz,
+    read_temporal_edge_csv,
+    write_json,
+    write_npz,
+    write_temporal_edge_csv,
+)
+from .operations import (
+    adjacency_difference,
+    closeness_centrality,
+    connected_components,
+    is_connected,
+    single_source_distances,
+    subgraph,
+    union_support,
+)
+from .snapshot import GraphSnapshot, NodeLabel, NodeUniverse
+
+__all__ = [
+    "DynamicGraph",
+    "GraphSnapshot",
+    "InteractionRecord",
+    "NodeLabel",
+    "NodeUniverse",
+    "adjacency_difference",
+    "aggregate_interactions",
+    "month_of",
+    "sliding_windows",
+    "year_of",
+    "closeness_centrality",
+    "community_pair_graph",
+    "connected_components",
+    "gaussian_similarity_graph",
+    "is_connected",
+    "knn_graph",
+    "perturb_weights",
+    "random_sparse_graph",
+    "random_symmetric_noise",
+    "read_json",
+    "read_npz",
+    "read_temporal_edge_csv",
+    "single_source_distances",
+    "snapshot_from_dense",
+    "snapshot_from_edges",
+    "snapshot_from_networkx",
+    "stochastic_block_model",
+    "subgraph",
+    "union_support",
+    "universe_from_edges",
+    "write_json",
+    "write_npz",
+    "write_temporal_edge_csv",
+]

@@ -1,0 +1,220 @@
+"""Approximate commute-time embedding (Khoa & Chawla 2012).
+
+The paper's scalability (Section 3.1) rests on computing commute times
+approximately in ``O(k n)`` via a Johnson–Lindenstrauss sketch. The
+identity behind it: with ``L = B^T W B`` (signed incidence
+factorisation) the effective resistance is a Euclidean distance::
+
+    r(i, j) = || W^{1/2} B L^+ (e_i - e_j) ||^2
+
+Projecting the ``m``-dimensional rows with a random Rademacher matrix
+``Q`` of ``k = O(log n / eps^2)`` rows preserves these distances within
+``1 +- eps`` (JL lemma), so::
+
+    Z = Q W^{1/2} B L^+          (k x n, via k Laplacian solves)
+    r~(i, j) = || Z e_i - Z e_j ||^2
+    c~(i, j) = V_G * r~(i, j)
+
+The per-node embedding ``x_i = sqrt(V_G) * Z[:, i]`` therefore has
+``||x_i - x_j||^2 ~= c(i, j)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import as_rng, check_positive_int
+from ..exceptions import EmbeddingError
+from .laplacian import graph_volume, incidence_factors
+from .solvers import LaplacianSolver
+
+_PROJECTION_CHUNK = 262_144  # edges per chunk when sketching Q W^{1/2} B
+
+
+def suggest_embedding_dimension(n: int, epsilon: float = 0.5) -> int:
+    """JL-style heuristic ``k = O(log n / eps^2)`` for the sketch size.
+
+    The paper observes (Figures 5 and text) that results are stable for
+    any ``k > 10``; this helper gives a principled default, floored at
+    16 and capped at 200.
+    """
+    n = check_positive_int(n, "n")
+    if not 0 < epsilon <= 1:
+        raise EmbeddingError(f"epsilon must lie in (0, 1], got {epsilon}")
+    k = int(np.ceil(4.0 * np.log(max(n, 2)) / (epsilon * epsilon)))
+    return int(np.clip(k, 16, 200))
+
+
+class CommuteTimeEmbedding:
+    """k-dimensional embedding whose squared distances are commute times.
+
+    Args:
+        adjacency: symmetric non-negative adjacency matrix (dense or
+            sparse). Must contain at least one edge.
+        k: embedding dimension (paper's ``k_RP``; > 10 recommended).
+        seed: int seed or numpy Generator for the JL projection.
+        solver: ``"cg"`` or ``"direct"`` Laplacian solve backend.
+        tol: solver tolerance.
+
+    Attributes:
+        points: ``(n, k)`` array; ``||points[i] - points[j]||^2``
+            approximates the commute time ``c(i, j)``.
+    """
+
+    def __init__(self, adjacency: sp.spmatrix | np.ndarray,
+                 k: int = 50,
+                 seed=None,
+                 solver: str = "cg",
+                 tol: float = 1e-8):
+        k = check_positive_int(k, "k")
+        matrix = (
+            adjacency.tocsr() if sp.issparse(adjacency)
+            else sp.csr_matrix(np.asarray(adjacency, dtype=np.float64))
+        )
+        volume = graph_volume(matrix)
+        if volume <= 0:
+            raise EmbeddingError(
+                "commute-time embedding needs a graph with at least one edge"
+            )
+        rng = as_rng(seed)
+
+        incidence, weights = incidence_factors(matrix)
+        sketch = _sketch_weighted_incidence(incidence, weights, k, rng)
+
+        laplacian_solver = LaplacianSolver(matrix, method=solver, tol=tol)
+        # Solve L z_d = y_d for each of the k sketch directions.
+        z = laplacian_solver.solve_many(sketch.T)  # (n, k)
+
+        self._k = k
+        self._volume = volume
+        self._points = np.sqrt(volume) * z
+        self._component_labels = laplacian_solver.component_labels
+
+    @property
+    def k(self) -> int:
+        """Embedding dimension."""
+        return self._k
+
+    @property
+    def volume(self) -> float:
+        """Graph volume ``V_G`` of the embedded snapshot."""
+        return self._volume
+
+    @property
+    def points(self) -> np.ndarray:
+        """``(n, k)`` embedding coordinates (do not mutate)."""
+        return self._points
+
+    def commute_times(self, rows: np.ndarray,
+                      cols: np.ndarray) -> np.ndarray:
+        """Approximate commute times for the given node pairs.
+
+        Args:
+            rows, cols: equal-length index arrays.
+
+        Returns:
+            Float array ``c~(rows[p], cols[p])`` per pair.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.shape != cols.shape:
+            raise EmbeddingError(
+                f"rows and cols must align, got {rows.shape} vs {cols.shape}"
+            )
+        gaps = self._points[rows] - self._points[cols]
+        return np.einsum("ij,ij->i", gaps, gaps)
+
+    def commute_time_matrix(self) -> np.ndarray:
+        """Dense all-pairs approximate commute time matrix (small n)."""
+        squared_norms = np.einsum("ij,ij->i", self._points, self._points)
+        gram = self._points @ self._points.T
+        commute = squared_norms[:, None] + squared_norms[None, :] - 2.0 * gram
+        np.fill_diagonal(commute, 0.0)
+        np.clip(commute, 0.0, None, out=commute)
+        return commute
+
+
+def estimate_embedding_error(adjacency: sp.spmatrix | np.ndarray,
+                             k: int = 50,
+                             num_samples: int = 50,
+                             seed=None,
+                             solver: str = "cg") -> dict[str, float]:
+    """Measure an embedding's commute-time error on sampled pairs.
+
+    Compares the k-dimensional embedding against *exact* per-pair
+    commute times obtained with one Laplacian solve per sampled pair
+    (no O(n^3) pseudoinverse), so the diagnostic works at the same
+    scale as the embedding itself. Use it to validate a choice of k
+    on your own data (cf. the paper's Figure 5 robustness claim).
+
+    Args:
+        adjacency: symmetric non-negative adjacency matrix.
+        k: embedding dimension to assess.
+        num_samples: number of random node pairs to check.
+        seed: randomness for both the embedding and the sample.
+        solver: Laplacian solver backend.
+
+    Returns:
+        Dict with ``median_relative_error``, ``p95_relative_error``
+        and ``max_relative_error`` over the sampled pairs.
+    """
+    num_samples = check_positive_int(num_samples, "num_samples")
+    matrix = (
+        adjacency.tocsr() if sp.issparse(adjacency)
+        else sp.csr_matrix(np.asarray(adjacency, dtype=np.float64))
+    )
+    n = matrix.shape[0]
+    if n < 2:
+        raise EmbeddingError("need at least two nodes to sample pairs")
+    rng = as_rng(seed)
+    rows = rng.integers(0, n, size=4 * num_samples)
+    cols = rng.integers(0, n, size=4 * num_samples)
+    keep = rows != cols
+    rows, cols = rows[keep][:num_samples], cols[keep][:num_samples]
+
+    embedding = CommuteTimeEmbedding(matrix, k=k, seed=rng,
+                                     solver=solver)
+    approx = embedding.commute_times(rows, cols)
+    exact_solver = LaplacianSolver(matrix, method=solver)
+    exact = exact_solver.commute_times_for_pairs(rows, cols)
+    valid = exact > 0
+    if not valid.any():
+        raise EmbeddingError(
+            "all sampled pairs have zero commute time; is the graph "
+            "a single node per component?"
+        )
+    relative = np.abs(approx[valid] - exact[valid]) / exact[valid]
+    return {
+        "median_relative_error": float(np.median(relative)),
+        "p95_relative_error": float(np.percentile(relative, 95)),
+        "max_relative_error": float(relative.max()),
+    }
+
+
+def _sketch_weighted_incidence(incidence: sp.csr_matrix,
+                               weights: np.ndarray,
+                               k: int,
+                               rng: np.random.Generator) -> np.ndarray:
+    """Compute ``Y = Q W^{1/2} B`` without materialising Q.
+
+    ``Q`` is a ``(k, m)`` Rademacher matrix with entries ``+-1/sqrt(k)``.
+    Processing edges in chunks keeps peak memory at
+    ``O(chunk * k)`` regardless of the edge count ``m``.
+
+    Returns:
+        Dense ``(k, n)`` sketch.
+    """
+    m, n = incidence.shape
+    sketch_t = np.zeros((n, k))
+    if m == 0:
+        return sketch_t.T
+    scale = 1.0 / np.sqrt(k)
+    sqrt_weights = np.sqrt(weights)
+    for start in range(0, m, _PROJECTION_CHUNK):
+        stop = min(start + _PROJECTION_CHUNK, m)
+        signs = rng.integers(0, 2, size=(stop - start, k)) * 2.0 - 1.0
+        signs *= scale * sqrt_weights[start:stop, None]
+        # (n x chunk sparse) @ (chunk x k dense) accumulates Y^T.
+        sketch_t += incidence[start:stop].T @ signs
+    return sketch_t.T

@@ -1,0 +1,114 @@
+"""Graph Laplacians and incidence matrices.
+
+The commute time machinery (paper Section 3.1) is built on the
+combinatorial Laplacian ``L = D - A``. This module provides sparse and
+dense Laplacians, the normalised variant, degree/volume helpers, and
+the signed edge-vertex incidence factorisation ``L = B^T W B`` used by
+the approximate commute-time embedding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import check_square, check_symmetric
+
+
+def degree_vector(adjacency: sp.spmatrix | np.ndarray) -> np.ndarray:
+    """Weighted degree vector ``d(i) = sum_j A(i, j)``."""
+    if sp.issparse(adjacency):
+        return np.asarray(adjacency.sum(axis=1)).ravel()
+    return np.asarray(adjacency, dtype=np.float64).sum(axis=1)
+
+
+def graph_volume(adjacency: sp.spmatrix | np.ndarray) -> float:
+    """Graph volume ``V_G = sum_i D(i, i)`` (paper eq. 3)."""
+    return float(degree_vector(adjacency).sum())
+
+
+def laplacian(adjacency: sp.spmatrix | np.ndarray,
+              normalized: bool = False) -> sp.csr_matrix:
+    """Sparse graph Laplacian of a symmetric adjacency matrix.
+
+    Args:
+        adjacency: symmetric non-negative adjacency (dense or sparse).
+        normalized: return the symmetric normalised Laplacian
+            ``I - D^{-1/2} A D^{-1/2}`` instead of ``D - A``. Isolated
+            nodes contribute zero rows in both variants.
+
+    Returns:
+        CSR Laplacian matrix.
+    """
+    check_square(adjacency, "adjacency")
+    matrix = (
+        adjacency.tocsr() if sp.issparse(adjacency)
+        else sp.csr_matrix(np.asarray(adjacency, dtype=np.float64))
+    )
+    degrees = degree_vector(matrix)
+    if not normalized:
+        return (sp.diags(degrees) - matrix).tocsr()
+    with np.errstate(divide="ignore"):
+        inv_sqrt = np.where(degrees > 0, 1.0 / np.sqrt(degrees), 0.0)
+    scaling = sp.diags(inv_sqrt)
+    normalised_adjacency = scaling @ matrix @ scaling
+    identity_like = sp.diags((degrees > 0).astype(np.float64))
+    return (identity_like - normalised_adjacency).tocsr()
+
+
+def dense_laplacian(adjacency: sp.spmatrix | np.ndarray) -> np.ndarray:
+    """Dense combinatorial Laplacian (for the exact pseudoinverse path)."""
+    dense = (
+        adjacency.toarray() if sp.issparse(adjacency)
+        else np.asarray(adjacency, dtype=np.float64)
+    )
+    check_symmetric(dense, "adjacency")
+    return np.diag(dense.sum(axis=1)) - dense
+
+
+def incidence_factors(
+    adjacency: sp.spmatrix | np.ndarray,
+) -> tuple[sp.csr_matrix, np.ndarray]:
+    """Signed incidence matrix and edge weights with ``L = B^T W B``.
+
+    For each undirected edge ``e = (i, j)`` with ``i < j``, row ``e`` of
+    ``B`` has ``+1`` at column ``i`` and ``-1`` at column ``j``; ``W``
+    is the diagonal of edge weights (returned as a vector).
+
+    Returns:
+        ``(B, w)`` with ``B`` of shape ``(m, n)`` (CSR) and ``w`` of
+        shape ``(m,)``.
+    """
+    matrix = (
+        adjacency.tocsr() if sp.issparse(adjacency)
+        else sp.csr_matrix(np.asarray(adjacency, dtype=np.float64))
+    )
+    upper = sp.triu(matrix, k=1).tocoo()
+    m = upper.nnz
+    n = matrix.shape[0]
+    rows = np.repeat(np.arange(m), 2)
+    cols = np.empty(2 * m, dtype=np.int64)
+    cols[0::2] = upper.row
+    cols[1::2] = upper.col
+    signs = np.empty(2 * m)
+    signs[0::2] = 1.0
+    signs[1::2] = -1.0
+    incidence = sp.csr_matrix((signs, (rows, cols)), shape=(m, n))
+    return incidence, upper.data.copy()
+
+
+def laplacian_quadratic_form(adjacency: sp.spmatrix | np.ndarray,
+                             vector: np.ndarray) -> float:
+    """Evaluate ``x^T L x = sum_{(i,j)} w_ij (x_i - x_j)^2``.
+
+    Cheap smoothness functional used in tests as an independent check
+    of the Laplacian construction (it must agree with ``x @ L @ x``).
+    """
+    matrix = (
+        adjacency.tocsr() if sp.issparse(adjacency)
+        else sp.csr_matrix(np.asarray(adjacency, dtype=np.float64))
+    )
+    upper = sp.triu(matrix, k=1).tocoo()
+    x = np.asarray(vector, dtype=np.float64)
+    gaps = x[upper.row] - x[upper.col]
+    return float(np.sum(upper.data * gaps * gaps))

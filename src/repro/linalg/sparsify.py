@@ -1,0 +1,112 @@
+"""Spectral sparsification by effective-resistance sampling.
+
+The paper's sparse-graph claims lean on Batson–Spielman–Srivastava–Teng
+(their reference [3]). This module implements the classical
+Spielman–Srivastava sampling scheme: draw ``q`` edges with probability
+proportional to ``w_e * R_e`` (weight times effective resistance, i.e.
+each edge's leverage) and reweight each sampled copy by ``w_e / (q
+p_e)``. The expected Laplacian is preserved exactly, and with ``q =
+O(n log n / eps^2)`` samples the quadratic form is preserved within
+``1 ± eps`` w.h.p.
+
+Practical use here: densifying constructions (the paper's Gaussian
+similarity graphs are complete!) can be sparsified before running CAD,
+trading a controlled amount of score accuracy for large savings in the
+per-snapshot solve — measured in ``bench_ablation_sparsify.py``.
+
+Effective resistances are themselves estimated with the commute-time
+embedding, keeping the whole pipeline near-linear.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import as_rng, check_positive_int
+from ..exceptions import EmbeddingError
+from ..graphs.snapshot import GraphSnapshot
+from .embedding import CommuteTimeEmbedding
+from .laplacian import graph_volume
+
+
+def effective_resistances(adjacency: sp.spmatrix | np.ndarray,
+                          k: int = 64,
+                          seed=None,
+                          exact: bool = False) -> tuple[np.ndarray, ...]:
+    """Per-edge effective resistances of a graph.
+
+    Args:
+        adjacency: symmetric non-negative adjacency matrix.
+        k: embedding dimension for the estimate.
+        seed: JL randomness.
+        exact: use the dense pseudoinverse instead of the embedding.
+
+    Returns:
+        ``(rows, cols, weights, resistances)`` over the upper-triangle
+        edge support.
+    """
+    matrix = (
+        adjacency.tocsr() if sp.issparse(adjacency)
+        else sp.csr_matrix(np.asarray(adjacency, dtype=np.float64))
+    )
+    upper = sp.triu(matrix, k=1).tocoo()
+    rows = upper.row.astype(np.int64)
+    cols = upper.col.astype(np.int64)
+    if rows.size == 0:
+        raise EmbeddingError("cannot sparsify an edgeless graph")
+    if exact:
+        from .pseudoinverse import commute_times_for_pairs
+
+        commute = commute_times_for_pairs(matrix, rows, cols)
+    else:
+        embedding = CommuteTimeEmbedding(matrix, k=k, seed=seed)
+        commute = embedding.commute_times(rows, cols)
+    resistances = commute / graph_volume(matrix)
+    return rows, cols, upper.data.copy(), resistances
+
+
+def sparsify(snapshot: GraphSnapshot,
+             num_samples: int,
+             k: int = 64,
+             seed=None,
+             exact_resistances: bool = False) -> GraphSnapshot:
+    """Spectral sparsifier of a snapshot (Spielman–Srivastava sampling).
+
+    Args:
+        snapshot: the graph to sparsify.
+        num_samples: number of edge draws ``q`` (with replacement);
+            the result has at most ``q`` distinct edges. A standard
+            choice is ``int(C * n * log(n))`` for C around 2-10.
+        k: embedding dimension for the resistance estimates.
+        seed: randomness for both the estimates and the sampling.
+        exact_resistances: use exact resistances (O(n^3); testing).
+
+    Returns:
+        A new snapshot over the same universe whose Laplacian
+        approximates the input's in expectation.
+    """
+    num_samples = check_positive_int(num_samples, "num_samples")
+    rng = as_rng(seed)
+    rows, cols, weights, resistances = effective_resistances(
+        snapshot.adjacency, k=k, seed=rng, exact=exact_resistances
+    )
+    leverage = weights * np.clip(resistances, 0.0, None)
+    total = leverage.sum()
+    if total <= 0:
+        raise EmbeddingError("all edge leverages vanished; cannot sample")
+    probabilities = leverage / total
+
+    draws = rng.choice(rows.size, size=num_samples, p=probabilities)
+    counts = np.bincount(draws, minlength=rows.size)
+    sampled = counts > 0
+    # each sampled copy carries w_e / (q * p_e)
+    new_weights = (
+        weights[sampled] * counts[sampled]
+        / (num_samples * probabilities[sampled])
+    )
+    n = snapshot.num_nodes
+    half = sp.coo_matrix(
+        (new_weights, (rows[sampled], cols[sampled])), shape=(n, n)
+    )
+    return GraphSnapshot(half + half.T, snapshot.universe, snapshot.time)

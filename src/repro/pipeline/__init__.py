@@ -1,0 +1,22 @@
+"""High-level pipeline: one-call detection API and report rendering."""
+
+from .api import DETECTOR_FACTORIES, detect, detect_windowed, make_detector
+from .report import render_bar_chart, render_series, render_table
+from .serialize import (
+    read_report_json,
+    report_to_dict,
+    write_report_json,
+)
+
+__all__ = [
+    "DETECTOR_FACTORIES",
+    "detect",
+    "detect_windowed",
+    "make_detector",
+    "read_report_json",
+    "render_bar_chart",
+    "render_series",
+    "render_table",
+    "report_to_dict",
+    "write_report_json",
+]

@@ -1,0 +1,83 @@
+"""Plain-text rendering of paper-style tables and series.
+
+The benchmark harness prints, for each table/figure of the paper, the
+same rows/series the paper reports. These helpers keep that output
+consistent and readable in a terminal (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str | None = None,
+                 float_format: str = "{:.4g}") -> str:
+    """Render an ASCII table with aligned columns.
+
+    Args:
+        headers: column headers.
+        rows: row cells; floats are formatted with ``float_format``.
+        title: optional line printed above the table.
+        float_format: format spec applied to float cells.
+
+    Returns:
+        The formatted multi-line string.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, (float, np.floating)):
+            return float_format.format(float(cell))
+        return str(cell)
+
+    text_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for position, cell in enumerate(row):
+            widths[position] = max(widths[position], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(
+            cell.ljust(widths[position])
+            for position, cell in enumerate(cells)
+        )
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * width for width in widths))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def render_series(name: str,
+                  xs: Sequence[object],
+                  ys: Sequence[float],
+                  x_label: str = "x",
+                  y_label: str = "y",
+                  y_format: str = "{:.4g}") -> str:
+    """Render a one-line-per-point series (a text stand-in for a plot)."""
+    lines = [f"{name}  ({x_label} -> {y_label})"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x}: " + y_format.format(float(y)))
+    return "\n".join(lines)
+
+
+def render_bar_chart(labels: Sequence[object],
+                     values: Sequence[float],
+                     title: str | None = None,
+                     width: int = 40,
+                     bar_char: str = "#") -> str:
+    """Render a horizontal ASCII bar chart (used for Figure 7's bars)."""
+    values = [float(v) for v in values]
+    peak = max(values) if values else 0.0
+    scale = (width / peak) if peak > 0 else 0.0
+    lines = [title] if title else []
+    label_width = max((len(str(label)) for label in labels), default=0)
+    for label, value in zip(labels, values):
+        bar = bar_char * int(round(value * scale))
+        lines.append(f"{str(label).rjust(label_width)} |{bar} {value:g}")
+    return "\n".join(lines)

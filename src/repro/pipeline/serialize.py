@@ -1,0 +1,95 @@
+"""Serialising detection results for downstream tooling.
+
+Reports are plain data; this module renders them to a stable JSON
+document (and back to a summary-friendly structure) so detections can
+be stored, diffed, or consumed by dashboards without importing the
+library's classes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..core.results import DetectionReport
+from ..exceptions import DetectionError
+
+#: Document format marker for forwards compatibility.
+FORMAT = "repro-detection-report"
+VERSION = 1
+
+
+def report_to_dict(report: DetectionReport,
+                   include_scores: bool = False) -> dict[str, Any]:
+    """Convert a report to a JSON-ready dictionary.
+
+    Args:
+        report: any detector's report.
+        include_scores: also embed each transition's dense node-score
+            vector (larger output; useful for re-ranking offline).
+    """
+    transitions = []
+    for transition in report.transitions:
+        entry: dict[str, Any] = {
+            "index": transition.index,
+            "time_from": _jsonable(transition.time_from),
+            "time_to": _jsonable(transition.time_to),
+            "anomalous": transition.is_anomalous,
+            "edges": [
+                {"source": _jsonable(u), "target": _jsonable(v),
+                 "score": float(score)}
+                for u, v, score in transition.anomalous_edges
+            ],
+            "nodes": [_jsonable(n) for n in transition.anomalous_nodes],
+        }
+        if include_scores and transition.scores is not None:
+            entry["node_scores"] = [
+                float(x) for x in transition.scores.node_scores
+            ]
+        transitions.append(entry)
+    return {
+        "format": FORMAT,
+        "version": VERSION,
+        "detector": report.detector,
+        "threshold": float(report.threshold),
+        "transitions": transitions,
+    }
+
+
+def write_report_json(report: DetectionReport,
+                      path: str | Path,
+                      include_scores: bool = False) -> None:
+    """Write a report as a JSON file."""
+    document = report_to_dict(report, include_scores=include_scores)
+    Path(path).write_text(json.dumps(document, indent=1))
+
+
+def read_report_json(path: str | Path) -> dict[str, Any]:
+    """Read a report document written by :func:`write_report_json`.
+
+    Returns the parsed dictionary (node labels come back as their JSON
+    representations — strings/numbers — not the original objects).
+
+    Raises:
+        DetectionError: when the file is not a report document or its
+            version is unknown.
+    """
+    document = json.loads(Path(path).read_text())
+    if document.get("format") != FORMAT:
+        raise DetectionError(
+            f"{path}: not a {FORMAT} document"
+        )
+    if document.get("version") != VERSION:
+        raise DetectionError(
+            f"{path}: unsupported report version "
+            f"{document.get('version')!r}"
+        )
+    return document
+
+
+def _jsonable(value: Any) -> Any:
+    """Node labels / time labels as JSON-safe scalars."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return str(value)

@@ -1,0 +1,105 @@
+"""Unit tests for the ACT baseline (Ide & Kashima)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ActDetector
+from repro.graphs import (
+    DynamicGraph,
+    GraphSnapshot,
+    community_pair_graph,
+    perturb_weights,
+)
+
+
+@pytest.fixture
+def stable_sequence():
+    base = community_pair_graph(community_size=15, p_in=0.6, seed=1)
+    snapshots = [base]
+    for t in range(4):
+        snapshots.append(perturb_weights(base, 0.02, seed=20 + t))
+    return DynamicGraph(snapshots)
+
+
+class TestActivityVector:
+    def test_unit_norm_nonnegative(self, random_connected_graph):
+        act = ActDetector()
+        vector = act.activity_vector(random_connected_graph)
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+        assert vector.min() > -1e-8
+
+    def test_edgeless_snapshot(self):
+        act = ActDetector()
+        vector = act.activity_vector(GraphSnapshot(np.zeros((4, 4))))
+        assert vector.tolist() == [0.0] * 4
+
+
+class TestScoring:
+    def test_stable_sequence_low_scores(self, stable_sequence):
+        act = ActDetector(window=2)
+        scored = act.score_sequence(stable_sequence)
+        events = [float(s.extras["event_score"][0]) for s in scored]
+        assert max(events) < 0.05
+
+    def test_structural_break_scores_high(self, stable_sequence):
+        # replace the final snapshot with a very different structure
+        snapshots = list(stable_sequence)
+        flipped = community_pair_graph(community_size=15, p_in=0.6,
+                                       seed=99)
+        snapshots[-1] = GraphSnapshot(
+            flipped.adjacency, stable_sequence.universe
+        )
+        act = ActDetector(window=2)
+        scored = act.score_sequence(DynamicGraph(snapshots))
+        events = [float(s.extras["event_score"][0]) for s in scored]
+        assert events[-1] > 5 * max(events[:-1])
+
+    def test_window_resets_between_sequences(self, stable_sequence):
+        act = ActDetector(window=3)
+        first = act.score_sequence(stable_sequence)
+        second = act.score_sequence(stable_sequence)
+        for a, b in zip(first, second):
+            np.testing.assert_allclose(a.node_scores, b.node_scores)
+
+    def test_no_edge_scores(self, stable_sequence):
+        act = ActDetector()
+        scored = act.score_sequence(stable_sequence)
+        assert scored[0].num_scored_edges == 0
+
+    def test_window_one_uses_current_vector(self, stable_sequence):
+        act = ActDetector(window=1)
+        g_t, g_t1 = stable_sequence[0], stable_sequence[1]
+        scores = act.score_transition(g_t, g_t1)
+        expected = np.abs(
+            act.activity_vector(g_t1) - act.activity_vector(g_t)
+        )
+        np.testing.assert_allclose(scores.node_scores, expected,
+                                   atol=1e-8)
+
+
+class TestDetect:
+    def test_flags_event_transition(self, stable_sequence):
+        snapshots = list(stable_sequence)
+        matrix = snapshots[-1].adjacency.tolil()
+        # massively boost one node's row (a volume event ACT must see)
+        matrix[0, :] = matrix[0, :] * 10
+        matrix[:, 0] = matrix[:, 0] * 10
+        snapshots[-1] = GraphSnapshot(matrix.tocsr(),
+                                      stable_sequence.universe)
+        act = ActDetector(window=2)
+        report = act.detect(DynamicGraph(snapshots), top_nodes=3)
+        flagged = [t.index for t in report.anomalous_transitions()]
+        assert len(stable_sequence) - 2 in flagged
+        final = report.transitions[-1]
+        assert 0 in final.anomalous_nodes
+
+    def test_top_nodes_bounded(self, stable_sequence):
+        act = ActDetector()
+        report = act.detect(stable_sequence, top_nodes=2)
+        for transition in report.transitions:
+            assert len(transition.anomalous_nodes) <= 2
+
+    def test_explicit_threshold(self, stable_sequence):
+        act = ActDetector()
+        report = act.detect(stable_sequence, event_threshold=10.0)
+        assert not report.anomalous_transitions()

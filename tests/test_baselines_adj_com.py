@@ -1,0 +1,113 @@
+"""Unit tests for the ADJ and COM ablation baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AdjDetector, ComDetector
+from repro.core import CadDetector
+from repro.exceptions import DetectionError
+from repro.graphs import DynamicGraph, GraphSnapshot
+
+
+@pytest.fixture
+def transition_pair(small_dynamic_graph):
+    return small_dynamic_graph[0], small_dynamic_graph[1]
+
+
+class TestAdj:
+    def test_scores_are_weight_changes(self, transition_pair):
+        g_t, g_t1 = transition_pair
+        scores = AdjDetector().score_transition(g_t, g_t1)
+        before = np.asarray(
+            g_t.adjacency[scores.edge_rows, scores.edge_cols]
+        ).ravel()
+        after = np.asarray(
+            g_t1.adjacency[scores.edge_rows, scores.edge_cols]
+        ).ravel()
+        np.testing.assert_allclose(scores.edge_scores,
+                                   np.abs(after - before))
+
+    def test_identical_graphs_zero(self, transition_pair):
+        g_t, _ = transition_pair
+        scores = AdjDetector().score_transition(g_t, g_t)
+        assert scores.total_edge_score() == 0.0
+
+    def test_blind_to_structure(self):
+        """ADJ scores a benign change and a bridge change equally if
+        the weight deltas match — CAD's documented contrast."""
+        # path 0-1-2-3 plus clique edge inside {0,1}
+        base = np.zeros((4, 4))
+        for i in range(3):
+            base[i, i + 1] = base[i + 1, i] = 2.0
+        g_t = GraphSnapshot(base)
+        changed = base.copy()
+        changed[0, 1] = changed[1, 0] = 1.0  # tightly coupled wiggle
+        changed[2, 3] = changed[3, 2] = 1.0  # bridge weakening
+        g_t1 = GraphSnapshot(changed, g_t.universe)
+        adj_scores = AdjDetector().score_transition(g_t, g_t1)
+        matrix = adj_scores.edge_score_matrix()
+        assert matrix[0, 1] == pytest.approx(matrix[2, 3])
+
+
+class TestCom:
+    def test_union_support_default(self, transition_pair):
+        g_t, g_t1 = transition_pair
+        scores = ComDetector(method="exact").score_transition(g_t, g_t1)
+        # same support as ADJ
+        adj = AdjDetector().score_transition(g_t, g_t1)
+        assert scores.num_scored_edges == adj.num_scored_edges
+
+    def test_all_support(self, path_graph):
+        changed = path_graph.adjacency.tolil()
+        changed[0, 1] = changed[1, 0] = 3.0
+        g_t1 = GraphSnapshot(changed.tocsr(), path_graph.universe)
+        scores = ComDetector(method="exact",
+                             support="all").score_transition(
+            path_graph, g_t1
+        )
+        assert scores.num_scored_edges == 6  # all C(4,2) pairs
+
+    def test_flags_affected_unchanged_pairs(self, path_graph):
+        """COM's failure mode: pairs with no weight change still score
+        because their commute time moved."""
+        changed = path_graph.adjacency.tolil()
+        changed[1, 2] = changed[2, 1] = 0.1  # weaken the middle edge
+        g_t1 = GraphSnapshot(changed.tocsr(), path_graph.universe)
+        scores = ComDetector(method="exact",
+                             support="all").score_transition(
+            path_graph, g_t1
+        )
+        matrix = scores.edge_score_matrix()
+        assert matrix[0, 3] > 0  # unchanged pair, still flagged by COM
+
+    def test_rejects_bad_support(self):
+        with pytest.raises(DetectionError):
+            ComDetector(support="everything")
+
+    def test_identical_graphs_zero(self, transition_pair):
+        g_t, _ = transition_pair
+        scores = ComDetector(method="exact").score_transition(g_t, g_t)
+        assert scores.total_edge_score() == pytest.approx(0.0, abs=1e-6)
+
+
+class TestProductAblation:
+    def test_cad_suppresses_both_failure_modes(self):
+        """The toy contrast of Section 3.4 in miniature: CAD ranks the
+        bridge change above the benign wiggle; ADJ cannot."""
+        base = np.zeros((6, 6))
+        # two triangles {0,1,2} and {3,4,5} bridged by 2-3
+        for i, j in [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)]:
+            base[i, j] = base[j, i] = 2.0
+        base[2, 3] = base[3, 2] = 2.0
+        g_t = GraphSnapshot(base)
+        changed = base.copy()
+        changed[0, 1] = changed[1, 0] = 1.0   # benign wiggle
+        changed[2, 3] = changed[3, 2] = 1.0   # bridge weakening
+        g_t1 = GraphSnapshot(changed, g_t.universe)
+
+        cad = CadDetector(method="exact").score_transition(g_t, g_t1)
+        adj = AdjDetector().score_transition(g_t, g_t1)
+        cad_matrix = cad.edge_score_matrix()
+        adj_matrix = adj.edge_score_matrix()
+        assert cad_matrix[2, 3] > 3 * cad_matrix[0, 1]
+        assert adj_matrix[2, 3] == pytest.approx(adj_matrix[0, 1])

@@ -1,0 +1,126 @@
+"""Unit tests for the CLC and AFM baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AfmDetector, ClcDetector
+from repro.baselines.afm import FEATURE_NAMES, extract_features
+from repro.exceptions import DetectionError
+from repro.graphs import (
+    DynamicGraph,
+    GraphSnapshot,
+    community_pair_graph,
+    perturb_weights,
+)
+
+
+class TestClc:
+    def test_backends_agree(self, random_connected_graph):
+        fast = ClcDetector(backend="scipy")
+        slow = ClcDetector(backend="python")
+        np.testing.assert_allclose(
+            fast.closeness(random_connected_graph),
+            slow.closeness(random_connected_graph),
+            atol=1e-10,
+        )
+
+    def test_scores_are_centrality_changes(self, small_dynamic_graph):
+        clc = ClcDetector()
+        g_t, g_t1 = small_dynamic_graph[0], small_dynamic_graph[1]
+        scores = clc.score_transition(g_t, g_t1)
+        expected = np.abs(clc.closeness(g_t1) - clc.closeness(g_t))
+        np.testing.assert_allclose(scores.node_scores, expected)
+
+    def test_bridge_endpoints_move_most(self, small_dynamic_graph):
+        clc = ClcDetector()
+        scores = clc.score_transition(small_dynamic_graph[0],
+                                      small_dynamic_graph[1])
+        top = [label for label, _ in scores.top_nodes(5)]
+        assert 0 in top or 39 in top
+
+    def test_rejects_bad_backend(self):
+        with pytest.raises(DetectionError):
+            ClcDetector(backend="gpu")
+
+    def test_no_edge_scores(self, small_dynamic_graph):
+        scores = ClcDetector().score_transition(small_dynamic_graph[0],
+                                                small_dynamic_graph[1])
+        assert scores.num_scored_edges == 0
+
+    def test_disconnected_handled(self, disconnected_graph):
+        closeness = ClcDetector().closeness(disconnected_graph)
+        assert np.isfinite(closeness).all()
+
+
+class TestExtractFeatures:
+    def test_shape_and_names(self, triangle_graph):
+        features = extract_features(triangle_graph)
+        assert features.shape == (3, len(FEATURE_NAMES))
+
+    def test_weighted_degree_column(self, triangle_graph):
+        features = extract_features(triangle_graph)
+        np.testing.assert_allclose(features[:, 0],
+                                   triangle_graph.degrees())
+
+    def test_degree_column(self, path_graph):
+        features = extract_features(path_graph)
+        np.testing.assert_allclose(features[:, 1], [1, 2, 2, 1])
+
+    def test_mean_weight(self):
+        adjacency = np.array([
+            [0.0, 2.0, 4.0],
+            [2.0, 0.0, 0.0],
+            [4.0, 0.0, 0.0],
+        ])
+        features = extract_features(GraphSnapshot(adjacency))
+        assert features[0, 2] == pytest.approx(3.0)
+
+    def test_egonet_edges_triangle(self, triangle_graph):
+        features = extract_features(triangle_graph)
+        # each node: degree 2 + the opposite edge = 3 egonet edges
+        np.testing.assert_allclose(features[:, 3], 3.0)
+
+    def test_isolated_node(self):
+        features = extract_features(GraphSnapshot(np.zeros((2, 2))))
+        np.testing.assert_allclose(features, 0.0)
+
+
+class TestAfm:
+    def _sequence(self, event=False):
+        base = community_pair_graph(community_size=12, p_in=0.6, seed=2)
+        snapshots = [base]
+        for t in range(4):
+            snapshots.append(perturb_weights(base, 0.02, seed=40 + t))
+        if event:
+            matrix = snapshots[-1].adjacency.tolil()
+            matrix[0, :] *= 6.0
+            matrix[:, 0] *= 6.0
+            snapshots[-1] = GraphSnapshot(matrix.tocsr(), base.universe)
+        return DynamicGraph(snapshots)
+
+    def test_feature_burst_detected_and_quiet_contrast(self):
+        afm = AfmDetector(window=3)
+        quiet = afm.score_sequence(self._sequence())[-1]
+        burst = afm.score_sequence(self._sequence(event=True))[-1]
+        top = [label for label, _ in burst.top_nodes(3)]
+        assert 0 in top
+        # the burst actor scores well beyond anything in the quiet run
+        assert burst.node_scores[0] > 1.5 * quiet.node_scores.max()
+
+    def test_per_feature_extras(self):
+        afm = AfmDetector(window=2)
+        scored = afm.score_sequence(self._sequence())
+        per_feature = scored[0].extras["per_feature"]
+        assert per_feature.shape == (len(FEATURE_NAMES), 24)
+
+    def test_window_resets(self):
+        afm = AfmDetector(window=3)
+        graph = self._sequence()
+        first = afm.score_sequence(graph)
+        second = afm.score_sequence(graph)
+        for a, b in zip(first, second):
+            np.testing.assert_allclose(a.node_scores, b.node_scores)
+
+    def test_minimum_window_enforced(self):
+        afm = AfmDetector(window=1)
+        assert afm.window == 2

@@ -1,0 +1,151 @@
+"""Unit tests for the ARMA event baseline and timeline evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ArmaEventDetector,
+    ar_residuals,
+    fit_ar_coefficients,
+)
+from repro.core import CadDetector
+from repro.core.results import DetectionReport, TransitionResult
+from repro.evaluation import evaluate_timeline, summarize_timeline
+from repro.exceptions import DetectionError, EvaluationError
+from repro.graphs import (
+    DynamicGraph,
+    GraphSnapshot,
+    community_pair_graph,
+    perturb_weights,
+)
+
+
+class TestArFit:
+    def test_recovers_ar1(self):
+        rng = np.random.default_rng(0)
+        series = np.zeros(400)
+        for t in range(1, 400):
+            series[t] = 0.7 * series[t - 1] + 0.05 * rng.standard_normal()
+        coefficients = fit_ar_coefficients(series, order=1)
+        assert coefficients[0] == pytest.approx(0.7, abs=0.08)
+
+    def test_constant_series_zero_residuals(self):
+        series = np.full(30, 5.0)
+        residuals = ar_residuals(series, order=2)
+        np.testing.assert_allclose(residuals, 0.0, atol=1e-8)
+
+    def test_too_short_raises(self):
+        with pytest.raises(EvaluationError):
+            fit_ar_coefficients(np.arange(3.0), order=2)
+
+
+class TestArmaEventDetector:
+    def _graph(self, event=True):
+        base = community_pair_graph(community_size=12, p_in=0.5, seed=1)
+        snapshots = [base]
+        for t in range(9):
+            snapshots.append(
+                perturb_weights(base, 0.03, seed=80 + t)
+            )
+        if event:
+            matrix = snapshots[7].adjacency.tolil()
+            matrix[0, 23] = matrix[23, 0] = 6.0
+            matrix[1, 20] = matrix[20, 1] = 6.0
+            snapshots[7] = GraphSnapshot(matrix.tocsr(), base.universe)
+        return DynamicGraph(snapshots)
+
+    def test_event_peaks(self):
+        detector = ArmaEventDetector(distance="edit", order=1)
+        scores = detector.event_scores(self._graph())
+        # the event enters at transition 6 and leaves at 7
+        assert int(np.argmax(scores)) in (6, 7)
+
+    def test_flags_event_only_mostly(self):
+        detector = ArmaEventDetector(distance="edit", order=1,
+                                     z_threshold=3.0)
+        flags = detector.flagged_transitions(self._graph())
+        assert flags[6] or flags[7]
+        assert flags.sum() <= 3
+
+    def test_quiet_graph_flags_nothing_extreme(self):
+        detector = ArmaEventDetector(distance="edit", order=1,
+                                     z_threshold=6.0)
+        flags = detector.flagged_transitions(self._graph(event=False))
+        assert flags.sum() == 0
+
+    def test_too_short_sequence(self):
+        graph = self._graph().subsequence(0, 3)
+        with pytest.raises(DetectionError):
+            ArmaEventDetector(order=2).event_scores(graph)
+
+    def test_warmup_scores_zero(self):
+        detector = ArmaEventDetector(distance="edit", order=2)
+        scores = detector.event_scores(self._graph())
+        assert scores[0] == 0.0 and scores[1] == 0.0
+
+
+class TestTimelineEvaluation:
+    def _report(self, flags):
+        transitions = []
+        for index in range(6):
+            nodes = [f"actor_{index}"] if index in flags else []
+            transitions.append(TransitionResult(
+                index=index, time_from=index, time_to=index + 1,
+                anomalous_edges=[], anomalous_nodes=nodes,
+                scores=None,
+            ))
+        return DetectionReport(detector="T", threshold=1.0,
+                               transitions=transitions)
+
+    def test_perfect_report(self):
+        report = self._report({1, 4})
+        evaluation = evaluate_timeline(
+            report, {1, 4}, lambda t: {f"actor_{t}"},
+        )
+        assert evaluation.transition_metrics.precision == 1.0
+        assert evaluation.transition_metrics.recall == 1.0
+        assert evaluation.actor_recall == 1.0
+
+    def test_tolerant_precision(self):
+        report = self._report({1, 2})
+        evaluation = evaluate_timeline(
+            report, {1}, lambda t: {f"actor_{t}"},
+            acceptable_transitions={1, 2},
+        )
+        assert evaluation.transition_metrics.precision == 0.5
+        assert evaluation.tolerant_precision == 1.0
+
+    def test_missing_actor_lowers_recall(self):
+        report = self._report({1})
+        evaluation = evaluate_timeline(
+            report, {1, 4}, lambda t: {f"actor_{t}"},
+        )
+        assert evaluation.actor_recall == 0.5
+
+    def test_empty_truth_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate_timeline(self._report(set()), set(), lambda t: set())
+
+    def test_summary_readable(self):
+        report = self._report({1})
+        evaluation = evaluate_timeline(
+            report, {1}, lambda t: {f"actor_{t}"},
+        )
+        text = summarize_timeline(evaluation)
+        assert "precision" in text and "actors named" in text
+
+    def test_on_enron_simulator(self):
+        from repro.datasets import EnronLikeSimulator
+
+        data = EnronLikeSimulator(seed=42).generate()
+        report = CadDetector(method="exact", seed=0).detect(
+            data.graph, anomalies_per_transition=5
+        )
+        evaluation = evaluate_timeline(
+            report,
+            data.ground_truth_transitions(),
+            data.ground_truth_actors,
+            acceptable_transitions=data.active_event_transitions(),
+        )
+        assert evaluation.tolerant_precision > 0.6
+        assert evaluation.actor_recall > 0.4

@@ -1,0 +1,97 @@
+"""Unit tests for the commute-time calculator (exact/approx dispatch)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CommuteTimeCalculator
+from repro.exceptions import DetectionError
+from repro.graphs import GraphSnapshot
+from repro.linalg import commute_time_matrix
+
+
+class TestDispatch:
+    def test_auto_small_is_exact(self):
+        calculator = CommuteTimeCalculator(method="auto", exact_limit=100)
+        assert calculator.resolve_method(50) == "exact"
+        assert calculator.resolve_method(101) == "approx"
+
+    def test_explicit_methods(self):
+        assert CommuteTimeCalculator(
+            method="exact"
+        ).resolve_method(10**6) == "exact"
+        assert CommuteTimeCalculator(
+            method="approx"
+        ).resolve_method(3) == "approx"
+
+    def test_rejects_unknown(self):
+        with pytest.raises(DetectionError):
+            CommuteTimeCalculator(method="fancy")
+
+
+class TestPairwise:
+    def test_exact_matches_matrix(self, random_connected_graph):
+        calculator = CommuteTimeCalculator(method="exact")
+        rows = np.array([0, 1, 2])
+        cols = np.array([10, 20, 30])
+        values = calculator.pairwise(random_connected_graph, rows, cols)
+        expected = commute_time_matrix(random_connected_graph.adjacency)
+        np.testing.assert_allclose(values, expected[rows, cols],
+                                   atol=1e-8)
+
+    def test_approx_close_to_exact(self, random_connected_graph):
+        calculator = CommuteTimeCalculator(method="approx", k=300, seed=0)
+        rows = np.array([0, 1, 2, 3, 4])
+        cols = np.array([10, 20, 30, 40, 50])
+        values = calculator.pairwise(random_connected_graph, rows, cols)
+        expected = commute_time_matrix(
+            random_connected_graph.adjacency
+        )[rows, cols]
+        np.testing.assert_allclose(values, expected, rtol=0.5)
+
+    def test_empty_pairs(self, random_connected_graph):
+        calculator = CommuteTimeCalculator()
+        result = calculator.pairwise(
+            random_connected_graph, np.zeros(0), np.zeros(0)
+        )
+        assert result.size == 0
+
+    def test_edgeless_snapshot_zeros(self):
+        snapshot = GraphSnapshot(np.zeros((5, 5)))
+        calculator = CommuteTimeCalculator(method="exact")
+        values = calculator.pairwise(
+            snapshot, np.array([0, 1]), np.array([2, 3])
+        )
+        assert values.tolist() == [0.0, 0.0]
+
+
+class TestCaching:
+    def test_repeated_snapshot_uses_cache(self, random_connected_graph):
+        calculator = CommuteTimeCalculator(method="exact")
+        rows = np.array([0])
+        cols = np.array([1])
+        first = calculator.pairwise(random_connected_graph, rows, cols)
+        # Same snapshot object: cache hit must return identical values.
+        second = calculator.pairwise(random_connected_graph, rows, cols)
+        np.testing.assert_array_equal(first, second)
+        assert len(calculator._cache) == 1
+
+    def test_cache_bounded(self, random_connected_graph):
+        calculator = CommuteTimeCalculator(method="exact")
+        rows, cols = np.array([0]), np.array([1])
+        snapshots = [
+            GraphSnapshot(random_connected_graph.adjacency)
+            for _ in range(4)
+        ]
+        for snapshot in snapshots:
+            calculator.pairwise(snapshot, rows, cols)
+        assert len(calculator._cache) <= 2
+
+    def test_approx_deterministic_per_snapshot(self,
+                                               random_connected_graph):
+        # One calculator advances its RNG per new snapshot, but cached
+        # backends make repeated queries on one snapshot consistent.
+        calculator = CommuteTimeCalculator(method="approx", k=32, seed=9)
+        rows, cols = np.array([0, 2]), np.array([1, 3])
+        first = calculator.pairwise(random_connected_graph, rows, cols)
+        second = calculator.pairwise(random_connected_graph, rows, cols)
+        np.testing.assert_array_equal(first, second)

@@ -1,0 +1,136 @@
+"""Unit tests for TransitionScores / TransitionResult / DetectionReport."""
+
+import numpy as np
+import pytest
+
+from repro.core import TransitionScores
+from repro.core.results import DetectionReport, TransitionResult
+from repro.exceptions import DetectionError
+from repro.graphs import NodeUniverse
+
+
+def _scores(n=4, edges=((0, 1, 2.0), (1, 2, 1.0))):
+    universe = NodeUniverse.of_size(n)
+    rows = np.array([e[0] for e in edges], dtype=np.int64)
+    cols = np.array([e[1] for e in edges], dtype=np.int64)
+    values = np.array([e[2] for e in edges])
+    node_scores = np.zeros(n)
+    np.add.at(node_scores, rows, values)
+    np.add.at(node_scores, cols, values)
+    return TransitionScores(
+        universe=universe, edge_rows=rows, edge_cols=cols,
+        edge_scores=values, node_scores=node_scores, detector="T",
+    )
+
+
+class TestTransitionScores:
+    def test_validation_node_shape(self):
+        universe = NodeUniverse.of_size(3)
+        with pytest.raises(DetectionError):
+            TransitionScores(
+                universe=universe,
+                edge_rows=np.zeros(0, dtype=np.int64),
+                edge_cols=np.zeros(0, dtype=np.int64),
+                edge_scores=np.zeros(0),
+                node_scores=np.zeros(2),
+            )
+
+    def test_validation_edge_alignment(self):
+        universe = NodeUniverse.of_size(3)
+        with pytest.raises(DetectionError):
+            TransitionScores(
+                universe=universe,
+                edge_rows=np.zeros(2, dtype=np.int64),
+                edge_cols=np.zeros(1, dtype=np.int64),
+                edge_scores=np.zeros(2),
+                node_scores=np.zeros(3),
+            )
+
+    def test_top_edges_sorted(self):
+        scores = _scores()
+        top = scores.top_edges(2)
+        assert top[0][2] >= top[1][2]
+        assert top[0][:2] == (0, 1)
+
+    def test_top_edges_empty(self):
+        scores = _scores(edges=())
+        assert scores.top_edges() == []
+
+    def test_top_nodes(self):
+        scores = _scores()
+        top = scores.top_nodes(1)
+        assert top[0][0] == 1  # node 1 touches both edges
+
+    def test_edge_score_matrix_symmetric(self):
+        matrix = _scores().edge_score_matrix()
+        assert (matrix != matrix.T).nnz == 0
+        assert matrix[0, 1] == 2.0
+
+    def test_normalized_node_scores(self):
+        normalized = _scores().normalized_node_scores()
+        assert normalized.max() == pytest.approx(1.0)
+
+    def test_normalized_all_zero(self):
+        scores = _scores(edges=())
+        assert scores.normalized_node_scores().max() == 0.0
+
+    def test_total(self):
+        assert _scores().total_edge_score() == 3.0
+
+
+def _result(index=0, edges=(), nodes=()):
+    return TransitionResult(
+        index=index, time_from=f"m{index}", time_to=f"m{index + 1}",
+        anomalous_edges=list(edges), anomalous_nodes=list(nodes),
+        scores=_scores(),
+    )
+
+
+class TestDetectionReport:
+    def test_anomalous_transitions(self):
+        report = DetectionReport(
+            detector="T", threshold=1.0,
+            transitions=[
+                _result(0),
+                _result(1, edges=[(0, 1, 5.0)], nodes=[0, 1]),
+            ],
+        )
+        flagged = report.anomalous_transitions()
+        assert [t.index for t in flagged] == [1]
+
+    def test_node_counts_and_total(self):
+        report = DetectionReport(
+            detector="T", threshold=1.0,
+            transitions=[
+                _result(0, nodes=[0, 1, 2]),
+                _result(1),
+            ],
+        )
+        assert report.node_counts().tolist() == [3, 0]
+        assert report.total_anomalous_nodes() == 3
+
+    def test_nodes_by_frequency(self):
+        report = DetectionReport(
+            detector="T", threshold=1.0,
+            transitions=[
+                _result(0, nodes=["a", "b"]),
+                _result(1, nodes=["a"]),
+            ],
+        )
+        assert report.nodes_by_frequency()[0] == ("a", 2)
+
+    def test_summary_mentions_flagged_window(self):
+        report = DetectionReport(
+            detector="T", threshold=2.5,
+            transitions=[_result(0, edges=[(0, 1, 5.0)], nodes=[0, 1])],
+        )
+        text = report.summary()
+        assert "detector=T" in text
+        assert "m0->m1" in text
+
+    def test_node_only_transition_is_anomalous(self):
+        result = _result(0, nodes=["x"])
+        assert result.is_anomalous
+
+    def test_empty_transition_not_anomalous(self):
+        assert not _result(0).is_anomalous

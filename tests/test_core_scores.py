@@ -1,0 +1,122 @@
+"""Unit tests for CAD's ΔE/ΔN score computation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CommuteTimeCalculator,
+    aggregate_node_scores,
+    cad_edge_scores,
+)
+from repro.graphs import DynamicGraph, GraphSnapshot
+
+
+@pytest.fixture
+def calculator():
+    return CommuteTimeCalculator(method="exact")
+
+
+class TestCadEdgeScores:
+    def test_no_change_zero_scores(self, random_connected_graph,
+                                   calculator):
+        scores = cad_edge_scores(random_connected_graph,
+                                 random_connected_graph, calculator)
+        assert scores.total_edge_score() == 0.0
+        assert scores.node_scores.max() == 0.0
+
+    def test_product_form(self, small_dynamic_graph, calculator):
+        scores = cad_edge_scores(small_dynamic_graph[0],
+                                 small_dynamic_graph[1], calculator)
+        product = (scores.extras["adjacency_change"]
+                   * scores.extras["commute_change"])
+        np.testing.assert_allclose(scores.edge_scores, product)
+
+    def test_unchanged_edges_score_zero(self, calculator):
+        """Edges whose weight did not change must score exactly 0, even
+        when their commute time moved (the paper's anti-false-positive
+        property vs COM)."""
+        base = np.zeros((4, 4))
+        for i in range(3):
+            base[i, i + 1] = base[i + 1, i] = 2.0
+        g_t = GraphSnapshot(base)
+        changed = base.copy()
+        changed[2, 3] = changed[3, 2] = 0.2  # only the last edge moves
+        g_t1 = GraphSnapshot(changed, g_t.universe)
+        scores = cad_edge_scores(g_t, g_t1, calculator)
+        before = np.asarray(
+            g_t.adjacency[scores.edge_rows, scores.edge_cols]
+        ).ravel()
+        after = np.asarray(
+            g_t1.adjacency[scores.edge_rows, scores.edge_cols]
+        ).ravel()
+        unchanged = before == after
+        assert unchanged.sum() == 2
+        # commute times of the unchanged edges did move...
+        assert np.any(scores.extras["commute_change"][unchanged] > 1e-6)
+        # ...but their CAD scores are exactly zero
+        assert np.all(scores.edge_scores[unchanged] == 0.0)
+
+    def test_injected_edge_dominates(self, small_dynamic_graph,
+                                     calculator):
+        scores = cad_edge_scores(small_dynamic_graph[0],
+                                 small_dynamic_graph[1], calculator)
+        (u, v, top), *_rest = scores.top_edges(1)
+        assert {u, v} == {0, 39}
+        second = scores.top_edges(2)[1][2]
+        assert top > 10 * second
+
+    def test_symmetric_in_node_scores(self, small_dynamic_graph,
+                                      calculator):
+        scores = cad_edge_scores(small_dynamic_graph[0],
+                                 small_dynamic_graph[1], calculator)
+        assert scores.node_scores[0] >= scores.edge_scores.max()
+        assert scores.node_scores[39] >= scores.edge_scores.max()
+
+    def test_detector_label(self, small_dynamic_graph, calculator):
+        scores = cad_edge_scores(small_dynamic_graph[0],
+                                 small_dynamic_graph[1], calculator)
+        assert scores.detector == "CAD"
+
+
+class TestAggregateNodeScores:
+    def test_basic(self):
+        rows = np.array([0, 0, 1])
+        cols = np.array([1, 2, 2])
+        values = np.array([1.0, 2.0, 4.0])
+        node_scores = aggregate_node_scores(4, rows, cols, values)
+        assert node_scores.tolist() == [3.0, 5.0, 6.0, 0.0]
+
+    def test_empty(self):
+        node_scores = aggregate_node_scores(
+            3, np.zeros(0, dtype=int), np.zeros(0, dtype=int), np.zeros(0)
+        )
+        assert node_scores.tolist() == [0.0, 0.0, 0.0]
+
+    def test_duplicate_pairs_accumulate(self):
+        rows = np.array([0, 0])
+        cols = np.array([1, 1])
+        values = np.array([1.0, 1.0])
+        node_scores = aggregate_node_scores(2, rows, cols, values)
+        assert node_scores.tolist() == [2.0, 2.0]
+
+
+class TestEdgeCaseTransitions:
+    def test_empty_to_nonempty(self, calculator):
+        empty = GraphSnapshot(np.zeros((3, 3)))
+        full = GraphSnapshot(np.array([
+            [0.0, 1.0, 0.0],
+            [1.0, 0.0, 1.0],
+            [0.0, 1.0, 0.0],
+        ]), empty.universe)
+        scores = cad_edge_scores(empty, full, calculator)
+        # commute times on the empty side are 0, so the score reduces
+        # to |dA| * c_{t+1}; all appearing edges must be scored
+        assert scores.num_scored_edges == 2
+        assert np.all(scores.edge_scores > 0)
+
+    def test_both_empty(self, calculator):
+        empty = GraphSnapshot(np.zeros((3, 3)))
+        other = GraphSnapshot(np.zeros((3, 3)), empty.universe)
+        scores = cad_edge_scores(empty, other, calculator)
+        assert scores.num_scored_edges == 0
+        assert scores.total_edge_score() == 0.0

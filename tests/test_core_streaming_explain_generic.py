@@ -1,0 +1,198 @@
+"""Unit tests for the streaming detector, explanations, and the
+pluggable-distance detector."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CadDetector,
+    GenericDistanceDetector,
+    StreamingCadDetector,
+    explain_node,
+    explain_transition,
+)
+from repro.exceptions import DetectionError
+from repro.graphs import (
+    DynamicGraph,
+    GraphSnapshot,
+    community_pair_graph,
+    perturb_weights,
+)
+
+
+def _snapshots(count=5, inject_at=None):
+    base = community_pair_graph(community_size=15, p_in=0.5,
+                                p_out=0.05, seed=2)
+    snapshots = [base]
+    for t in range(count - 1):
+        drifted = perturb_weights(snapshots[-1], 0.02, seed=50 + t)
+        snapshots.append(drifted)
+    if inject_at is not None:
+        matrix = snapshots[inject_at].adjacency.tolil()
+        matrix[0, 29] = matrix[29, 0] = 4.0
+        snapshots[inject_at] = GraphSnapshot(
+            matrix.tocsr(), base.universe
+        )
+    return snapshots
+
+
+class TestStreamingDetector:
+    def test_first_push_returns_none(self):
+        stream = StreamingCadDetector(method="exact")
+        assert stream.push(_snapshots(1)[0]) is None
+        assert stream.num_transitions == 0
+
+    def test_warmup_silent(self):
+        stream = StreamingCadDetector(warmup=3, method="exact")
+        snapshots = _snapshots(3)
+        results = [stream.push(s) for s in snapshots]
+        assert results[0] is None and results[1] is None
+
+    def test_event_flagged_online(self):
+        stream = StreamingCadDetector(
+            anomalies_per_transition=2, warmup=2, method="exact",
+        )
+        snapshots = _snapshots(6, inject_at=5)
+        results = [stream.push(s) for s in snapshots]
+        final = results[-1]
+        assert final is not None and final.is_anomalous
+        top = final.anomalous_edges[0]
+        assert {top[0], top[1]} == {0, 29}
+
+    def test_finalize_matches_offline(self):
+        snapshots = _snapshots(6, inject_at=5)
+        stream = StreamingCadDetector(
+            anomalies_per_transition=2, warmup=2, method="exact",
+        )
+        for snapshot in snapshots:
+            stream.push(snapshot)
+        online = stream.finalize()
+
+        offline = CadDetector(method="exact").detect(
+            DynamicGraph(snapshots), anomalies_per_transition=2
+        )
+        assert online.node_counts().tolist() == \
+            offline.node_counts().tolist()
+
+    def test_finalize_without_pushes_raises(self):
+        with pytest.raises(DetectionError):
+            StreamingCadDetector(method="exact").finalize()
+
+    def test_universe_mismatch_rejected(self):
+        stream = StreamingCadDetector(method="exact")
+        stream.push(_snapshots(1)[0])
+        from repro.graphs import NodeUniverse
+
+        other = GraphSnapshot(np.zeros((30, 30)),
+                              NodeUniverse(range(100, 130)))
+        from repro.exceptions import NodeUniverseMismatchError
+
+        with pytest.raises(NodeUniverseMismatchError):
+            stream.push(other)
+
+
+class TestExplain:
+    @pytest.fixture
+    def scored(self):
+        snapshots = _snapshots(2, inject_at=1)
+        detector = CadDetector(method="exact")
+        return detector.score_transition(snapshots[0], snapshots[1])
+
+    def test_shares_sum_to_one(self, scored):
+        explanation = explain_node(scored, 0)
+        assert sum(c.share for c in explanation.contributions) == \
+            pytest.approx(1.0)
+
+    def test_total_matches_node_score(self, scored):
+        explanation = explain_node(scored, 0)
+        assert explanation.total_score == pytest.approx(
+            scored.node_scores[0]
+        )
+
+    def test_top_contribution_is_injected_edge(self, scored):
+        explanation = explain_node(scored, 0)
+        assert explanation.contributions[0].neighbor == 29
+
+    def test_factors_present_for_cad(self, scored):
+        contribution = explain_node(scored, 0).contributions[0]
+        assert contribution.adjacency_change is not None
+        assert contribution.distance_change is not None
+        assert contribution.score == pytest.approx(
+            contribution.adjacency_change * contribution.distance_change
+        )
+
+    def test_describe_readable(self, scored):
+        text = explain_node(scored, 0).describe()
+        assert "top contributors" in text
+        assert "29" in text
+
+    def test_edge_less_detector_rejected(self, scored):
+        from repro.baselines import ActDetector
+
+        snapshots = _snapshots(2)
+        act_scores = ActDetector().score_transition(
+            snapshots[0], snapshots[1]
+        )
+        with pytest.raises(DetectionError):
+            explain_node(act_scores, 0)
+
+    def test_explain_transition_narrative(self):
+        snapshots = _snapshots(2, inject_at=1)
+        report = CadDetector(method="exact").detect(
+            DynamicGraph(snapshots), anomalies_per_transition=2
+        )
+        text = explain_transition(report.transitions[0])
+        assert "anomalous edges" in text
+
+    def test_explain_quiet_transition(self):
+        snapshots = _snapshots(2)
+        report = CadDetector(method="exact").detect(
+            DynamicGraph(snapshots), delta=1e12
+        )
+        text = explain_transition(report.transitions[0])
+        assert "no anomalies" in text
+
+
+class TestGenericDistanceDetector:
+    @pytest.fixture
+    def pair(self):
+        snapshots = _snapshots(2, inject_at=1)
+        return snapshots[0], snapshots[1]
+
+    @pytest.mark.parametrize(
+        "distance", ["commute", "resistance", "shortest_path", "forest"]
+    )
+    def test_all_distances_flag_injected_edge(self, pair, distance):
+        detector = GenericDistanceDetector(distance)
+        scores = detector.score_transition(*pair)
+        (u, v, _score), *_ = scores.top_edges(1)
+        assert {u, v} == {0, 29}
+
+    def test_commute_variant_matches_cad(self, pair):
+        generic = GenericDistanceDetector("commute").score_transition(
+            *pair
+        )
+        cad = CadDetector(method="exact").score_transition(*pair)
+        np.testing.assert_allclose(
+            generic.edge_scores, cad.edge_scores, rtol=1e-6
+        )
+
+    def test_custom_callable(self, pair):
+        def silly(adjacency):
+            n = adjacency.shape[0]
+            return np.ones((n, n)) - np.eye(n)
+
+        detector = GenericDistanceDetector(silly)
+        scores = detector.score_transition(*pair)
+        # constant distances: every score is zero
+        assert scores.total_edge_score() == 0.0
+        assert detector.name == "CAD[silly]"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DetectionError):
+            GenericDistanceDetector("euclidean")
+
+    def test_name_override(self):
+        assert GenericDistanceDetector(
+            "forest", name="myname"
+        ).name == "myname"

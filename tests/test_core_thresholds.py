@@ -1,0 +1,169 @@
+"""Unit tests for Algorithm 1's thresholding and δ selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CadDetector,
+    OnlineThresholdSelector,
+    anomaly_sets_at,
+    minimal_edge_set,
+    node_count_at,
+    select_global_threshold,
+    total_node_count,
+)
+from repro.core.results import TransitionScores
+from repro.exceptions import ThresholdError
+from repro.graphs import NodeUniverse
+
+
+def _scores(edge_scores, rows=None, cols=None, n=None):
+    edge_scores = np.asarray(edge_scores, dtype=float)
+    m = edge_scores.size
+    if rows is None:
+        rows = np.arange(m)
+        cols = np.arange(m) + 1
+    rows = np.asarray(rows)
+    cols = np.asarray(cols)
+    if n is None:
+        n = int(max(cols.max(initial=0), rows.max(initial=0))) + 1
+    universe = NodeUniverse.of_size(max(n, 2))
+    from repro.core import aggregate_node_scores
+
+    return TransitionScores(
+        universe=universe,
+        edge_rows=rows,
+        edge_cols=cols,
+        edge_scores=edge_scores,
+        node_scores=aggregate_node_scores(len(universe), rows, cols,
+                                          edge_scores),
+        detector="test",
+    )
+
+
+class TestMinimalEdgeSet:
+    def test_residual_below_delta(self):
+        scores = np.array([5.0, 3.0, 1.0, 0.5])
+        mask = minimal_edge_set(scores, delta=2.0)
+        # remove 5 -> residual 4.5; remove 3 -> 1.5 < 2 : stop
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_total_below_delta_empty(self):
+        mask = minimal_edge_set(np.array([0.5, 0.4]), delta=1.0)
+        assert not mask.any()
+
+    def test_total_equal_delta_selects(self):
+        # residual must be strictly below delta; total == delta means
+        # the constraint sum < delta is violated with S empty
+        mask = minimal_edge_set(np.array([1.0]), delta=1.0)
+        assert mask.tolist() == [True]
+
+    def test_minimality(self):
+        scores = np.array([4.0, 4.0, 4.0])
+        mask = minimal_edge_set(scores, delta=5.0)
+        assert mask.sum() == 2  # residual 4 < 5 after removing two
+
+    def test_tiny_delta_selects_all_positive(self):
+        scores = np.array([1.0, 2.0, 0.0])
+        mask = minimal_edge_set(scores, delta=1e-15)
+        assert mask.sum() == 2 or mask.sum() == 3
+
+    def test_rejects_nonpositive_delta(self):
+        with pytest.raises(ThresholdError):
+            minimal_edge_set(np.array([1.0]), delta=0.0)
+
+    def test_empty_scores(self):
+        mask = minimal_edge_set(np.zeros(0), delta=1.0)
+        assert mask.size == 0
+
+
+class TestNodeCounts:
+    def test_node_count_at(self):
+        scores = _scores([5.0, 3.0, 1.0])
+        # delta=2: edges (0,1) and (1,2) selected -> nodes {0,1,2}
+        assert node_count_at(scores, 2.0) == 3
+
+    def test_zero_when_delta_large(self):
+        scores = _scores([5.0, 3.0])
+        assert node_count_at(scores, 100.0) == 0
+
+    def test_total_node_count(self):
+        a = _scores([5.0])
+        b = _scores([0.1])
+        assert total_node_count([a, b], delta=1.0) == 2
+
+
+class TestGlobalThresholdSelection:
+    def test_hits_budget(self, small_dynamic_graph):
+        detector = CadDetector(method="exact")
+        scored = detector.score_sequence(small_dynamic_graph)
+        delta = select_global_threshold(scored, 2)
+        total = total_node_count(scored, delta)
+        assert total >= 2  # one transition, budget l=2
+
+    def test_monotone_in_budget(self):
+        transitions = [_scores([9.0, 5.0, 2.0, 1.0, 0.5, 0.2])]
+        small = select_global_threshold(transitions, 2)
+        large = select_global_threshold(transitions, 4)
+        assert large <= small
+
+    def test_calm_transitions_stay_silent(self):
+        """A single global delta lets calm transitions report nothing."""
+        turbulent = _scores([50.0, 40.0, 30.0])
+        calm = _scores([0.01, 0.005])
+        delta = select_global_threshold([turbulent, calm], 2)
+        assert node_count_at(calm, delta) == 0
+        assert node_count_at(turbulent, delta) >= 2
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ThresholdError):
+            select_global_threshold([_scores([0.0, 0.0])], 1)
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ThresholdError):
+            select_global_threshold([], 1)
+
+    def test_budget_above_support(self):
+        scores = _scores([1.0])  # at most 2 nodes available
+        delta = select_global_threshold([scores], 50)
+        assert node_count_at(scores, delta) == 2
+
+
+class TestAnomalySetsAt:
+    def test_nodes_sorted_by_score(self):
+        scores = _scores([5.0, 3.0],
+                         rows=np.array([0, 2]),
+                         cols=np.array([1, 3]))
+        _mask, nodes, node_scores = anomaly_sets_at(scores, 0.5)
+        assert list(node_scores) == sorted(node_scores, reverse=True)
+        assert set(nodes.tolist()) == {0, 1, 2, 3}
+
+    def test_empty_when_quiet(self):
+        scores = _scores([0.1])
+        mask, nodes, node_scores = anomaly_sets_at(scores, 10.0)
+        assert not mask.any()
+        assert nodes.size == 0
+        assert node_scores.size == 0
+
+
+class TestOnlineSelector:
+    def test_warmup_returns_none(self):
+        selector = OnlineThresholdSelector(2, warmup=3)
+        assert selector.update(_scores([5.0])) is None
+        assert selector.current() is None
+
+    def test_updates_after_warmup(self):
+        selector = OnlineThresholdSelector(1, warmup=1)
+        delta = selector.update(_scores([5.0, 1.0]))
+        assert delta is not None
+        assert selector.current() == delta
+
+    def test_threshold_adapts(self):
+        selector = OnlineThresholdSelector(1, warmup=1)
+        first = selector.update(_scores([5.0, 1.0]))
+        second = selector.update(_scores([100.0, 50.0]))
+        assert second != first
+
+    def test_all_zero_mass_returns_none(self):
+        selector = OnlineThresholdSelector(1, warmup=1)
+        assert selector.update(_scores([0.0])) is None

@@ -1,0 +1,116 @@
+"""Tests for the Enron-like organizational email simulator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import EnronLikeSimulator
+from repro.datasets.enron import (
+    ASSISTANT,
+    KEY_PLAYER,
+    VOLUME_PLAYER,
+    month_labels,
+)
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture(scope="module")
+def data():
+    return EnronLikeSimulator(seed=42).generate()
+
+
+class TestMonthLabels:
+    def test_paper_span(self):
+        labels = month_labels()
+        assert labels[0] == "1998-12"
+        assert labels[-1] == "2002-11"
+        assert len(labels) == 48
+
+    def test_year_rollover(self):
+        labels = month_labels(start_year=2000, start_month=11, count=3)
+        assert labels == ["2000-11", "2000-12", "2001-01"]
+
+
+class TestGeneration:
+    def test_dimensions(self, data):
+        assert data.graph.num_nodes == 151
+        assert len(data.graph) == 48
+
+    def test_time_labels(self, data):
+        assert data.graph[0].time == "1998-12"
+        assert data.graph[47].time == "2002-11"
+
+    def test_named_actors_present(self, data):
+        for actor in (KEY_PLAYER, VOLUME_PLAYER, ASSISTANT):
+            assert actor in data.graph.universe
+
+    def test_roles_cover_roster(self, data):
+        assert set(data.roles) == set(data.graph.universe.labels)
+
+    def test_integer_email_counts(self, data):
+        weights = data.graph[10].adjacency.data
+        np.testing.assert_array_equal(weights, np.round(weights))
+
+    def test_deterministic(self):
+        a = EnronLikeSimulator(seed=1).generate()
+        b = EnronLikeSimulator(seed=1).generate()
+        diff = a.graph[5].adjacency - b.graph[5].adjacency
+        assert abs(diff).max() == 0.0
+
+    def test_rejects_small_roster(self):
+        with pytest.raises(DatasetError):
+            EnronLikeSimulator(num_employees=50)
+
+    def test_rejects_short_timeline(self):
+        with pytest.raises(DatasetError):
+            EnronLikeSimulator(num_months=12)
+
+
+class TestGroundTruth:
+    def test_relational_events_exclude_volume(self, data):
+        names = {event.name for event in data.relational_events()}
+        assert "volume_burst" not in names
+        assert "key_player_hub" in names
+
+    def test_boundary_transitions(self, data):
+        hub = next(e for e in data.events if e.name == "key_player_hub")
+        assert hub.boundary_transitions() == (31, 34)
+
+    def test_ground_truth_actors(self, data):
+        actors = data.ground_truth_actors(31)
+        assert KEY_PLAYER in actors
+        assert VOLUME_PLAYER not in actors
+
+    def test_active_window_superset(self, data):
+        assert data.ground_truth_transitions() <= \
+            data.active_event_transitions()
+
+    def test_phases_partition_transitions(self, data):
+        both = set(data.calm_transitions) | set(data.turmoil_transitions)
+        assert both == set(range(47))
+        assert not set(data.calm_transitions) & set(
+            data.turmoil_transitions
+        )
+
+
+class TestEventSignatures:
+    def test_key_player_hub_visible_in_degree(self, data):
+        activity = data.graph.node_activity(KEY_PLAYER)
+        hub_months = activity[32:35].mean()
+        calm_months = activity[:24].mean()
+        assert hub_months > 2 * calm_months
+
+    def test_volume_player_no_new_contacts(self, data):
+        """The volume burst amplifies existing ties: the actor's new
+        contacts in the burst month stay in line with ordinary churn."""
+        before = set(data.graph[31].neighbors(VOLUME_PLAYER))
+        during = set(data.graph[32].neighbors(VOLUME_PLAYER))
+        new = during - before
+        # the key player by contrast forms dozens of new ties
+        hub_before = set(data.graph[31].neighbors(KEY_PLAYER))
+        hub_during = set(data.graph[32].neighbors(KEY_PLAYER))
+        hub_new = hub_during - hub_before
+        assert len(hub_new) > len(new)
+
+    def test_volume_player_volume_multiplied(self, data):
+        activity = data.graph.node_activity(VOLUME_PLAYER)
+        assert activity[32] > 2 * activity[:24].mean()

@@ -1,0 +1,77 @@
+"""Tests for the Gaussian-mixture synthetic benchmark (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CadDetector
+from repro.datasets import generate_gaussian_mixture_instance
+from repro.evaluation import auc_score, node_ranking_scores
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_gaussian_mixture_instance(n=240, seed=0)
+
+
+class TestGeneration:
+    def test_shapes(self, instance):
+        assert instance.points.shape == (240, 2)
+        assert instance.components.shape == (240,)
+        assert len(instance.graph) == 2
+
+    def test_cross_edges_cross_components(self, instance):
+        assert np.all(
+            instance.components[instance.anomalous_edge_rows]
+            != instance.components[instance.anomalous_edge_cols]
+        )
+
+    def test_benign_edges_within_components(self, instance):
+        assert np.all(
+            instance.components[instance.benign_edge_rows]
+            == instance.components[instance.benign_edge_cols]
+        )
+
+    def test_node_labels_match_cross_edges(self, instance):
+        expected = np.zeros(240, dtype=bool)
+        expected[instance.anomalous_edge_rows] = True
+        expected[instance.anomalous_edge_cols] = True
+        np.testing.assert_array_equal(instance.node_labels, expected)
+
+    def test_minority_anomalous(self, instance):
+        assert 0 < instance.num_anomalous_nodes < 240 // 3
+
+    def test_deterministic(self):
+        a = generate_gaussian_mixture_instance(n=100, seed=5)
+        b = generate_gaussian_mixture_instance(n=100, seed=5)
+        np.testing.assert_array_equal(a.points, b.points)
+        np.testing.assert_array_equal(a.node_labels, b.node_labels)
+
+    def test_first_snapshot_dense(self, instance):
+        # all-pairs similarity graph: every off-diagonal weight present
+        assert instance.graph[0].num_edges == 240 * 239 // 2
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(DatasetError):
+            generate_gaussian_mixture_instance(n=4)
+
+    def test_rejects_bad_noise_range(self):
+        with pytest.raises(DatasetError):
+            generate_gaussian_mixture_instance(
+                n=50, noise_low=0.9, noise_high=0.5
+            )
+
+
+class TestCadSignal:
+    def test_cad_auc_high(self, instance):
+        detector = CadDetector(method="exact", seed=0)
+        scores = detector.score_sequence(instance.graph)[0]
+        ranking = node_ranking_scores(scores, "max_edge")
+        assert auc_score(instance.node_labels, ranking) > 0.85
+
+    def test_adj_auc_low(self, instance):
+        from repro.baselines import AdjDetector
+
+        scores = AdjDetector().score_sequence(instance.graph)[0]
+        ranking = node_ranking_scores(scores, "max_edge")
+        assert auc_score(instance.node_labels, ranking) < 0.75

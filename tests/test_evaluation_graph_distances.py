@@ -1,0 +1,140 @@
+"""Unit tests for whole-graph distance measures (Section 2.4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    GRAPH_DISTANCES,
+    edit_distance,
+    flag_event_transitions,
+    mcs_distance,
+    modality_distance,
+    spectral_distance,
+    transition_distance_series,
+)
+from repro.exceptions import EvaluationError
+from repro.graphs import (
+    DynamicGraph,
+    GraphSnapshot,
+    community_pair_graph,
+    perturb_weights,
+)
+
+
+@pytest.fixture
+def pair():
+    base = community_pair_graph(community_size=12, p_in=0.5, seed=0)
+    changed = perturb_weights(base, 0.1, seed=1)
+    return base, changed
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("name", sorted(GRAPH_DISTANCES))
+    def test_zero_on_identical(self, pair, name):
+        g, _ = pair
+        assert GRAPH_DISTANCES[name](g, g) == pytest.approx(0.0,
+                                                            abs=1e-9)
+
+    @pytest.mark.parametrize("name", sorted(GRAPH_DISTANCES))
+    def test_positive_on_different(self, pair, name):
+        assert GRAPH_DISTANCES[name](*pair) > 0.0
+
+    @pytest.mark.parametrize("name", sorted(GRAPH_DISTANCES))
+    def test_symmetric(self, pair, name):
+        g, h = pair
+        assert GRAPH_DISTANCES[name](g, h) == pytest.approx(
+            GRAPH_DISTANCES[name](h, g)
+        )
+
+
+class TestSpecificValues:
+    def test_edit_distance_counts_weight_mass(self):
+        a = GraphSnapshot(np.array([[0.0, 2.0], [2.0, 0.0]]))
+        b = GraphSnapshot(np.array([[0.0, 5.0], [5.0, 0.0]]),
+                          a.universe)
+        assert edit_distance(a, b) == pytest.approx(3.0)
+
+    def test_mcs_disjoint_supports(self):
+        a = np.zeros((3, 3))
+        a[0, 1] = a[1, 0] = 1.0
+        b = np.zeros((3, 3))
+        b[1, 2] = b[2, 1] = 1.0
+        first = GraphSnapshot(a)
+        second = GraphSnapshot(b, first.universe)
+        assert mcs_distance(first, second) == pytest.approx(1.0)
+
+    def test_mcs_bounded(self, pair):
+        assert 0.0 <= mcs_distance(*pair) <= 1.0
+
+    def test_modality_on_star_change(self):
+        star = np.zeros((4, 4))
+        star[0, 1:] = star[1:, 0] = 1.0
+        hub_shift = star.copy()
+        hub_shift[0, 1] = hub_shift[1, 0] = 5.0
+        first = GraphSnapshot(star)
+        second = GraphSnapshot(hub_shift, first.universe)
+        assert modality_distance(first, second) > 0.1
+
+    def test_spectral_detects_component_split(self):
+        path = np.zeros((4, 4))
+        for i in range(3):
+            path[i, i + 1] = path[i + 1, i] = 1.0
+        split = path.copy()
+        split[1, 2] = split[2, 1] = 0.0
+        first = GraphSnapshot(path)
+        second = GraphSnapshot(split, first.universe)
+        assert spectral_distance(first, second) > 0.5
+
+    def test_edgeless_graphs(self):
+        a = GraphSnapshot(np.zeros((3, 3)))
+        b = GraphSnapshot(np.zeros((3, 3)), a.universe)
+        assert mcs_distance(a, b) == 0.0
+        assert modality_distance(a, b) == 0.0
+
+
+class TestSeriesAndFlagging:
+    def _graph_with_event(self):
+        base = community_pair_graph(community_size=12, p_in=0.5, seed=3)
+        snapshots = [base]
+        for t in range(5):
+            snapshots.append(perturb_weights(base, 0.02, seed=60 + t))
+        matrix = snapshots[3].adjacency.tolil()
+        matrix[0, 23] = matrix[23, 0] = 5.0
+        matrix[1, 22] = matrix[22, 1] = 5.0
+        snapshots[3] = GraphSnapshot(matrix.tocsr(), base.universe)
+        return DynamicGraph(snapshots)
+
+    def test_series_length(self):
+        graph = self._graph_with_event()
+        series = transition_distance_series(graph, "edit")
+        assert series.shape == (5,)
+
+    def test_event_peaks_in_series(self):
+        graph = self._graph_with_event()
+        for name in ("edit", "spectral", "mcs"):
+            series = transition_distance_series(graph, name)
+            # the event appears at transition 2 and vanishes at 3
+            assert np.argmax(series) in (2, 3), name
+
+    def test_flagging(self):
+        series = np.array([1.0, 1.1, 0.9, 8.0, 1.0])
+        flags = flag_event_transitions(series, z_threshold=2.0)
+        assert flags.tolist() == [False, False, False, True, False]
+
+    def test_flag_constant_series(self):
+        flags = flag_event_transitions(np.ones(5))
+        assert not flags.any()
+
+    def test_unknown_distance(self):
+        graph = self._graph_with_event()
+        with pytest.raises(EvaluationError):
+            transition_distance_series(graph, "hamming")
+
+    def test_too_short(self):
+        graph = self._graph_with_event()
+        with pytest.raises(EvaluationError):
+            transition_distance_series(graph.subsequence(0, 1))
+
+    def test_empty_series_flagging(self):
+        with pytest.raises(EvaluationError):
+            flag_event_transitions(np.zeros(0))

@@ -1,0 +1,187 @@
+"""Unit tests for set metrics, rankings and sweep harnesses."""
+
+import numpy as np
+import pytest
+
+from repro.core import CadDetector, TransitionScores
+from repro.evaluation import (
+    evaluate_detector,
+    compare_detectors,
+    fit_scaling_exponent,
+    node_ranking_scores,
+    precision_at_k,
+    rank_of,
+    recall_at_k,
+    set_metrics,
+    sweep_parameter,
+    time_callable,
+)
+from repro.exceptions import EvaluationError
+from repro.graphs import NodeUniverse
+
+
+def _scores():
+    universe = NodeUniverse.of_size(4)
+    rows = np.array([0, 1], dtype=np.int64)
+    cols = np.array([1, 2], dtype=np.int64)
+    values = np.array([5.0, 2.0])
+    node = np.zeros(4)
+    np.add.at(node, rows, values)
+    np.add.at(node, cols, values)
+    return TransitionScores(
+        universe=universe, edge_rows=rows, edge_cols=cols,
+        edge_scores=values, node_scores=node, detector="X",
+    )
+
+
+class TestNodeRanking:
+    def test_max_edge(self):
+        ranking = node_ranking_scores(_scores(), "max_edge")
+        assert ranking.tolist() == [5.0, 5.0, 2.0, 0.0]
+
+    def test_sum(self):
+        ranking = node_ranking_scores(_scores(), "sum")
+        assert ranking.tolist() == [5.0, 7.0, 2.0, 0.0]
+
+    def test_native(self):
+        ranking = node_ranking_scores(_scores(), "native")
+        assert ranking.tolist() == [5.0, 7.0, 2.0, 0.0]
+
+    def test_edge_less_falls_back(self):
+        scores = TransitionScores(
+            universe=NodeUniverse.of_size(3),
+            edge_rows=np.zeros(0, dtype=np.int64),
+            edge_cols=np.zeros(0, dtype=np.int64),
+            edge_scores=np.zeros(0),
+            node_scores=np.array([1.0, 2.0, 3.0]),
+        )
+        ranking = node_ranking_scores(scores, "max_edge")
+        assert ranking.tolist() == [1.0, 2.0, 3.0]
+
+    def test_unknown_mode(self):
+        with pytest.raises(EvaluationError):
+            node_ranking_scores(_scores(), "median")
+
+
+class TestSetMetrics:
+    def test_basic(self):
+        metrics = set_metrics({1, 2, 3}, {2, 3, 4})
+        assert metrics.true_positives == 2
+        assert metrics.precision == pytest.approx(2 / 3)
+        assert metrics.recall == pytest.approx(2 / 3)
+        assert metrics.f1 == pytest.approx(2 / 3)
+
+    def test_empty_prediction(self):
+        metrics = set_metrics(set(), {1})
+        assert metrics.precision == 1.0
+        assert metrics.recall == 0.0
+
+    def test_perfect(self):
+        metrics = set_metrics({1, 2}, {1, 2})
+        assert metrics.f1 == 1.0
+
+
+class TestTopK:
+    def test_precision_at_k(self):
+        labels = np.array([1, 1, 0, 0], dtype=bool)
+        scores = np.array([0.9, 0.2, 0.8, 0.1])
+        assert precision_at_k(labels, scores, 2) == 0.5
+
+    def test_recall_at_k(self):
+        labels = np.array([1, 1, 0, 0], dtype=bool)
+        scores = np.array([0.9, 0.2, 0.8, 0.1])
+        assert recall_at_k(labels, scores, 2) == 0.5
+
+    def test_k_bounds(self):
+        labels = np.array([1, 0], dtype=bool)
+        with pytest.raises(EvaluationError):
+            precision_at_k(labels, np.arange(2.0), 3)
+
+    def test_rank_of_pessimistic_ties(self):
+        scores = np.array([3.0, 3.0, 1.0])
+        assert rank_of(0, scores) == 2
+        assert rank_of(2, scores) == 3
+
+    def test_rank_of_bounds(self):
+        with pytest.raises(EvaluationError):
+            rank_of(5, np.arange(3.0))
+
+
+class TestSweeps:
+    def _instances(self, count=2):
+        from repro.graphs import (
+            DynamicGraph, GraphSnapshot, community_pair_graph,
+            perturb_weights,
+        )
+
+        instances = []
+        for seed in range(count):
+            base = community_pair_graph(community_size=12, p_in=0.5,
+                                        p_out=0.05, seed=seed)
+            drifted = perturb_weights(base, 0.02, seed=100 + seed)
+            matrix = drifted.adjacency.tolil()
+            matrix[0, 23] = matrix[23, 0] = 3.0
+            labels = np.zeros(24, dtype=bool)
+            labels[[0, 23]] = True
+            instances.append((
+                DynamicGraph([
+                    base, GraphSnapshot(matrix.tocsr(), base.universe),
+                ]),
+                labels,
+            ))
+        return instances
+
+    def test_evaluate_detector(self):
+        evaluation = evaluate_detector(
+            CadDetector(method="exact"), self._instances()
+        )
+        assert evaluation.detector == "CAD"
+        assert evaluation.mean_auc > 0.9
+        grid, tpr = evaluation.mean_curve
+        assert grid.size == tpr.size
+
+    def test_compare_detectors(self):
+        from repro.baselines import AdjDetector
+
+        results = compare_detectors(
+            [CadDetector(method="exact"), AdjDetector()],
+            self._instances(),
+        )
+        assert set(results) == {"CAD", "ADJ"}
+
+    def test_sweep_parameter(self):
+        results = sweep_parameter(
+            lambda k: CadDetector(method="approx", k=k, seed=0),
+            [16, 64],
+            self._instances(1),
+        )
+        assert [value for value, _ in results] == [16, 64]
+        assert all(e.mean_auc > 0.5 for _, e in results)
+
+    def test_empty_instances_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate_detector(CadDetector(), [])
+
+
+class TestTiming:
+    def test_time_callable(self):
+        result = time_callable("noop", lambda: sum(range(100)),
+                               repeats=3)
+        assert result.seconds.shape == (3,)
+        assert result.best <= result.mean
+
+    def test_fit_scaling_exponent_linear(self):
+        sizes = np.array([100, 200, 400, 800])
+        seconds = sizes * 1e-6
+        assert fit_scaling_exponent(sizes, seconds) == pytest.approx(
+            1.0, abs=0.01
+        )
+
+    def test_fit_scaling_exponent_quadratic(self):
+        sizes = np.array([100.0, 200, 400])
+        seconds = sizes ** 2
+        assert fit_scaling_exponent(sizes, seconds) == pytest.approx(2.0)
+
+    def test_fit_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_scaling_exponent(np.array([10.0]), np.array([1.0]))

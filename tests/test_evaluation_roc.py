@@ -1,0 +1,93 @@
+"""Unit tests for the from-scratch ROC/AUC implementation."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import auc_score, average_roc, roc_curve
+from repro.exceptions import EvaluationError
+
+
+class TestRocCurve:
+    def test_perfect_ranking(self):
+        labels = np.array([1, 1, 0, 0], dtype=bool)
+        scores = np.array([4.0, 3.0, 2.0, 1.0])
+        curve = roc_curve(labels, scores)
+        assert curve.auc == pytest.approx(1.0)
+
+    def test_inverted_ranking(self):
+        labels = np.array([1, 1, 0, 0], dtype=bool)
+        scores = np.array([1.0, 2.0, 3.0, 4.0])
+        assert auc_score(labels, scores) == pytest.approx(0.0)
+
+    def test_random_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.random(5000) < 0.3
+        scores = rng.random(5000)
+        assert auc_score(labels, scores) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_give_mann_whitney(self):
+        # all scores equal: AUC must be exactly 0.5
+        labels = np.array([1, 0, 1, 0], dtype=bool)
+        scores = np.ones(4)
+        assert auc_score(labels, scores) == pytest.approx(0.5)
+
+    def test_matches_rank_statistic(self):
+        rng = np.random.default_rng(1)
+        labels = rng.random(300) < 0.2
+        scores = rng.standard_normal(300) + labels * 0.8
+        # Mann-Whitney U computed directly
+        positive = scores[labels]
+        negative = scores[~labels]
+        wins = (positive[:, None] > negative[None, :]).sum()
+        ties = (positive[:, None] == negative[None, :]).sum()
+        expected = (wins + 0.5 * ties) / (positive.size * negative.size)
+        assert auc_score(labels, scores) == pytest.approx(expected)
+
+    def test_curve_endpoints(self):
+        labels = np.array([1, 0, 1, 0], dtype=bool)
+        scores = np.array([0.9, 0.8, 0.7, 0.1])
+        curve = roc_curve(labels, scores)
+        assert curve.false_positive_rate[0] == 0.0
+        assert curve.true_positive_rate[0] == 0.0
+        assert curve.false_positive_rate[-1] == 1.0
+        assert curve.true_positive_rate[-1] == 1.0
+
+    def test_curve_monotone(self):
+        rng = np.random.default_rng(2)
+        labels = rng.random(100) < 0.4
+        scores = rng.standard_normal(100)
+        curve = roc_curve(labels, scores)
+        assert np.all(np.diff(curve.false_positive_rate) >= 0)
+        assert np.all(np.diff(curve.true_positive_rate) >= 0)
+
+    def test_single_class_raises(self):
+        with pytest.raises(EvaluationError):
+            roc_curve(np.ones(4, dtype=bool), np.arange(4.0))
+        with pytest.raises(EvaluationError):
+            roc_curve(np.zeros(4, dtype=bool), np.arange(4.0))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(EvaluationError):
+            roc_curve(np.array([True, False]), np.arange(3.0))
+
+
+class TestAverageRoc:
+    def test_identical_curves_average_to_self(self):
+        labels = np.array([1, 0, 1, 0], dtype=bool)
+        scores = np.array([0.9, 0.8, 0.7, 0.1])
+        curve = roc_curve(labels, scores)
+        grid, mean_tpr = average_roc([curve, curve], grid_size=11)
+        np.testing.assert_allclose(
+            mean_tpr, curve.interpolate_tpr(grid)
+        )
+
+    def test_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            average_roc([])
+
+    def test_grid_bounds(self):
+        labels = np.array([1, 0], dtype=bool)
+        curve = roc_curve(labels, np.array([1.0, 0.0]))
+        grid, mean_tpr = average_roc([curve], grid_size=5)
+        assert grid[0] == 0.0 and grid[-1] == 1.0
+        assert mean_tpr[-1] == pytest.approx(1.0)

@@ -1,0 +1,46 @@
+"""Smoke tests: the example scripts run and print their headlines.
+
+The slow examples (climate: 21 exact 816-node solves; scalability:
+30k-node sweeps) are exercised by the benchmark suite instead.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "anomalous edges (E_t)" in out
+    assert "r7" in out and "b1" in out
+
+
+def test_insider_threat():
+    out = _run("insider_threat.py")
+    assert "ceo_primary" in out
+    assert "CAD pins the hub former" in out
+
+
+def test_collaboration_shifts():
+    out = _run("collaboration_shifts.py")
+    assert "cross_field_switch" in out
+    assert "severity ordering" in out
+
+
+def test_streaming_detection():
+    out = _run("streaming_detection.py")
+    assert "finalized streaming == offline global-delta result: True" \
+        in out

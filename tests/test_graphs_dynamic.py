@@ -1,0 +1,85 @@
+"""Unit tests for DynamicGraph."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphConstructionError, NodeUniverseMismatchError
+from repro.graphs import DynamicGraph, GraphSnapshot, NodeUniverse
+
+
+def _chain(n=3, count=3, weights=1.0):
+    adjacency = np.zeros((n, n))
+    for i in range(n - 1):
+        adjacency[i, i + 1] = adjacency[i + 1, i] = weights
+    first = GraphSnapshot(adjacency)
+    return [GraphSnapshot(adjacency * (t + 1), first.universe, time=t)
+            for t in range(count)]
+
+
+class TestConstruction:
+    def test_from_snapshots(self):
+        graph = DynamicGraph(_chain())
+        assert len(graph) == 3
+        assert graph.num_transitions == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphConstructionError):
+            DynamicGraph([])
+
+    def test_rejects_mixed_universes(self):
+        a = GraphSnapshot(np.zeros((2, 2)))
+        b = GraphSnapshot(np.zeros((2, 2)), NodeUniverse("xy"))
+        with pytest.raises(NodeUniverseMismatchError):
+            DynamicGraph([a, b])
+
+    def test_from_adjacencies(self):
+        mats = [np.array([[0.0, w], [w, 0.0]]) for w in (1.0, 2.0)]
+        graph = DynamicGraph.from_adjacencies(mats, times=["jan", "feb"])
+        assert graph[0].time == "jan"
+        assert graph[1].weight(0, 1) == 2.0
+
+    def test_from_adjacencies_rejects_time_mismatch(self):
+        with pytest.raises(GraphConstructionError):
+            DynamicGraph.from_adjacencies([np.zeros((2, 2))], times=[1, 2])
+
+    def test_from_adjacencies_rejects_empty(self):
+        with pytest.raises(GraphConstructionError):
+            DynamicGraph.from_adjacencies([])
+
+
+class TestAccessors:
+    def test_transitions_iterates_pairs(self):
+        graph = DynamicGraph(_chain(count=4))
+        pairs = list(graph.transitions())
+        assert len(pairs) == 3
+        assert pairs[0][0] is graph[0]
+        assert pairs[2][1] is graph[3]
+
+    def test_times(self):
+        graph = DynamicGraph(_chain(count=3))
+        assert graph.times == (0, 1, 2)
+
+    def test_mean_num_edges(self):
+        graph = DynamicGraph(_chain(n=3, count=2))
+        assert graph.mean_num_edges() == 2.0
+
+    def test_subsequence(self):
+        graph = DynamicGraph(_chain(count=5))
+        sub = graph.subsequence(1, 4)
+        assert len(sub) == 3
+        assert sub[0].time == 1
+
+    def test_subsequence_empty_raises(self):
+        graph = DynamicGraph(_chain(count=3))
+        with pytest.raises(GraphConstructionError):
+            graph.subsequence(2, 2)
+
+    def test_node_activity(self):
+        graph = DynamicGraph(_chain(n=3, count=3))
+        activity = graph.node_activity(1)
+        # middle node degree is 2 * scale at each step
+        assert activity.tolist() == [2.0, 4.0, 6.0]
+
+    def test_iteration(self):
+        graph = DynamicGraph(_chain(count=3))
+        assert [snapshot.time for snapshot in graph] == [0, 1, 2]

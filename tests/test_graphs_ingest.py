@@ -1,0 +1,173 @@
+"""Unit tests for raw-interaction ingestion and sliding windows."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphConstructionError
+from repro.graphs import (
+    InteractionRecord,
+    aggregate_interactions,
+    month_of,
+    sliding_windows,
+    year_of,
+)
+
+
+def _record(year, month, day, source, target, weight=1.0):
+    return InteractionRecord(
+        dt.date(year, month, day), source, target, weight
+    )
+
+
+class TestPeriodKeys:
+    def test_month_of(self):
+        assert month_of(dt.date(2001, 7, 15)) == "2001-07"
+
+    def test_year_of(self):
+        assert year_of(dt.datetime(1999, 12, 31, 23, 59)) == 1999
+
+
+class TestAggregateMonthly:
+    def test_buckets_by_month(self):
+        records = [
+            _record(2001, 1, 3, "a", "b"),
+            _record(2001, 1, 20, "a", "b"),
+            _record(2001, 2, 5, "b", "c"),
+        ]
+        graph = aggregate_interactions(records, freq="month")
+        assert len(graph) == 2
+        assert graph[0].time == "2001-01"
+        assert graph[0].weight("a", "b") == 2.0
+        assert graph[1].weight("b", "c") == 1.0
+
+    def test_gap_filled_with_empty_snapshot(self):
+        records = [
+            _record(2001, 1, 1, "a", "b"),
+            _record(2001, 3, 1, "a", "b"),
+        ]
+        graph = aggregate_interactions(records, freq="month")
+        assert [s.time for s in graph] == ["2001-01", "2001-02",
+                                           "2001-03"]
+        assert graph[1].num_edges == 0
+
+    def test_gap_fill_disabled(self):
+        records = [
+            _record(2001, 1, 1, "a", "b"),
+            _record(2001, 3, 1, "a", "b"),
+        ]
+        graph = aggregate_interactions(records, freq="month",
+                                       fill_gaps=False)
+        assert len(graph) == 2
+
+    def test_year_rollover(self):
+        records = [
+            _record(2000, 12, 1, "a", "b"),
+            _record(2001, 1, 1, "a", "b"),
+        ]
+        graph = aggregate_interactions(records, freq="month")
+        assert [s.time for s in graph] == ["2000-12", "2001-01"]
+
+    def test_shared_universe(self):
+        records = [
+            _record(2001, 1, 1, "a", "b"),
+            _record(2001, 2, 1, "c", "d"),
+        ]
+        graph = aggregate_interactions(records)
+        assert set(graph.universe.labels) == {"a", "b", "c", "d"}
+        assert graph[0].num_nodes == 4
+
+    def test_plain_tuples_accepted(self):
+        graph = aggregate_interactions([
+            (dt.date(2001, 1, 1), "a", "b"),
+            (dt.date(2001, 1, 2), "a", "b", 3.0),
+        ])
+        assert graph[0].weight("a", "b") == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            aggregate_interactions([])
+
+    def test_bad_freq_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            aggregate_interactions(
+                [_record(2001, 1, 1, "a", "b")], freq="week"
+            )
+
+    def test_bad_record_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            aggregate_interactions([(dt.date(2001, 1, 1), "a")])
+
+
+class TestAggregateYearly:
+    def test_buckets_by_year(self):
+        records = [
+            _record(2005, 3, 1, "x", "y"),
+            _record(2005, 9, 1, "x", "y"),
+            _record(2007, 1, 1, "y", "z"),
+        ]
+        graph = aggregate_interactions(records, freq="year")
+        assert [s.time for s in graph] == [2005, 2006, 2007]
+        assert graph[0].weight("x", "y") == 2.0
+        assert graph[1].num_edges == 0
+
+
+class TestSlidingWindows:
+    @pytest.fixture
+    def graph(self):
+        records = [
+            _record(2001, m, 1, "a", "b") for m in range(1, 7)
+        ]
+        return aggregate_interactions(records)
+
+    def test_window_count(self, graph):
+        windows = sliding_windows(graph, window=3, stride=1)
+        assert len(windows) == 4
+        assert all(len(w) == 3 for w in windows)
+
+    def test_stride(self, graph):
+        windows = sliding_windows(graph, window=2, stride=2)
+        assert [w[0].time for w in windows] == [
+            "2001-01", "2001-03", "2001-05",
+        ]
+
+    def test_window_too_small(self, graph):
+        with pytest.raises(GraphConstructionError):
+            sliding_windows(graph, window=1)
+
+    def test_sequence_shorter_than_window(self, graph):
+        with pytest.raises(GraphConstructionError):
+            sliding_windows(graph.subsequence(0, 2), window=5)
+
+
+class TestIngestToDetection:
+    def test_end_to_end(self):
+        """Ingested records drive detection directly."""
+        rng = np.random.default_rng(0)
+        records = []
+        people = [f"p{i}" for i in range(12)]
+        for month in range(1, 7):
+            for _ in range(60):
+                i, j = rng.integers(0, 6, size=2)  # clique of 6 talks
+                if i != j:
+                    records.append(_record(2001, month, 1,
+                                           people[i], people[j]))
+                i, j = rng.integers(6, 12, size=2)
+                if i != j:
+                    records.append(_record(2001, month, 1,
+                                           people[i], people[j]))
+        # month 6: a sudden cross-group tie
+        for _ in range(8):
+            records.append(_record(2001, 6, 2, "p0", "p11"))
+        graph = aggregate_interactions(records)
+
+        from repro import CadDetector
+
+        report = CadDetector(method="exact").detect(
+            graph, anomalies_per_transition=2
+        )
+        final = report.transitions[-1]
+        assert final.is_anomalous
+        top = final.anomalous_edges[0]
+        assert {top[0], top[1]} == {"p0", "p11"}

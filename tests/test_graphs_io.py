@@ -1,0 +1,115 @@
+"""Unit tests for graph IO round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphConstructionError
+from repro.graphs import (
+    DynamicGraph,
+    NodeUniverse,
+    read_json,
+    read_npz,
+    read_temporal_edge_csv,
+    snapshot_from_edges,
+    write_json,
+    write_npz,
+    write_temporal_edge_csv,
+)
+
+
+@pytest.fixture
+def sample_graph() -> DynamicGraph:
+    universe = NodeUniverse(["a", "b", "c"])
+    first = snapshot_from_edges(
+        [("a", "b", 1.5), ("b", "c", 2.0)], universe, time="jan"
+    )
+    second = snapshot_from_edges(
+        [("a", "b", 0.5), ("a", "c", 3.0)], universe, time="feb"
+    )
+    return DynamicGraph([first, second])
+
+
+def _assert_equivalent(a: DynamicGraph, b: DynamicGraph) -> None:
+    assert len(a) == len(b)
+    assert [str(l) for l in a.universe] == [str(l) for l in b.universe]
+    for s1, s2 in zip(a, b):
+        np.testing.assert_allclose(
+            s1.adjacency.toarray(), s2.adjacency.toarray()
+        )
+
+
+class TestCsv:
+    def test_round_trip(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.csv"
+        write_temporal_edge_csv(sample_graph, path)
+        loaded = read_temporal_edge_csv(path)
+        _assert_equivalent(sample_graph, loaded)
+        assert loaded[0].time == "jan"
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,a,b,2.0\n")
+        with pytest.raises(GraphConstructionError, match="header"):
+            read_temporal_edge_csv(path)
+
+    def test_bad_weight(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,source,target,weight\n1,a,b,oops\n")
+        with pytest.raises(GraphConstructionError, match="weight"):
+            read_temporal_edge_csv(path)
+
+    def test_short_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,source,target,weight\n1,a,b\n")
+        with pytest.raises(GraphConstructionError, match="columns"):
+            read_temporal_edge_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("time,source,target,weight\n")
+        with pytest.raises(GraphConstructionError, match="no edges"):
+            read_temporal_edge_csv(path)
+
+    def test_weight_precision_preserved(self, tmp_path):
+        universe = NodeUniverse(["a", "b"])
+        weight = 0.1234567890123456
+        graph = DynamicGraph(
+            [snapshot_from_edges([("a", "b", weight)], universe, time=0)]
+        )
+        path = tmp_path / "precise.csv"
+        write_temporal_edge_csv(graph, path)
+        loaded = read_temporal_edge_csv(path)
+        assert loaded[0].weight("a", "b") == weight
+
+
+class TestJson:
+    def test_round_trip(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        write_json(sample_graph, path)
+        loaded = read_json(path)
+        _assert_equivalent(sample_graph, loaded)
+        assert loaded[1].time == "feb"
+
+    def test_rejects_foreign_document(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(GraphConstructionError):
+            read_json(path)
+
+
+class TestNpz:
+    def test_round_trip(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        write_npz(sample_graph, path)
+        loaded = read_npz(path)
+        _assert_equivalent(sample_graph, loaded)
+        assert loaded[0].time == "jan"
+
+    def test_none_time_round_trip(self, tmp_path):
+        universe = NodeUniverse(["a", "b"])
+        graph = DynamicGraph(
+            [snapshot_from_edges([("a", "b", 1.0)], universe)]
+        )
+        path = tmp_path / "g.npz"
+        write_npz(graph, path)
+        assert read_npz(path)[0].time is None

@@ -1,0 +1,119 @@
+"""Unit tests for NodeUniverse and GraphSnapshot."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import GraphConstructionError, NodeUniverseMismatchError
+from repro.graphs import GraphSnapshot, NodeUniverse
+
+
+class TestNodeUniverse:
+    def test_index_round_trip(self, labeled_universe):
+        for position, label in enumerate(labeled_universe):
+            assert labeled_universe.index_of(label) == position
+            assert labeled_universe.label_of(position) == label
+
+    def test_of_size(self):
+        universe = NodeUniverse.of_size(5)
+        assert len(universe) == 5
+        assert universe.labels == (0, 1, 2, 3, 4)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(GraphConstructionError):
+            NodeUniverse(["a", "b", "a"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphConstructionError):
+            NodeUniverse([])
+
+    def test_contains(self, labeled_universe):
+        assert "alice" in labeled_universe
+        assert "eve" not in labeled_universe
+
+    def test_equality_is_order_sensitive(self):
+        assert NodeUniverse("ab") == NodeUniverse("ab")
+        assert NodeUniverse("ab") != NodeUniverse("ba")
+
+    def test_indices_of(self, labeled_universe):
+        result = labeled_universe.indices_of(["carol", "alice"])
+        assert result.tolist() == [2, 0]
+
+    def test_hashable(self):
+        assert {NodeUniverse("ab"), NodeUniverse("ab")} == {NodeUniverse("ab")}
+
+    def test_unknown_label_raises_keyerror(self, labeled_universe):
+        with pytest.raises(KeyError):
+            labeled_universe.index_of("mallory")
+
+
+class TestGraphSnapshotConstruction:
+    def test_from_dense(self):
+        snapshot = GraphSnapshot(np.array([[0.0, 2.0], [2.0, 0.0]]))
+        assert snapshot.num_nodes == 2
+        assert snapshot.num_edges == 1
+        assert snapshot.weight(0, 1) == 2.0
+
+    def test_from_sparse(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        snapshot = GraphSnapshot(matrix)
+        assert snapshot.num_edges == 1
+
+    def test_self_loops_removed(self):
+        snapshot = GraphSnapshot(np.array([[5.0, 1.0], [1.0, 3.0]]))
+        assert snapshot.weight(0, 0) == 0.0
+        assert snapshot.volume() == 2.0
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(GraphConstructionError):
+            GraphSnapshot(np.array([[0.0, 1.0], [0.0, 0.0]]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(GraphConstructionError):
+            GraphSnapshot(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(GraphConstructionError):
+            GraphSnapshot(np.array([[0.0, np.nan], [np.nan, 0.0]]))
+
+    def test_rejects_universe_size_mismatch(self, labeled_universe):
+        with pytest.raises(GraphConstructionError):
+            GraphSnapshot(np.zeros((2, 2)), labeled_universe)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(GraphConstructionError):
+            GraphSnapshot(np.zeros((2, 3)))
+
+
+class TestGraphSnapshotAccessors:
+    def test_degrees_and_volume(self, triangle_graph):
+        degrees = triangle_graph.degrees()
+        assert degrees.tolist() == [3.0, 4.0, 5.0]
+        assert triangle_graph.volume() == 12.0
+
+    def test_neighbors(self, path_graph):
+        assert path_graph.neighbors(1) == [0, 2]
+        assert path_graph.neighbors(0) == [1]
+
+    def test_edge_list_upper_triangle(self, triangle_graph):
+        edges = triangle_graph.edge_list()
+        assert edges == [(0, 1, 1.0), (0, 2, 2.0), (1, 2, 3.0)]
+
+    def test_density(self, triangle_graph, path_graph):
+        assert triangle_graph.density() == 1.0
+        assert path_graph.density() == pytest.approx(0.5)
+
+    def test_with_time(self, path_graph):
+        timed = path_graph.with_time("march")
+        assert timed.time == "march"
+        assert timed.universe == path_graph.universe
+
+    def test_require_same_universe(self, path_graph):
+        other = GraphSnapshot(np.zeros((4, 4)),
+                              NodeUniverse("abcd"))
+        with pytest.raises(NodeUniverseMismatchError):
+            path_graph.require_same_universe(other)
+
+    def test_repr_mentions_counts(self, path_graph):
+        assert "n=4" in repr(path_graph)
+        assert "m=3" in repr(path_graph)

@@ -1,0 +1,129 @@
+"""Invariance property tests for the CAD pipeline.
+
+Two structural symmetries that any correct implementation must honour:
+
+* **permutation equivariance** — relabelling the nodes permutes every
+  score, nothing more;
+* **scale behaviour** — multiplying all weights by c > 0 leaves
+  commute times unchanged (volume scales by c, resistances by 1/c),
+  so ΔE scales exactly linearly in c and every *ranking* is invariant.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CadDetector, cad_edge_scores, CommuteTimeCalculator
+from repro.graphs import DynamicGraph, GraphSnapshot
+from repro.linalg import commute_time_matrix
+
+
+def _random_transition(seed, n=14):
+    rng = np.random.default_rng(seed)
+    adjacency = np.zeros((n, n))
+    order = rng.permutation(n)
+    for a, b in zip(order[:-1], order[1:]):
+        adjacency[a, b] = adjacency[b, a] = rng.uniform(0.5, 2.0)
+    for _ in range(2 * n):
+        i, j = rng.integers(0, n, size=2)
+        if i != j:
+            adjacency[i, j] = adjacency[j, i] = rng.uniform(0.5, 2.0)
+    changed = adjacency.copy()
+    for _ in range(3):
+        i, j = rng.integers(0, n, size=2)
+        if i != j:
+            changed[i, j] = changed[j, i] = rng.uniform(0.0, 3.0)
+    return adjacency, changed
+
+
+class TestPermutationEquivariance:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_node_scores_permute(self, seed):
+        adjacency, changed = _random_transition(seed)
+        n = adjacency.shape[0]
+        rng = np.random.default_rng(seed + 1)
+        permutation = rng.permutation(n)
+
+        calculator = CommuteTimeCalculator(method="exact")
+        g_t = GraphSnapshot(adjacency)
+        g_t1 = GraphSnapshot(changed, g_t.universe)
+        original = cad_edge_scores(g_t, g_t1, calculator).node_scores
+
+        shuffled_t = GraphSnapshot(
+            adjacency[np.ix_(permutation, permutation)]
+        )
+        shuffled_t1 = GraphSnapshot(
+            changed[np.ix_(permutation, permutation)],
+            shuffled_t.universe,
+        )
+        permuted = cad_edge_scores(
+            shuffled_t, shuffled_t1, CommuteTimeCalculator(method="exact")
+        ).node_scores
+        np.testing.assert_allclose(permuted, original[permutation],
+                                   rtol=1e-6, atol=1e-8)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_commute_matrix_permutes(self, seed):
+        adjacency, _ = _random_transition(seed)
+        n = adjacency.shape[0]
+        permutation = np.random.default_rng(seed).permutation(n)
+        commute = commute_time_matrix(adjacency)
+        permuted = commute_time_matrix(
+            adjacency[np.ix_(permutation, permutation)]
+        )
+        np.testing.assert_allclose(
+            permuted, commute[np.ix_(permutation, permutation)],
+            atol=1e-7,
+        )
+
+
+class TestScaleBehaviour:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6),
+           st.floats(min_value=0.1, max_value=20.0))
+    def test_commute_times_scale_invariant(self, seed, scale):
+        adjacency, _ = _random_transition(seed)
+        base = commute_time_matrix(adjacency)
+        scaled = commute_time_matrix(scale * adjacency)
+        np.testing.assert_allclose(scaled, base, rtol=1e-7, atol=1e-8)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6),
+           st.floats(min_value=0.2, max_value=10.0))
+    def test_cad_scores_scale_linearly(self, seed, scale):
+        adjacency, changed = _random_transition(seed)
+        calculator = CommuteTimeCalculator(method="exact")
+
+        g_t = GraphSnapshot(adjacency)
+        g_t1 = GraphSnapshot(changed, g_t.universe)
+        base = cad_edge_scores(g_t, g_t1, calculator)
+
+        s_t = GraphSnapshot(scale * adjacency)
+        s_t1 = GraphSnapshot(scale * changed, s_t.universe)
+        scaled = cad_edge_scores(
+            s_t, s_t1, CommuteTimeCalculator(method="exact")
+        )
+        np.testing.assert_allclose(
+            scaled.edge_scores, scale * base.edge_scores,
+            rtol=1e-6, atol=1e-8,
+        )
+
+    def test_detected_sets_scale_invariant(self, small_dynamic_graph):
+        """Rankings (hence anomaly sets at matched budgets) survive a
+        global rescaling of the interaction counts."""
+        detector = CadDetector(method="exact")
+        base = detector.detect(small_dynamic_graph,
+                               anomalies_per_transition=2)
+        scaled_graph = DynamicGraph([
+            GraphSnapshot(3.0 * s.adjacency.toarray(),
+                          small_dynamic_graph.universe)
+            for s in small_dynamic_graph
+        ])
+        scaled = detector.detect(scaled_graph,
+                                 anomalies_per_transition=2)
+        assert (
+            base.transitions[0].anomalous_nodes
+            == scaled.transitions[0].anomalous_nodes
+        )

@@ -1,0 +1,110 @@
+"""Property-based round-trip tests for graph IO and serialization."""
+
+import string
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.graphs import (
+    DynamicGraph,
+    NodeUniverse,
+    read_json,
+    read_npz,
+    read_temporal_edge_csv,
+    snapshot_from_edges,
+    write_json,
+    write_npz,
+    write_temporal_edge_csv,
+)
+
+_LABEL_ALPHABET = string.ascii_lowercase + string.digits + "_-."
+
+
+@st.composite
+def random_dynamic_graphs(draw):
+    """Small random dynamic graphs with string labels and float weights."""
+    num_nodes = draw(st.integers(min_value=2, max_value=8))
+    labels = draw(st.lists(
+        st.text(alphabet=_LABEL_ALPHABET, min_size=1, max_size=8),
+        min_size=num_nodes, max_size=num_nodes, unique=True,
+    ))
+    universe = NodeUniverse(labels)
+    num_snapshots = draw(st.integers(min_value=1, max_value=4))
+    snapshots = []
+    for position in range(num_snapshots):
+        num_edges = draw(st.integers(min_value=0, max_value=10))
+        edges = []
+        for _ in range(num_edges):
+            i = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+            j = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+            if i == j:
+                continue
+            weight = draw(st.floats(
+                min_value=1e-3, max_value=1e6,
+                allow_nan=False, allow_infinity=False,
+            ))
+            edges.append((labels[i], labels[j], weight))
+        snapshots.append(
+            snapshot_from_edges(edges, universe, time=f"t{position}")
+        )
+    return DynamicGraph(snapshots)
+
+
+def _matrices_equal(a: DynamicGraph, b: DynamicGraph) -> bool:
+    if len(a) != len(b):
+        return False
+    for s1, s2 in zip(a, b):
+        if not np.allclose(s1.adjacency.toarray(),
+                           s2.adjacency.toarray(), rtol=1e-12):
+            return False
+    return True
+
+
+class TestRoundTrips:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(random_dynamic_graphs())
+    def test_npz(self, tmp_path, graph):
+        path = tmp_path / "g.npz"
+        write_npz(graph, path)
+        assert _matrices_equal(graph, read_npz(path))
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(random_dynamic_graphs())
+    def test_json(self, tmp_path, graph):
+        path = tmp_path / "g.json"
+        write_json(graph, path)
+        assert _matrices_equal(graph, read_json(path))
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(random_dynamic_graphs())
+    def test_csv_preserves_nonempty_snapshots(self, tmp_path, graph):
+        """CSV groups rows by time, so *empty* snapshots vanish; every
+        snapshot with edges must round-trip exactly."""
+        nonempty = [s for s in graph if s.num_edges > 0]
+        if not nonempty:
+            return
+        path = tmp_path / "g.csv"
+        write_temporal_edge_csv(graph, path)
+        loaded = read_temporal_edge_csv(path)
+        assert len(loaded) == len(nonempty)
+        by_time = {str(s.time): s for s in nonempty}
+        for snapshot in loaded:
+            original = by_time[str(snapshot.time)]
+            # same edge multiset (labels may reorder the universe)
+            original_edges = {
+                frozenset((str(u), str(v))): w
+                for u, v, w in original.edge_list()
+            }
+            loaded_edges = {
+                frozenset((str(u), str(v))): w
+                for u, v, w in snapshot.edge_list()
+            }
+            assert original_edges.keys() == loaded_edges.keys()
+            for key, weight in original_edges.items():
+                assert loaded_edges[key] == pytest.approx(
+                    weight, rel=1e-12
+                )

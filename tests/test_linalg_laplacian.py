@@ -1,0 +1,111 @@
+"""Unit tests for Laplacian construction and incidence factorisation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg import (
+    degree_vector,
+    dense_laplacian,
+    graph_volume,
+    incidence_factors,
+    laplacian,
+    laplacian_quadratic_form,
+)
+
+
+class TestLaplacian:
+    def test_rows_sum_to_zero(self, random_connected_graph):
+        lap = laplacian(random_connected_graph.adjacency)
+        rows = np.asarray(lap.sum(axis=1)).ravel()
+        np.testing.assert_allclose(rows, 0.0, atol=1e-12)
+
+    def test_diagonal_is_degree(self, triangle_graph):
+        lap = laplacian(triangle_graph.adjacency)
+        np.testing.assert_allclose(
+            lap.diagonal(), triangle_graph.degrees()
+        )
+
+    def test_dense_matches_sparse(self, triangle_graph):
+        dense = dense_laplacian(triangle_graph.adjacency)
+        sparse = laplacian(triangle_graph.adjacency).toarray()
+        np.testing.assert_allclose(dense, sparse)
+
+    def test_psd(self, random_connected_graph):
+        lap = dense_laplacian(random_connected_graph.adjacency)
+        values = np.linalg.eigvalsh(lap)
+        assert values.min() > -1e-9
+
+    def test_normalized_eigenvalue_range(self, random_connected_graph):
+        lap = laplacian(random_connected_graph.adjacency, normalized=True)
+        values = np.linalg.eigvalsh(lap.toarray())
+        assert values.min() > -1e-9
+        assert values.max() < 2.0 + 1e-9
+
+    def test_normalized_isolated_nodes(self):
+        adjacency = np.zeros((3, 3))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        lap = laplacian(adjacency, normalized=True).toarray()
+        assert lap[2, 2] == 0.0
+
+    def test_dense_input(self):
+        adjacency = np.array([[0.0, 2.0], [2.0, 0.0]])
+        lap = laplacian(adjacency).toarray()
+        np.testing.assert_allclose(lap, [[2.0, -2.0], [-2.0, 2.0]])
+
+
+class TestDegreeVolume:
+    def test_degree_vector_dense_sparse_agree(self, triangle_graph):
+        dense = degree_vector(triangle_graph.adjacency.toarray())
+        sparse = degree_vector(triangle_graph.adjacency)
+        np.testing.assert_allclose(dense, sparse)
+
+    def test_volume(self, triangle_graph):
+        assert graph_volume(triangle_graph.adjacency) == 12.0
+
+
+class TestIncidenceFactors:
+    def test_reconstructs_laplacian(self, random_connected_graph):
+        incidence, weights = incidence_factors(
+            random_connected_graph.adjacency
+        )
+        reconstructed = (
+            incidence.T @ sp.diags(weights) @ incidence
+        ).toarray()
+        expected = dense_laplacian(random_connected_graph.adjacency)
+        np.testing.assert_allclose(reconstructed, expected, atol=1e-10)
+
+    def test_shapes(self, triangle_graph):
+        incidence, weights = incidence_factors(triangle_graph.adjacency)
+        assert incidence.shape == (3, 3)
+        assert weights.shape == (3,)
+
+    def test_row_structure(self, path_graph):
+        incidence, _ = incidence_factors(path_graph.adjacency)
+        dense = incidence.toarray()
+        # every row has exactly one +1 and one -1
+        np.testing.assert_allclose(dense.sum(axis=1), 0.0)
+        np.testing.assert_allclose(np.abs(dense).sum(axis=1), 2.0)
+
+    def test_empty_graph(self):
+        incidence, weights = incidence_factors(np.zeros((3, 3)))
+        assert incidence.shape == (0, 3)
+        assert weights.size == 0
+
+
+class TestQuadraticForm:
+    def test_matches_matrix_form(self, random_connected_graph):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal(random_connected_graph.num_nodes)
+        lap = dense_laplacian(random_connected_graph.adjacency)
+        expected = float(x @ lap @ x)
+        actual = laplacian_quadratic_form(
+            random_connected_graph.adjacency, x
+        )
+        assert actual == pytest.approx(expected, rel=1e-10)
+
+    def test_zero_on_constants(self, random_connected_graph):
+        ones = np.ones(random_connected_graph.num_nodes)
+        assert laplacian_quadratic_form(
+            random_connected_graph.adjacency, ones
+        ) == pytest.approx(0.0, abs=1e-10)

@@ -1,0 +1,144 @@
+"""Unit tests for the CG solver and the Laplacian solver."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import ConvergenceError, SolverError
+from repro.linalg import (
+    LaplacianSolver,
+    conjugate_gradient,
+    dense_laplacian,
+    laplacian,
+    laplacian_pseudoinverse,
+)
+
+
+def _spd_system(n=30, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    matrix = a @ a.T + n * np.eye(n)
+    b = rng.standard_normal(n)
+    return sp.csr_matrix(matrix), b
+
+
+class TestConjugateGradient:
+    def test_solves_spd(self):
+        matrix, b = _spd_system()
+        x = conjugate_gradient(matrix, b, tol=1e-12)
+        np.testing.assert_allclose(matrix @ x, b, atol=1e-8)
+
+    def test_jacobi_preconditioner(self):
+        matrix, b = _spd_system(seed=1)
+        inverse_diag = 1.0 / matrix.diagonal()
+        x = conjugate_gradient(matrix, b, tol=1e-12,
+                               preconditioner=inverse_diag)
+        np.testing.assert_allclose(matrix @ x, b, atol=1e-8)
+
+    def test_zero_rhs(self):
+        matrix, _ = _spd_system()
+        x = conjugate_gradient(matrix, np.zeros(matrix.shape[0]))
+        assert np.all(x == 0.0)
+
+    def test_singular_laplacian_in_range(self, random_connected_graph):
+        lap = laplacian(random_connected_graph.adjacency)
+        rng = np.random.default_rng(2)
+        b = rng.standard_normal(lap.shape[0])
+        b -= b.mean()  # project into range(L)
+        x = conjugate_gradient(lap, b, tol=1e-10,
+                               preconditioner=1.0 / lap.diagonal())
+        np.testing.assert_allclose(lap @ x, b, atol=1e-6)
+
+    def test_budget_exhaustion_raises(self):
+        matrix, b = _spd_system(n=50, seed=3)
+        with pytest.raises(ConvergenceError):
+            conjugate_gradient(matrix, b, tol=1e-14, max_iter=2)
+
+    def test_shape_mismatch_raises(self):
+        matrix, _ = _spd_system()
+        with pytest.raises(SolverError):
+            conjugate_gradient(matrix, np.zeros(3))
+
+    def test_matches_scipy(self):
+        from scipy.sparse.linalg import cg as scipy_cg
+
+        matrix, b = _spd_system(seed=4)
+        ours = conjugate_gradient(matrix, b, tol=1e-12)
+        theirs, info = scipy_cg(matrix, b, rtol=1e-12)
+        assert info == 0
+        np.testing.assert_allclose(ours, theirs, atol=1e-6)
+
+
+class TestLaplacianSolver:
+    @pytest.mark.parametrize("method", ["cg", "direct"])
+    def test_matches_pseudoinverse(self, random_connected_graph, method):
+        adjacency = random_connected_graph.adjacency
+        solver = LaplacianSolver(adjacency, method=method, tol=1e-12)
+        pseudo = laplacian_pseudoinverse(adjacency)
+        rng = np.random.default_rng(7)
+        for _ in range(3):
+            b = rng.standard_normal(adjacency.shape[0])
+            expected = pseudo @ (b - b.mean())
+            np.testing.assert_allclose(
+                solver.solve(b), expected, atol=1e-7
+            )
+
+    @pytest.mark.parametrize("method", ["cg", "direct"])
+    def test_disconnected(self, disconnected_graph, method):
+        solver = LaplacianSolver(disconnected_graph.adjacency,
+                                 method=method)
+        assert solver.num_components == 2
+        b = np.array([1.0, -1.0, 2.0, 0.0])
+        x = solver.solve(b)
+        # zero mean per component
+        assert x[:2].sum() == pytest.approx(0.0, abs=1e-10)
+        assert x[2:].sum() == pytest.approx(0.0, abs=1e-10)
+        pseudo = laplacian_pseudoinverse(disconnected_graph.adjacency)
+        np.testing.assert_allclose(x, pseudo @ _project(b, solver),
+                                   atol=1e-8)
+
+    def test_isolated_nodes_get_zero(self):
+        adjacency = np.zeros((3, 3))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        solver = LaplacianSolver(adjacency)
+        x = solver.solve(np.array([1.0, 0.0, 5.0]))
+        assert x[2] == 0.0
+
+    def test_solve_many(self, random_connected_graph):
+        adjacency = random_connected_graph.adjacency
+        solver = LaplacianSolver(adjacency, method="direct")
+        rng = np.random.default_rng(8)
+        rhs = rng.standard_normal((adjacency.shape[0], 4))
+        stacked = solver.solve_many(rhs)
+        for j in range(4):
+            np.testing.assert_allclose(
+                stacked[:, j], solver.solve(rhs[:, j]), atol=1e-12
+            )
+
+    def test_rejects_unknown_method(self, path_graph):
+        with pytest.raises(SolverError):
+            LaplacianSolver(path_graph.adjacency, method="magic")
+
+    def test_rejects_bad_rhs_shape(self, path_graph):
+        solver = LaplacianSolver(path_graph.adjacency)
+        with pytest.raises(SolverError):
+            solver.solve(np.zeros(7))
+        with pytest.raises(SolverError):
+            solver.solve_many(np.zeros((7, 2)))
+
+    def test_cg_and_direct_agree(self, random_connected_graph):
+        adjacency = random_connected_graph.adjacency
+        b = np.random.default_rng(9).standard_normal(adjacency.shape[0])
+        x_cg = LaplacianSolver(adjacency, method="cg", tol=1e-12).solve(b)
+        x_direct = LaplacianSolver(adjacency, method="direct").solve(b)
+        np.testing.assert_allclose(x_cg, x_direct, atol=1e-7)
+
+
+def _project(b: np.ndarray, solver: LaplacianSolver) -> np.ndarray:
+    """Zero-mean projection of b per component of the solver's graph."""
+    out = b.astype(float).copy()
+    labels = solver.component_labels
+    for c in range(solver.num_components):
+        mask = labels == c
+        out[mask] -= out[mask].mean()
+    return out

@@ -1,0 +1,135 @@
+"""Unit tests for incremental Laplacian pseudoinverse updates."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.graphs import GraphSnapshot, random_sparse_graph
+from repro.linalg import (
+    IncrementalPseudoinverse,
+    laplacian_pseudoinverse,
+    rank_one_update,
+)
+
+
+@pytest.fixture
+def graph():
+    return random_sparse_graph(50, mean_degree=4.0, seed=3,
+                               connected=True)
+
+
+class TestRankOneUpdate:
+    def test_matches_recompute_strengthen(self, graph):
+        pseudo = laplacian_pseudoinverse(graph.adjacency)
+        updated = rank_one_update(pseudo, 0, 1, 2.0)
+        edited = graph.adjacency.tolil()
+        edited[0, 1] = edited[1, 0] = edited[0, 1] + 2.0
+        expected = laplacian_pseudoinverse(edited.tocsr())
+        np.testing.assert_allclose(updated, expected, atol=1e-9)
+
+    def test_matches_recompute_weaken(self, graph):
+        # weaken an existing edge without deleting it
+        adjacency = graph.adjacency.tolil()
+        i, j = 0, graph.neighbors(0)[0]
+        delta = -0.5 * float(adjacency[i, j])
+        pseudo = laplacian_pseudoinverse(graph.adjacency)
+        updated = rank_one_update(pseudo, i, j, delta)
+        adjacency[i, j] = adjacency[j, i] = adjacency[i, j] + delta
+        expected = laplacian_pseudoinverse(adjacency.tocsr())
+        np.testing.assert_allclose(updated, expected, atol=1e-8)
+
+    def test_zero_delta_is_identity(self, graph):
+        pseudo = laplacian_pseudoinverse(graph.adjacency)
+        np.testing.assert_array_equal(
+            rank_one_update(pseudo, 0, 1, 0.0), pseudo
+        )
+
+    def test_self_loop_rejected(self, graph):
+        pseudo = laplacian_pseudoinverse(graph.adjacency)
+        with pytest.raises(SolverError):
+            rank_one_update(pseudo, 2, 2, 1.0)
+
+    def test_bridge_removal_detected(self):
+        # path 0-1-2: deleting edge (1,2) splits the graph
+        adjacency = np.zeros((3, 3))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        adjacency[1, 2] = adjacency[2, 1] = 1.0
+        pseudo = laplacian_pseudoinverse(adjacency)
+        with pytest.raises(SolverError, match="component"):
+            rank_one_update(pseudo, 1, 2, -1.0)
+
+
+class TestIncrementalPseudoinverse:
+    def test_tracks_many_edits(self, graph):
+        incremental = IncrementalPseudoinverse(graph)
+        adjacency = graph.adjacency.tolil()
+        rng = np.random.default_rng(0)
+        for _ in range(12):
+            i, j = rng.integers(0, 50, size=2)
+            if i == j:
+                continue
+            weight = float(rng.uniform(0.1, 2.0))
+            incremental.apply_edit(int(i), int(j), weight)
+            adjacency[i, j] = adjacency[j, i] = weight
+        expected = laplacian_pseudoinverse(adjacency.tocsr())
+        np.testing.assert_allclose(incremental.pseudoinverse, expected,
+                                   atol=1e-7)
+
+    def test_component_merge_recomputes(self, disconnected_graph):
+        incremental = IncrementalPseudoinverse(disconnected_graph)
+        before = incremental.recompute_count
+        incremental.apply_edit(1, 2, 1.0)  # joins the two components
+        assert incremental.recompute_count == before + 1
+        expected = laplacian_pseudoinverse(incremental.adjacency)
+        np.testing.assert_allclose(incremental.pseudoinverse, expected,
+                                   atol=1e-9)
+
+    def test_component_split_recomputes(self):
+        adjacency = np.zeros((4, 4))
+        for i, j in [(0, 1), (1, 2), (2, 3)]:
+            adjacency[i, j] = adjacency[j, i] = 1.0
+        incremental = IncrementalPseudoinverse(GraphSnapshot(adjacency))
+        before = incremental.recompute_count
+        incremental.apply_edit(1, 2, 0.0)  # splits the path
+        assert incremental.recompute_count == before + 1
+        expected = laplacian_pseudoinverse(incremental.adjacency)
+        np.testing.assert_allclose(incremental.pseudoinverse, expected,
+                                   atol=1e-9)
+
+    def test_advance_to_matches_target(self, graph):
+        from repro.graphs import perturb_weights
+
+        target = perturb_weights(graph, 0.2, seed=9)
+        incremental = IncrementalPseudoinverse(graph)
+        edits = incremental.advance_to(target)
+        assert edits > 0
+        expected = laplacian_pseudoinverse(target.adjacency)
+        np.testing.assert_allclose(incremental.pseudoinverse, expected,
+                                   atol=1e-6)
+
+    def test_commute_times_from_incremental(self, graph):
+        incremental = IncrementalPseudoinverse(graph)
+        incremental.apply_edit(0, 25, 3.0)
+        from repro.linalg import commute_times_for_pairs
+
+        rows = np.array([0, 5])
+        cols = np.array([25, 30])
+        expected = commute_times_for_pairs(
+            incremental.adjacency, rows, cols
+        )
+        np.testing.assert_allclose(
+            incremental.commute_times(rows, cols), expected, atol=1e-7
+        )
+
+    def test_rejects_negative_weight(self, graph):
+        incremental = IncrementalPseudoinverse(graph)
+        with pytest.raises(SolverError):
+            incremental.apply_edit(0, 1, -1.0)
+
+    def test_noop_edit(self, graph):
+        incremental = IncrementalPseudoinverse(graph)
+        weight = float(graph.adjacency[0, graph.neighbors(0)[0]])
+        j = graph.neighbors(0)[0]
+        before = incremental.pseudoinverse.copy()
+        incremental.apply_edit(0, j, weight)
+        np.testing.assert_array_equal(incremental.pseudoinverse, before)

@@ -1,0 +1,87 @@
+"""Tests for per-pair exact commute times via solves and the
+embedding-error diagnostic."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmbeddingError, SolverError
+from repro.linalg import (
+    LaplacianSolver,
+    commute_time_matrix,
+    estimate_embedding_error,
+)
+
+
+class TestPairwiseSolver:
+    def test_matches_dense_backend(self, random_connected_graph):
+        adjacency = random_connected_graph.adjacency
+        solver = LaplacianSolver(adjacency, method="direct")
+        rows = np.array([0, 3, 7, 12])
+        cols = np.array([5, 9, 7, 40])
+        values = solver.commute_times_for_pairs(rows, cols)
+        expected = commute_time_matrix(adjacency)[rows, cols]
+        np.testing.assert_allclose(values, expected, atol=1e-7)
+
+    def test_self_pair_zero(self, random_connected_graph):
+        solver = LaplacianSolver(random_connected_graph.adjacency)
+        values = solver.commute_times_for_pairs(
+            np.array([7, 7]), np.array([7, 7])
+        )
+        assert values.tolist() == [0.0, 0.0]
+
+    def test_cross_component_block_convention(self, disconnected_graph):
+        solver = LaplacianSolver(disconnected_graph.adjacency,
+                                 method="direct")
+        value = solver.commute_times_for_pairs(
+            np.array([0]), np.array([2])
+        )[0]
+        expected = commute_time_matrix(
+            disconnected_graph.adjacency
+        )[0, 2]
+        assert value == pytest.approx(expected, abs=1e-9)
+
+    def test_shape_mismatch(self, random_connected_graph):
+        solver = LaplacianSolver(random_connected_graph.adjacency)
+        with pytest.raises(SolverError):
+            solver.commute_times_for_pairs(np.array([0, 1]),
+                                           np.array([1]))
+
+    def test_cg_backend_agrees(self, random_connected_graph):
+        adjacency = random_connected_graph.adjacency
+        direct = LaplacianSolver(adjacency, method="direct")
+        cg = LaplacianSolver(adjacency, method="cg", tol=1e-12)
+        rows = np.array([0, 10])
+        cols = np.array([20, 30])
+        np.testing.assert_allclose(
+            cg.commute_times_for_pairs(rows, cols),
+            direct.commute_times_for_pairs(rows, cols),
+            rtol=1e-6,
+        )
+
+
+class TestEmbeddingErrorDiagnostic:
+    def test_reports_reasonable_error(self, random_connected_graph):
+        result = estimate_embedding_error(
+            random_connected_graph.adjacency, k=128,
+            num_samples=40, seed=0,
+        )
+        assert 0 <= result["median_relative_error"] < 0.5
+        assert (result["median_relative_error"]
+                <= result["p95_relative_error"]
+                <= result["max_relative_error"])
+
+    def test_error_shrinks_with_k(self, random_connected_graph):
+        small = estimate_embedding_error(
+            random_connected_graph.adjacency, k=4,
+            num_samples=60, seed=1,
+        )
+        large = estimate_embedding_error(
+            random_connected_graph.adjacency, k=512,
+            num_samples=60, seed=1,
+        )
+        assert (large["median_relative_error"]
+                < small["median_relative_error"])
+
+    def test_single_node_rejected(self):
+        with pytest.raises(EmbeddingError):
+            estimate_embedding_error(np.zeros((1, 1)), k=4)

@@ -1,0 +1,67 @@
+"""Unit tests for report JSON serialisation."""
+
+import json
+
+import pytest
+
+from repro.core import CadDetector
+from repro.exceptions import DetectionError
+from repro.pipeline import (
+    read_report_json,
+    report_to_dict,
+    write_report_json,
+)
+
+
+@pytest.fixture
+def report(small_dynamic_graph):
+    return CadDetector(method="exact").detect(
+        small_dynamic_graph, anomalies_per_transition=2
+    )
+
+
+class TestReportToDict:
+    def test_structure(self, report):
+        document = report_to_dict(report)
+        assert document["format"] == "repro-detection-report"
+        assert document["detector"] == "CAD"
+        assert len(document["transitions"]) == 1
+        transition = document["transitions"][0]
+        assert transition["anomalous"] is True
+        assert {"source", "target", "score"} <= set(
+            transition["edges"][0]
+        )
+
+    def test_node_scores_optional(self, report):
+        without = report_to_dict(report)
+        with_scores = report_to_dict(report, include_scores=True)
+        assert "node_scores" not in without["transitions"][0]
+        assert len(with_scores["transitions"][0]["node_scores"]) == 40
+
+    def test_json_safe(self, report):
+        json.dumps(report_to_dict(report, include_scores=True))
+
+
+class TestRoundTrip:
+    def test_write_read(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        write_report_json(report, path)
+        document = read_report_json(path)
+        assert document["threshold"] == pytest.approx(report.threshold)
+        nodes = document["transitions"][0]["nodes"]
+        assert set(nodes[:2]) == {0, 39}
+
+    def test_rejects_foreign_document(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text('{"format": "something"}')
+        with pytest.raises(DetectionError):
+            read_report_json(path)
+
+    def test_rejects_future_version(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        write_report_json(report, path)
+        document = json.loads(path.read_text())
+        document["version"] = 99
+        path.write_text(json.dumps(document))
+        with pytest.raises(DetectionError):
+            read_report_json(path)

@@ -1,0 +1,197 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These cover the mathematical backbone of the library:
+
+* commute time is a metric (non-negativity, symmetry, triangle
+  inequality) and matches Rayleigh monotonicity;
+* the Laplacian solver returns minimum-norm solutions;
+* Algorithm 1's minimal-set thresholding is minimal and monotone in δ;
+* ROC/AUC behaves as a rank statistic under monotone transforms.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import minimal_edge_set
+from repro.evaluation import auc_score
+from repro.graphs import GraphSnapshot
+from repro.linalg import (
+    LaplacianSolver,
+    commute_time_matrix,
+    laplacian_pseudoinverse,
+)
+
+
+@st.composite
+def connected_weighted_graphs(draw, max_nodes=12):
+    """Random connected weighted graphs as dense adjacency matrices."""
+    n = draw(st.integers(min_value=3, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    adjacency = np.zeros((n, n))
+    order = rng.permutation(n)
+    # spanning path guarantees connectivity
+    for a, b in zip(order[:-1], order[1:]):
+        adjacency[a, b] = adjacency[b, a] = rng.uniform(0.2, 3.0)
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(extra):
+        i, j = rng.integers(0, n, size=2)
+        if i != j:
+            weight = rng.uniform(0.2, 3.0)
+            adjacency[i, j] = adjacency[j, i] = weight
+    return adjacency
+
+
+class TestCommuteTimeMetric:
+    @settings(max_examples=30, deadline=None)
+    @given(connected_weighted_graphs())
+    def test_metric_axioms(self, adjacency):
+        commute = commute_time_matrix(adjacency)
+        n = adjacency.shape[0]
+        # symmetry and zero diagonal
+        np.testing.assert_allclose(commute, commute.T, atol=1e-7)
+        np.testing.assert_allclose(np.diag(commute), 0.0, atol=1e-8)
+        # non-negativity
+        assert commute.min() >= -1e-9
+        # triangle inequality (commute time is a squared-Euclidean-like
+        # metric that satisfies the inequality directly)
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert commute[i, j] <= (
+                        commute[i, k] + commute[k, j] + 1e-6
+                    )
+
+    @settings(max_examples=20, deadline=None)
+    @given(connected_weighted_graphs(max_nodes=8),
+           st.integers(min_value=0, max_value=10**6))
+    def test_rayleigh_monotonicity(self, adjacency, seed):
+        """Adding weight anywhere cannot increase any effective
+        resistance (commute time / volume)."""
+        n = adjacency.shape[0]
+        rng = np.random.default_rng(seed)
+        i, j = rng.integers(0, n, size=2)
+        if i == j:
+            return
+        boosted = adjacency.copy()
+        boosted[i, j] += 1.0
+        boosted[j, i] = boosted[i, j]
+        before = commute_time_matrix(adjacency) / adjacency.sum()
+        after = commute_time_matrix(boosted) / boosted.sum()
+        assert np.all(after <= before + 1e-7)
+
+    @settings(max_examples=20, deadline=None)
+    @given(connected_weighted_graphs(max_nodes=10))
+    def test_adjacent_resistance_bound(self, adjacency):
+        """r(i, j) <= 1 / w(i, j) for adjacent pairs (parallel paths
+        can only lower resistance)."""
+        volume = adjacency.sum()
+        commute = commute_time_matrix(adjacency)
+        resistance = commute / volume
+        n = adjacency.shape[0]
+        for i in range(n):
+            for j in range(i + 1, n):
+                if adjacency[i, j] > 0:
+                    assert resistance[i, j] <= 1.0 / adjacency[i, j] + 1e-7
+
+
+class TestSolverProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(connected_weighted_graphs(max_nodes=10),
+           st.integers(min_value=0, max_value=10**6))
+    def test_minimum_norm_solution(self, adjacency, seed):
+        rng = np.random.default_rng(seed)
+        b = rng.standard_normal(adjacency.shape[0])
+        solver = LaplacianSolver(adjacency, method="direct")
+        x = solver.solve(b)
+        pseudo = laplacian_pseudoinverse(adjacency)
+        expected = pseudo @ (b - b.mean())
+        np.testing.assert_allclose(x, expected, atol=1e-6)
+        # minimum-norm: orthogonal to the all-ones null space
+        assert abs(x.sum()) < 1e-7
+
+
+class TestMinimalEdgeSetProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0),
+                 min_size=0, max_size=40),
+        st.floats(min_value=1e-6, max_value=500.0),
+    )
+    def test_feasibility_and_minimality(self, raw_scores, delta):
+        scores = np.array(raw_scores)
+        mask = minimal_edge_set(scores, delta)
+        residual = scores[~mask].sum()
+        total = scores.sum()
+        tolerance = 1e-9 * max(total, 1.0)
+        if total < delta:
+            assert not mask.any()
+        else:
+            # feasibility: the constraint holds (up to float roundoff
+            # in the cumulative sums)
+            assert residual < delta + tolerance
+            # minimality: dropping the smallest selected edge breaks it
+            if mask.any():
+                selected = scores[mask]
+                assert residual + selected.min() >= delta - tolerance
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0),
+                 min_size=1, max_size=30),
+        st.floats(min_value=1e-3, max_value=100.0),
+        st.floats(min_value=1.1, max_value=5.0),
+    )
+    def test_monotone_in_delta(self, raw_scores, delta, factor):
+        """Raising delta never grows the anomaly set."""
+        scores = np.array(raw_scores)
+        small = minimal_edge_set(scores, delta)
+        large = minimal_edge_set(scores, delta * factor)
+        assert large.sum() <= small.sum()
+
+
+class TestAucProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=2, max_value=200),
+           st.integers(min_value=0, max_value=10**6))
+    def test_invariant_under_monotone_transform(self, n, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.random(n) < 0.5
+        if labels.all() or not labels.any():
+            return
+        scores = rng.standard_normal(n)
+        original = auc_score(labels, scores)
+        transformed = auc_score(labels, np.exp(scores) * 3.0 + 7.0)
+        assert original == pytest.approx(transformed, abs=1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=2, max_value=100),
+           st.integers(min_value=0, max_value=10**6))
+    def test_complement_symmetry(self, n, seed):
+        """AUC(labels, -scores) = 1 - AUC(labels, scores) without ties."""
+        rng = np.random.default_rng(seed)
+        labels = rng.random(n) < 0.4
+        if labels.all() or not labels.any():
+            return
+        scores = rng.permutation(n).astype(float)  # distinct scores
+        forward = auc_score(labels, scores)
+        backward = auc_score(labels, -scores)
+        assert forward + backward == pytest.approx(1.0)
+
+
+class TestSnapshotProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(connected_weighted_graphs(max_nodes=10))
+    def test_volume_is_twice_edge_weight_sum(self, adjacency):
+        snapshot = GraphSnapshot(adjacency)
+        edge_sum = sum(w for _u, _v, w in snapshot.edge_list())
+        assert snapshot.volume() == pytest.approx(2.0 * edge_sum)
+
+    @settings(max_examples=40, deadline=None)
+    @given(connected_weighted_graphs(max_nodes=10))
+    def test_degrees_sum_to_volume(self, adjacency):
+        snapshot = GraphSnapshot(adjacency)
+        assert snapshot.degrees().sum() == pytest.approx(
+            snapshot.volume()
+        )

@@ -1,0 +1,144 @@
+"""Tests for permutation-null significance and windowed detection."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CadDetector,
+    permutation_null_max_scores,
+    significance_threshold,
+    significant_edges,
+)
+from repro.exceptions import ThresholdError
+from repro.graphs import (
+    DynamicGraph,
+    GraphSnapshot,
+    community_pair_graph,
+    perturb_weights,
+)
+from repro.pipeline import detect_windowed
+
+
+@pytest.fixture
+def injected_scores():
+    base = community_pair_graph(community_size=15, p_in=0.5,
+                                p_out=0.05, seed=2)
+    drifted = perturb_weights(base, 0.03, seed=3)
+    matrix = drifted.adjacency.tolil()
+    matrix[0, 29] = matrix[29, 0] = 4.0
+    changed = GraphSnapshot(matrix.tocsr(), base.universe)
+    return CadDetector(method="exact").score_transition(base, changed)
+
+
+@pytest.fixture
+def quiet_scores():
+    base = community_pair_graph(community_size=15, p_in=0.5,
+                                p_out=0.05, seed=2)
+    drifted = perturb_weights(base, 0.03, seed=4)
+    return CadDetector(method="exact").score_transition(base, drifted)
+
+
+class TestPermutationNull:
+    def test_null_shape(self, injected_scores):
+        null = permutation_null_max_scores(
+            injected_scores, num_permutations=50, seed=0
+        )
+        assert null.shape == (50,)
+        assert (null >= 0).all()
+
+    def test_deterministic(self, injected_scores):
+        a = permutation_null_max_scores(injected_scores, 30, seed=5)
+        b = permutation_null_max_scores(injected_scores, 30, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_requires_factors(self, injected_scores):
+        from dataclasses import replace
+
+        stripped = replace(injected_scores, extras={})
+        with pytest.raises(ThresholdError):
+            permutation_null_max_scores(stripped)
+
+
+class TestSignificance:
+    def test_injected_edge_significant(self, injected_scores):
+        mask, p_values = significant_edges(
+            injected_scores, alpha=0.05, num_permutations=200, seed=0
+        )
+        top = int(np.argmax(injected_scores.edge_scores))
+        assert mask[top]
+        assert p_values[top] < 0.05
+        # only a handful of edges survive the max-null cut
+        assert mask.sum() <= 5
+
+    def test_quiet_transition_mostly_insignificant(self, quiet_scores):
+        mask, _p = significant_edges(
+            quiet_scores, alpha=0.01, num_permutations=200, seed=1
+        )
+        # noise-only drift: at most a couple of lucky survivors
+        assert mask.sum() <= max(2, quiet_scores.num_scored_edges // 50)
+
+    def test_threshold_monotone_in_alpha(self, injected_scores):
+        strict = significance_threshold(injected_scores, alpha=0.01,
+                                        num_permutations=200, seed=2)
+        loose = significance_threshold(injected_scores, alpha=0.2,
+                                       num_permutations=200, seed=2)
+        assert strict >= loose
+
+    def test_pvalues_in_unit_interval(self, injected_scores):
+        _mask, p_values = significant_edges(
+            injected_scores, num_permutations=100, seed=3
+        )
+        assert (p_values > 0).all() and (p_values <= 1).all()
+
+
+class TestDetectWindowed:
+    def _long_history(self):
+        base = community_pair_graph(community_size=12, p_in=0.5,
+                                    seed=7)
+        snapshots = [base]
+        for t in range(8):
+            snapshots.append(perturb_weights(base, 0.02, seed=90 + t))
+        # an injected event in the final window
+        matrix = snapshots[7].adjacency.tolil()
+        matrix[0, 23] = matrix[23, 0] = 4.0
+        snapshots[7] = GraphSnapshot(matrix.tocsr(), base.universe)
+        return DynamicGraph(snapshots)
+
+    def test_window_coverage(self):
+        graph = self._long_history()
+        reports = detect_windowed(graph, window=4, detector="cad",
+                                  anomalies_per_transition=2,
+                                  method="exact")
+        # stride defaults to window-1: transitions covered once
+        total = sum(len(r.transitions) for r in reports)
+        assert total >= graph.num_transitions
+
+    def test_event_found_in_its_window(self):
+        graph = self._long_history()
+        reports = detect_windowed(graph, window=4, detector="cad",
+                                  anomalies_per_transition=2,
+                                  method="exact")
+        flagged_edges = [
+            frozenset((u, v))
+            for report in reports
+            for transition in report.anomalous_transitions()
+            for u, v, _s in transition.anomalous_edges
+        ]
+        assert frozenset((0, 23)) in flagged_edges
+
+    def test_explicit_stride(self):
+        graph = self._long_history()
+        reports = detect_windowed(graph, window=3, stride=3,
+                                  detector="cad",
+                                  anomalies_per_transition=1,
+                                  method="exact")
+        assert len(reports) == 3
+
+    def test_instance_with_kwargs_rejected(self):
+        graph = self._long_history()
+        from repro.exceptions import DetectionError
+
+        with pytest.raises(DetectionError):
+            detect_windowed(graph, window=3,
+                            detector=CadDetector(method="exact"),
+                            method="exact")

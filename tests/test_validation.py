@@ -1,0 +1,118 @@
+"""Unit tests for the shared validation helpers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro._validation import (
+    as_rng,
+    check_finite_float,
+    check_non_negative_int,
+    check_non_negative_weights,
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+    check_square,
+    check_symmetric,
+)
+from repro.exceptions import GraphConstructionError
+
+
+class TestPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(7), "x") == 7
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive_int(0, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValueError):
+            check_positive_int(2.5, "x")
+
+
+class TestNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative_int(-1, "x")
+
+
+class TestProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, np.inf])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+
+class TestFiniteFloat:
+    def test_accepts_int(self):
+        assert check_finite_float(2, "x") == 2.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_finite_float(float("nan"), "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(ValueError):
+            check_finite_float("abc", "x")
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_float(0.0, "x")
+
+
+class TestAsRng:
+    def test_passthrough_generator(self):
+        rng = np.random.default_rng(0)
+        assert as_rng(rng) is rng
+
+    def test_int_seed_is_deterministic(self):
+        assert as_rng(42).integers(1000) == as_rng(42).integers(1000)
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestMatrixChecks:
+    def test_square_rejects_rectangular(self):
+        with pytest.raises(GraphConstructionError):
+            check_square(np.zeros((2, 3)), "m")
+
+    def test_square_rejects_vector(self):
+        with pytest.raises(GraphConstructionError):
+            check_square(np.zeros(4), "m")
+
+    def test_symmetric_accepts_sparse(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        check_symmetric(matrix, "m")  # no raise
+
+    def test_symmetric_rejects_asymmetric_sparse(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 1.0], [0.5, 0.0]]))
+        with pytest.raises(GraphConstructionError):
+            check_symmetric(matrix, "m")
+
+    def test_symmetric_rejects_asymmetric_dense(self):
+        with pytest.raises(GraphConstructionError):
+            check_symmetric(np.array([[0.0, 1.0], [0.0, 0.0]]), "m")
+
+    def test_non_negative_rejects_negative_dense(self):
+        with pytest.raises(GraphConstructionError):
+            check_non_negative_weights(np.array([[0.0, -1.0],
+                                                 [-1.0, 0.0]]), "m")
+
+    def test_non_negative_accepts_empty_sparse(self):
+        check_non_negative_weights(sp.csr_matrix((3, 3)), "m")
