@@ -48,12 +48,14 @@ from .datasets import (
     toy_example,
 )
 from .exceptions import (
+    CheckpointError,
     DatasetError,
     DetectionError,
     EmbeddingError,
     EvaluationError,
     GraphConstructionError,
     ReproError,
+    SanitizationError,
     SolverError,
     ThresholdError,
 )
@@ -61,8 +63,11 @@ from .graphs import (
     DynamicGraph,
     GraphSnapshot,
     NodeUniverse,
+    SanitizationReport,
     gaussian_similarity_graph,
     knn_graph,
+    sanitize_adjacency,
+    sanitize_snapshot,
     snapshot_from_edges,
 )
 from .linalg import (
@@ -75,6 +80,14 @@ from .linalg import (
     sparsify,
 )
 from .pipeline import detect, make_detector
+from .resilience import (
+    FallbackPolicy,
+    FallbackSolver,
+    FaultInjector,
+    HealthReport,
+    read_checkpoint,
+    write_checkpoint,
+)
 
 __version__ = "1.0.0"
 
@@ -83,6 +96,7 @@ __all__ = [
     "AdjDetector",
     "AfmDetector",
     "CadDetector",
+    "CheckpointError",
     "ClcDetector",
     "ComDetector",
     "CommuteTimeCalculator",
@@ -96,15 +110,21 @@ __all__ = [
     "EmbeddingError",
     "EnronLikeSimulator",
     "EvaluationError",
+    "FallbackPolicy",
+    "FallbackSolver",
+    "FaultInjector",
     "GenericDistanceDetector",
     "GraphConstructionError",
     "GraphSnapshot",
+    "HealthReport",
     "IncrementalPseudoinverse",
     "LaplacianSolver",
     "NodeUniverse",
     "OnlineThresholdSelector",
     "PrecipitationSimulator",
     "ReproError",
+    "SanitizationError",
+    "SanitizationReport",
     "SolverError",
     "StreamingCadDetector",
     "ThresholdError",
@@ -123,8 +143,12 @@ __all__ = [
     "laplacian",
     "laplacian_pseudoinverse",
     "make_detector",
+    "read_checkpoint",
+    "sanitize_adjacency",
+    "sanitize_snapshot",
     "select_global_threshold",
     "snapshot_from_edges",
     "toy_example",
+    "write_checkpoint",
     "__version__",
 ]

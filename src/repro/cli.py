@@ -13,6 +13,11 @@ The primary input format is the temporal edge CSV of
 :func:`repro.graphs.io.read_temporal_edge_csv`
 (``time,source,target,weight`` rows); ``.json`` and ``.npz`` files
 written by this library are accepted everywhere too.
+
+Exit codes: ``0`` success, ``1`` environment problems (unreadable
+files, bad usage), ``2`` library errors
+(:class:`~repro.exceptions.ReproError` — dirty data under
+``--strict``, solver failure, malformed graph documents, ...).
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ from collections.abc import Sequence
 from pathlib import Path
 
 from .core.explain import explain_node
-from .exceptions import GraphConstructionError
+from .exceptions import ReproError
 from .graphs.io import (
     read_json,
     read_npz,
@@ -48,15 +53,22 @@ _WRITERS = {
 }
 
 
-def _load_graph(path: str):
+class _UsageError(Exception):
+    """CLI usage problems (exit code 1, distinct from library errors)."""
+
+
+def _load_graph(path: str, sanitize: str | None = None,
+                reports: list | None = None):
     suffix = Path(path).suffix.lower()
     reader = _READERS.get(suffix)
     if reader is None:
-        raise GraphConstructionError(
+        raise _UsageError(
             f"unsupported input extension {suffix!r} "
             f"(expected one of {sorted(_READERS)})"
         )
-    return reader(path)
+    if sanitize is None:
+        return reader(path)
+    return reader(path, sanitize=sanitize, reports=reports)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,6 +98,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="seed for randomized components")
     run.add_argument("--json-out", default=None,
                      help="also write the report as a JSON document")
+    run.add_argument("--solver", default=None,
+                     choices=("cg", "direct", "fallback"),
+                     help="Laplacian solver backend for CAD; 'fallback' "
+                     "escalates CG -> relaxed CG -> LU -> dense")
+    run.add_argument("--sanitize", default="repair",
+                     choices=("repair", "quarantine", "raise"),
+                     help="policy for dirty snapshots (NaN/negative "
+                     "weights, asymmetry, self-loops); default repairs "
+                     "them and notes each repair on stderr")
+    run.add_argument("--strict", action="store_true",
+                     help="treat any snapshot defect as a hard error "
+                     "(shorthand for --sanitize raise)")
 
     score = sub.add_parser(
         "score", help="print raw CAD scores for one transition"
@@ -128,7 +152,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     }
     try:
         return commands[args.command](args)
-    except Exception as error:  # surface library errors as clean text
+    except ReproError as error:  # library errors: clean text, code 2
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (OSError, _UsageError) as error:  # environment/usage: code 1
         print(f"error: {error}", file=sys.stderr)
         return 1
 
@@ -147,10 +174,17 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_detect(args) -> int:
-    graph = _load_graph(args.path)
+    sanitize = "raise" if args.strict else args.sanitize
+    reports: list = []
+    graph = _load_graph(args.path, sanitize=sanitize, reports=reports)
+    for note in reports:
+        if not note.is_clean:
+            print(f"sanitize: {note.describe()}", file=sys.stderr)
     kwargs = {}
     if args.detector in ("cad", "com") and args.seed is not None:
         kwargs["seed"] = args.seed
+    if args.detector == "cad" and args.solver is not None:
+        kwargs["solver"] = args.solver
     report = detect(
         graph,
         detector=args.detector,

@@ -38,7 +38,10 @@ class CadDetector(Detector):
         k: embedding dimension for the approximate backend (paper
             default 50; any k > 10 behaves equivalently, Figure 5).
         seed: randomness for the embedding's JL projection.
-        solver: Laplacian solver backend (``"cg"`` or ``"direct"``).
+        solver: Laplacian solver backend — ``"cg"``, ``"direct"``,
+            ``"fallback"`` (escalation chain, see
+            :mod:`repro.resilience.fallback`), or a
+            :class:`~repro.resilience.fallback.FallbackPolicy`.
         exact_limit: node-count crossover for ``method="auto"``.
     """
 
@@ -47,7 +50,7 @@ class CadDetector(Detector):
     def __init__(self, method: str = "auto",
                  k: int = 50,
                  seed=None,
-                 solver: str = "cg",
+                 solver="cg",
                  exact_limit: int = DEFAULT_EXACT_LIMIT):
         self._calculator = CommuteTimeCalculator(
             method=method, k=k, seed=seed, solver=solver,
@@ -91,18 +94,22 @@ class CadDetector(Detector):
         scored = self.score_sequence(graph)
         if delta is None:
             delta = select_global_threshold(scored, anomalies_per_transition)
-        return build_report(graph, scored, delta, self.name)
+        health = self._calculator.health_report()
+        return build_report(graph, scored, delta, self.name,
+                            health=None if health.is_empty() else health)
 
 
 def build_report(graph: DynamicGraph,
                  scored: list[TransitionScores],
                  delta: float,
-                 detector_name: str) -> DetectionReport:
+                 detector_name: str,
+                 health=None) -> DetectionReport:
     """Cut anomaly sets at level δ and assemble a report.
 
     Shared by CAD and any edge-scoring baseline (ADJ/COM), so the
     comparison benchmarks apply the identical thresholding policy to
-    every method.
+    every method. ``health`` optionally attaches the run's resilience
+    accounting (:class:`~repro.resilience.health.HealthReport`).
     """
     if len(scored) != graph.num_transitions:
         raise DetectionError(
@@ -130,5 +137,5 @@ def build_report(graph: DynamicGraph,
         ))
     return DetectionReport(
         detector=detector_name, threshold=float(delta),
-        transitions=transitions,
+        transitions=transitions, health=health,
     )

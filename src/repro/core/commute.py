@@ -19,6 +19,7 @@ from ..linalg.pseudoinverse import (
     commute_times_for_pairs,
     laplacian_pseudoinverse,
 )
+from ..resilience.health import HealthMonitor, HealthReport
 
 #: Above this node count ``method="auto"`` switches from the exact
 #: O(n^3) pseudoinverse to the approximate embedding.
@@ -35,8 +36,10 @@ class CommuteTimeCalculator:
             50; results are stable for k > 10, see Figure 5).
         seed: randomness for the JL projection. An integer seed yields
             run-to-run reproducible scores.
-        solver: Laplacian solve backend for the embedding (``"cg"`` or
-            ``"direct"``).
+        solver: Laplacian solve backend for the embedding: ``"cg"``,
+            ``"direct"``, ``"fallback"`` (CG → relaxed CG → LU → dense
+            escalation), or a
+            :class:`~repro.resilience.fallback.FallbackPolicy`.
         exact_limit: node-count crossover for ``method="auto"``.
         tol: solver tolerance for the embedding path.
     """
@@ -44,7 +47,7 @@ class CommuteTimeCalculator:
     def __init__(self, method: str = "auto",
                  k: int = 50,
                  seed=None,
-                 solver: str = "cg",
+                 solver="cg",
                  exact_limit: int = DEFAULT_EXACT_LIMIT,
                  tol: float = 1e-8):
         if method not in ("exact", "approx", "auto"):
@@ -57,6 +60,7 @@ class CommuteTimeCalculator:
         self._solver = solver
         self._exact_limit = check_positive_int(exact_limit, "exact_limit")
         self._tol = tol
+        self._health = HealthMonitor()
         # Per-snapshot backend cache (pseudoinverse or embedding).
         # Sequence scoring visits each snapshot twice — as G_{t+1} of
         # one transition and G_t of the next — so keeping the two most
@@ -68,6 +72,23 @@ class CommuteTimeCalculator:
     def k(self) -> int:
         """Embedding dimension used on the approximate path."""
         return self._k
+
+    @property
+    def health(self) -> HealthMonitor:
+        """The monitor accumulating this calculator's solve records."""
+        return self._health
+
+    def health_report(self) -> HealthReport:
+        """Immutable snapshot of the health accounting so far."""
+        return self._health.report()
+
+    def rng_state(self) -> dict:
+        """JL-projection rng state, for checkpointing (plain data)."""
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore the JL-projection rng from :meth:`rng_state`."""
+        self._rng.bit_generator.state = state
 
     def resolve_method(self, num_nodes: int) -> str:
         """The concrete method (``"exact"``/``"approx"``) for a size."""
@@ -110,6 +131,7 @@ class CommuteTimeCalculator:
             backend = CommuteTimeEmbedding(
                 snapshot.adjacency, k=self._k, seed=self._rng,
                 solver=self._solver, tol=self._tol,
+                health=self._health,
             )
         self._cache[key] = (snapshot, backend)
         self._cache_order.append(key)

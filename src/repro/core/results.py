@@ -20,6 +20,7 @@ import scipy.sparse as sp
 
 from ..exceptions import DetectionError
 from ..graphs.snapshot import NodeLabel, NodeUniverse
+from ..resilience.health import HealthReport
 
 
 @dataclass(frozen=True)
@@ -147,11 +148,15 @@ class DetectionReport:
         detector: name of the detector that produced the report.
         threshold: the δ actually used to cut anomaly sets.
         transitions: one :class:`TransitionResult` per transition.
+        health: resilience accounting for the run (fallbacks taken,
+            snapshots quarantined, repairs applied); ``None`` when the
+            run needed no resilience at all.
     """
 
     detector: str
     threshold: float
     transitions: list[TransitionResult]
+    health: HealthReport | None = None
 
     def anomalous_transitions(self) -> list[TransitionResult]:
         """Transitions with a non-empty anomaly set."""
@@ -198,4 +203,6 @@ class DetectionReport:
                 f"  [{window}] edges={len(transition.anomalous_edges)} "
                 f"nodes: {nodes}{more}"
             )
+        if self.health is not None:
+            lines.append(self.health.describe())
         return "\n".join(lines)

@@ -15,18 +15,38 @@ mode end to end:
   and the freshly scored transition is cut at the *current* δ;
 * :meth:`finalize` optionally re-cuts every past transition at the
   final δ, converging to exactly the offline result.
+
+On top of the paper's online mode the detector is *resilient*: with a
+``sanitize`` policy set, dirty raw matrices can be pushed directly
+(:meth:`~StreamingCadDetector.push_raw`), defective snapshots are
+repaired or quarantined-and-skipped (scoring resumes against the last
+good snapshot), a solve that exhausts its fallback chain quarantines
+the offending snapshot instead of killing the stream, and the whole
+detector state round-trips through
+:meth:`~StreamingCadDetector.checkpoint` /
+:meth:`~StreamingCadDetector.restore`.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Any
 
 import numpy as np
+import scipy.sparse as sp
 
 from .._validation import check_positive_int
-from ..exceptions import DetectionError
+from ..exceptions import CheckpointError, DetectionError, SolverError
 from ..graphs.dynamic import DynamicGraph
-from ..graphs.snapshot import GraphSnapshot
+from ..graphs.sanitize import SANITIZE_POLICIES, sanitize_snapshot
+from ..graphs.snapshot import GraphSnapshot, NodeUniverse
+from ..resilience.checkpoint import (
+    FORMAT as CHECKPOINT_FORMAT,
+    VERSION as CHECKPOINT_VERSION,
+    read_checkpoint,
+    require_checkpoint_format,
+    write_checkpoint,
+)
 from .cad import CadDetector, build_report
 from .results import DetectionReport, TransitionResult, TransitionScores
 from .thresholds import OnlineThresholdSelector, anomaly_sets_at
@@ -40,23 +60,34 @@ class StreamingCadDetector:
         warmup: transitions to absorb before emitting anomalies
             (early δ estimates are noisy; during warmup pushes return
             ``None``).
+        sanitize: optional resilience policy (``"raise"``, ``"repair"``
+            or ``"quarantine"``) governing :meth:`push_raw` and
+            solver-failure handling. ``None`` (default) keeps the
+            strict behaviour: every error propagates.
         **cad_kwargs: forwarded to :class:`~repro.core.CadDetector`
-            (``method``, ``k``, ``seed``, ...).
+            (``method``, ``k``, ``seed``, ``solver``, ...).
     """
 
     def __init__(self, anomalies_per_transition: int = 5,
                  warmup: int = 3,
+                 sanitize: str | None = None,
                  **cad_kwargs):
+        if sanitize is not None and sanitize not in SANITIZE_POLICIES:
+            raise DetectionError(
+                f"sanitize must be None or one of {SANITIZE_POLICIES}, "
+                f"got {sanitize!r}"
+            )
         self._l = check_positive_int(
             anomalies_per_transition, "anomalies_per_transition"
         )
+        self._warmup = check_positive_int(warmup, "warmup")
+        self._sanitize = sanitize
         self._detector = CadDetector(**cad_kwargs)
-        self._selector = OnlineThresholdSelector(
-            self._l, warmup=check_positive_int(warmup, "warmup")
-        )
+        self._selector = OnlineThresholdSelector(self._l, warmup=self._warmup)
         self._previous: GraphSnapshot | None = None
         self._snapshots: list[GraphSnapshot] = []
         self._scored: list[TransitionScores] = []
+        self._push_count = 0
 
     @property
     def num_transitions(self) -> int:
@@ -68,20 +99,40 @@ class StreamingCadDetector:
         """The current online δ (``None`` during warmup)."""
         return self._selector.current()
 
+    @property
+    def health(self):
+        """The run's :class:`~repro.resilience.health.HealthMonitor`."""
+        return self._detector.calculator.health
+
     def push(self, snapshot: GraphSnapshot) -> TransitionResult | None:
         """Ingest the next snapshot; return the newest transition's
         result cut at the current online δ.
 
         Returns ``None`` for the very first snapshot and while δ is
-        still warming up.
+        still warming up. With ``sanitize`` set, a snapshot whose
+        transition cannot be scored (the solver chain was exhausted)
+        is quarantined — recorded in :attr:`health`, skipped, and the
+        next push scores against the last good snapshot. Without a
+        policy the :class:`~repro.exceptions.SolverError` propagates.
         """
         if self._previous is not None:
             self._previous.require_same_universe(snapshot)
-        self._snapshots.append(snapshot)
+        position = self._push_count
+        self._push_count += 1
         if self._previous is None:
+            self._snapshots.append(snapshot)
             self._previous = snapshot
             return None
-        scores = self._detector.score_transition(self._previous, snapshot)
+        try:
+            scores = self._detector.score_transition(self._previous, snapshot)
+        except SolverError as error:
+            if self._sanitize is None:
+                raise
+            self.health.record_quarantine(
+                position, snapshot.time, f"unscorable transition: {error}"
+            )
+            return None
+        self._snapshots.append(snapshot)
         self._scored.append(scores)
         delta = self._selector.update(scores)
         self._previous = snapshot
@@ -89,8 +140,49 @@ class StreamingCadDetector:
             return None
         return self._cut(len(self._scored) - 1, scores, delta)
 
+    def push_raw(self, adjacency: sp.spmatrix | np.ndarray,
+                 time: Any = None) -> TransitionResult | None:
+        """Sanitize a raw adjacency matrix and push the result.
+
+        The stream-facing ingest point: accepts matrices that may carry
+        NaN/inf weights, negative weights, asymmetry, or self-loops and
+        resolves them under the detector's ``sanitize`` policy
+        (``"repair"`` when none was configured). A repaired snapshot is
+        recorded in :attr:`health` and pushed; a quarantined one is
+        recorded and skipped entirely — the stream continues and the
+        next good snapshot is scored against the last good one.
+
+        Returns:
+            The newest transition's result, or ``None`` for the first
+            snapshot, during warmup, or when this snapshot was
+            quarantined.
+
+        Raises:
+            SanitizationError: under ``sanitize="raise"`` on any defect.
+        """
+        policy = self._sanitize if self._sanitize is not None else "repair"
+        universe = (
+            self._previous.universe if self._previous is not None else None
+        )
+        snapshot, report = sanitize_snapshot(
+            adjacency, universe, time=time, policy=policy
+        )
+        if snapshot is None:
+            self.health.record_quarantine(
+                self._push_count, time, report.describe()
+            )
+            self._push_count += 1
+            return None
+        if report.repaired:
+            self.health.record_repair(report.entries_fixed)
+        return self.push(snapshot)
+
     def finalize(self) -> DetectionReport:
         """Re-cut the whole history at the final δ (offline-equivalent).
+
+        The report carries the run's
+        :class:`~repro.resilience.health.HealthReport` when any
+        degradation (fallbacks, repairs, quarantines) occurred.
 
         Raises:
             DetectionError: before any transition has been scored or
@@ -105,7 +197,144 @@ class StreamingCadDetector:
                 "mass so far)"
             )
         graph = DynamicGraph(self._snapshots)
-        return build_report(graph, self._scored, delta, "CAD-streaming")
+        health = self.health.report()
+        return build_report(graph, self._scored, delta, "CAD-streaming",
+                            health=None if health.is_empty() else health)
+
+    def checkpoint(self, path: str | Path | None = None) -> dict[str, Any]:
+        """Capture the detector's full state as plain data.
+
+        The state holds everything needed to resume the stream:
+        snapshots (CSR components), scored transitions, push count,
+        health totals, and the embedding rng state. Feed it to
+        :meth:`restore`, or persist it with
+        :func:`~repro.resilience.checkpoint.write_checkpoint` (done
+        automatically when ``path`` is given).
+
+        Args:
+            path: optional file to also write the checkpoint to.
+
+        Raises:
+            CheckpointError: when the stream is empty, or (when writing
+                to ``path``) when labels/times are not JSON-friendly.
+        """
+        if not self._snapshots:
+            raise CheckpointError(
+                "nothing to checkpoint: no snapshot has been pushed"
+            )
+        universe = self._snapshots[0].universe
+        state: dict[str, Any] = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "config": {
+                "anomalies_per_transition": self._l,
+                "warmup": self._warmup,
+                "sanitize": self._sanitize,
+            },
+            "universe": list(universe),
+            "num_nodes": len(universe),
+            "snapshots": [
+                {
+                    "time": snapshot.time,
+                    "data": snapshot.adjacency.data,
+                    "indices": snapshot.adjacency.indices,
+                    "indptr": snapshot.adjacency.indptr,
+                }
+                for snapshot in self._snapshots
+            ],
+            "scored": [
+                {
+                    "detector": scores.detector,
+                    "edge_rows": scores.edge_rows,
+                    "edge_cols": scores.edge_cols,
+                    "edge_scores": scores.edge_scores,
+                    "node_scores": scores.node_scores,
+                    "extras": dict(scores.extras),
+                }
+                for scores in self._scored
+            ],
+            "push_count": self._push_count,
+            "health": self.health.state(),
+            "rng_state": self._detector.calculator.rng_state(),
+        }
+        if path is not None:
+            write_checkpoint(state, path)
+        return state
+
+    @classmethod
+    def restore(cls, state: dict[str, Any] | str | Path,
+                **cad_kwargs) -> StreamingCadDetector:
+        """Rebuild a streaming detector from a checkpoint.
+
+        Accepts the dictionary returned by :meth:`checkpoint` or a path
+        to a file written by it. Budget, warmup, and sanitize policy
+        come from the checkpoint; detector construction arguments
+        (``method``, ``k``, ``solver``, ...) are *not* serialisable and
+        must be re-supplied — pass the same values as the original run.
+        The online δ is replayed deterministically from the stored
+        scores, so for the exact backend a restored stream finalises to
+        the same report as an uninterrupted one.
+
+        Raises:
+            CheckpointError: on a foreign, corrupt, or wrong-version
+                checkpoint.
+        """
+        if not isinstance(state, dict):
+            state = read_checkpoint(state)
+        require_checkpoint_format(state)
+        try:
+            config = state["config"]
+            detector = cls(
+                anomalies_per_transition=config["anomalies_per_transition"],
+                warmup=config["warmup"],
+                sanitize=config.get("sanitize"),
+                **cad_kwargs,
+            )
+            universe = NodeUniverse(state["universe"])
+            n = int(state["num_nodes"])
+            for entry in state["snapshots"]:
+                matrix = sp.csr_matrix(
+                    (
+                        np.asarray(entry["data"], dtype=np.float64),
+                        np.asarray(entry["indices"]),
+                        np.asarray(entry["indptr"]),
+                    ),
+                    shape=(n, n),
+                )
+                detector._snapshots.append(
+                    GraphSnapshot(matrix, universe, entry["time"])
+                )
+            for entry in state["scored"]:
+                scores = TransitionScores(
+                    universe=universe,
+                    edge_rows=np.asarray(entry["edge_rows"], dtype=np.int64),
+                    edge_cols=np.asarray(entry["edge_cols"], dtype=np.int64),
+                    edge_scores=np.asarray(entry["edge_scores"],
+                                           dtype=np.float64),
+                    node_scores=np.asarray(entry["node_scores"],
+                                           dtype=np.float64),
+                    detector=entry["detector"],
+                    extras={
+                        name: np.asarray(extra)
+                        for name, extra in entry["extras"].items()
+                    },
+                )
+                detector._scored.append(scores)
+                # Replaying the scores rebuilds the online δ exactly.
+                detector._selector.update(scores)
+            detector._previous = (
+                detector._snapshots[-1] if detector._snapshots else None
+            )
+            detector._push_count = int(state["push_count"])
+            detector.health.load_state(state["health"])
+            detector._detector.calculator.set_rng_state(state["rng_state"])
+        except CheckpointError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed checkpoint state: {exc}"
+            ) from exc
+        return detector
 
     def _cut(self, index: int, scores: TransitionScores,
              delta: float) -> TransitionResult:

@@ -23,7 +23,6 @@ import numpy as np
 from .._validation import check_finite_float, check_positive_int
 from ..exceptions import ThresholdError
 from .results import TransitionScores
-from .scores import aggregate_node_scores
 
 
 def minimal_edge_set(edge_scores: np.ndarray, delta: float) -> np.ndarray:
@@ -102,10 +101,10 @@ def select_global_threshold(transitions: list[TransitionScores],
     """
     if not transitions:
         raise ThresholdError("no transitions to select a threshold for")
-    l = check_positive_int(
+    budget = check_positive_int(
         anomalies_per_transition, "anomalies_per_transition"
     )
-    target = l * len(transitions)
+    target = budget * len(transitions)
     masses = [scores.total_edge_score() for scores in transitions]
     top = max(masses)
     if top <= 0:

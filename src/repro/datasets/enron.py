@@ -338,7 +338,8 @@ class EnronLikeSimulator:
             by_role.setdefault(roles[label], []).append(label)
 
         def pick(role: str, count: int, exclude: tuple[str, ...] = ()):
-            pool = [l for l in by_role.get(role, []) if l not in exclude]
+            pool = [who for who in by_role.get(role, [])
+                    if who not in exclude]
             count = min(count, len(pool))
             return tuple(rng.choice(pool, size=count, replace=False))
 

@@ -14,7 +14,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.detector import Detector
-from ..core.results import TransitionScores
 from ..exceptions import EvaluationError
 from ..graphs.dynamic import DynamicGraph
 from .metrics import node_ranking_scores

@@ -60,3 +60,16 @@ class DatasetError(ReproError):
 class EvaluationError(ReproError):
     """Raised by evaluation utilities on degenerate input, such as ROC
     computation with single-class ground truth."""
+
+
+class SanitizationError(ReproError):
+    """Raised by snapshot sanitization under the ``"raise"`` policy when
+    an adjacency matrix carries defects (non-finite weights, negative
+    weights, asymmetry, self-loops) that would otherwise be repaired or
+    quarantined."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a streaming checkpoint cannot be written (state not
+    serialisable) or restored (missing, corrupt, or wrong-version
+    document)."""

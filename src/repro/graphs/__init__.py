@@ -31,6 +31,13 @@ from .io import (
     write_npz,
     write_temporal_edge_csv,
 )
+from .sanitize import (
+    SANITIZE_POLICIES,
+    SanitizationReport,
+    raw_matrix_from_edges,
+    sanitize_adjacency,
+    sanitize_snapshot,
+)
 from .operations import (
     adjacency_difference,
     closeness_centrality,
@@ -48,6 +55,8 @@ __all__ = [
     "InteractionRecord",
     "NodeLabel",
     "NodeUniverse",
+    "SANITIZE_POLICIES",
+    "SanitizationReport",
     "adjacency_difference",
     "aggregate_interactions",
     "month_of",
@@ -62,9 +71,12 @@ __all__ = [
     "perturb_weights",
     "random_sparse_graph",
     "random_symmetric_noise",
+    "raw_matrix_from_edges",
     "read_json",
     "read_npz",
     "read_temporal_edge_csv",
+    "sanitize_adjacency",
+    "sanitize_snapshot",
     "single_source_distances",
     "snapshot_from_dense",
     "snapshot_from_edges",

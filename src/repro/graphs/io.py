@@ -26,7 +26,33 @@ import scipy.sparse as sp
 from ..exceptions import GraphConstructionError
 from .builders import snapshot_from_edges, universe_from_edges
 from .dynamic import DynamicGraph
+from .sanitize import raw_matrix_from_edges, sanitize_snapshot
 from .snapshot import GraphSnapshot, NodeUniverse
+
+
+def _sanitized_snapshots(raw_snapshots, sanitize, reports, source):
+    """Sanitize ``(matrix, universe, time)`` triples into snapshots.
+
+    Quarantined snapshots are dropped; their reports still land in
+    ``reports`` so callers can surface what was skipped.
+
+    Raises:
+        GraphConstructionError: when every snapshot was quarantined.
+    """
+    snapshots = []
+    for matrix, universe, time in raw_snapshots:
+        snapshot, report = sanitize_snapshot(
+            matrix, universe, time=time, policy=sanitize
+        )
+        if reports is not None:
+            reports.append(report)
+        if snapshot is not None:
+            snapshots.append(snapshot)
+    if not snapshots:
+        raise GraphConstructionError(
+            f"{source}: every snapshot was quarantined by sanitization"
+        )
+    return snapshots
 
 
 def write_temporal_edge_csv(graph: DynamicGraph, path: str | Path) -> None:
@@ -45,15 +71,29 @@ def write_temporal_edge_csv(graph: DynamicGraph, path: str | Path) -> None:
                 writer.writerow([time, u, v, repr(weight)])
 
 
-def read_temporal_edge_csv(path: str | Path) -> DynamicGraph:
+def read_temporal_edge_csv(path: str | Path,
+                           sanitize: str | None = None,
+                           reports: list | None = None) -> DynamicGraph:
     """Read a dynamic graph written by :func:`write_temporal_edge_csv`.
 
     Rows are grouped by their ``time`` column (order of first
     appearance defines snapshot order); the node universe is the union
     of all endpoints across all times. Node labels stay strings.
 
+    Args:
+        path: CSV file to read.
+        sanitize: optional sanitization policy (``"raise"``,
+            ``"repair"``, or ``"quarantine"``) applied to each snapshot
+            *before* validation, so dirty files (NaN/negative weights,
+            self-loops) can be ingested; ``None`` keeps strict
+            validation.
+        reports: optional list receiving one
+            :class:`~repro.graphs.sanitize.SanitizationReport` per
+            snapshot when ``sanitize`` is set.
+
     Raises:
         GraphConstructionError: on a missing header or malformed rows.
+        SanitizationError: under ``sanitize="raise"`` on dirty data.
     """
     path = Path(path)
     per_time: dict[str, list[tuple[str, str, float]]] = {}
@@ -85,6 +125,14 @@ def read_temporal_edge_csv(path: str | Path) -> DynamicGraph:
     if not per_time:
         raise GraphConstructionError(f"{path}: no edges found")
     universe = universe_from_edges(per_time.values())
+    if sanitize is not None:
+        return DynamicGraph(_sanitized_snapshots(
+            (
+                (raw_matrix_from_edges(edges, universe), universe, time)
+                for time, edges in per_time.items()
+            ),
+            sanitize, reports, path,
+        ))
     snapshots = [
         snapshot_from_edges(edges, universe, time=time)
         for time, edges in per_time.items()
@@ -115,14 +163,35 @@ def write_json(graph: DynamicGraph, path: str | Path) -> None:
     Path(path).write_text(json.dumps(document, indent=1))
 
 
-def read_json(path: str | Path) -> DynamicGraph:
-    """Read a dynamic graph written by :func:`write_json`."""
+def read_json(path: str | Path,
+              sanitize: str | None = None,
+              reports: list | None = None) -> DynamicGraph:
+    """Read a dynamic graph written by :func:`write_json`.
+
+    ``sanitize`` / ``reports`` behave as in
+    :func:`read_temporal_edge_csv`.
+    """
     document = json.loads(Path(path).read_text())
     if document.get("format") != "repro-dynamic-graph":
         raise GraphConstructionError(
             f"{path}: not a repro dynamic-graph JSON document"
         )
     universe = NodeUniverse(document["nodes"])
+    if sanitize is not None:
+        return DynamicGraph(_sanitized_snapshots(
+            (
+                (
+                    raw_matrix_from_edges(
+                        [(u, v, float(w)) for u, v, w in entry["edges"]],
+                        universe,
+                    ),
+                    universe,
+                    entry.get("time"),
+                )
+                for entry in document["snapshots"]
+            ),
+            sanitize, reports, path,
+        ))
     snapshots = []
     for entry in document["snapshots"]:
         edges = [(u, v, float(w)) for u, v, w in entry["edges"]]
@@ -154,13 +223,19 @@ def write_npz(graph: DynamicGraph, path: str | Path) -> None:
     np.savez_compressed(Path(path), **arrays)
 
 
-def read_npz(path: str | Path) -> DynamicGraph:
-    """Read a dynamic graph written by :func:`write_npz`."""
+def read_npz(path: str | Path,
+             sanitize: str | None = None,
+             reports: list | None = None) -> DynamicGraph:
+    """Read a dynamic graph written by :func:`write_npz`.
+
+    ``sanitize`` / ``reports`` behave as in
+    :func:`read_temporal_edge_csv`.
+    """
     with np.load(Path(path), allow_pickle=False) as archive:
         count = int(archive["num_snapshots"])
         n = int(archive["num_nodes"])
         universe = NodeUniverse(archive["labels"].tolist())
-        snapshots = []
+        raw_snapshots = []
         for position in range(count):
             matrix = sp.csr_matrix(
                 (
@@ -171,5 +246,12 @@ def read_npz(path: str | Path) -> DynamicGraph:
                 shape=(n, n),
             )
             time = str(archive[f"time_{position}"]) or None
-            snapshots.append(GraphSnapshot(matrix, universe, time))
-    return DynamicGraph(snapshots)
+            raw_snapshots.append((matrix, universe, time))
+    if sanitize is not None:
+        return DynamicGraph(_sanitized_snapshots(
+            raw_snapshots, sanitize, reports, path,
+        ))
+    return DynamicGraph([
+        GraphSnapshot(matrix, universe, time)
+        for matrix, universe, time in raw_snapshots
+    ])

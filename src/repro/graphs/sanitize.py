@@ -1,0 +1,236 @@
+"""Snapshot sanitization: validate or repair dirty adjacency input.
+
+:class:`~repro.graphs.snapshot.GraphSnapshot` enforces a clean model —
+finite, non-negative, symmetric, zero-diagonal — by *raising* on
+violations. That is the right contract for a library type, but a
+production ingest path cannot afford to abort a whole sequence because
+one month of interaction logs carries a NaN. This module is the layer
+in between: it inspects a *raw* adjacency matrix, reports every defect
+it finds, and resolves them under a configurable policy:
+
+* ``"raise"`` — any defect raises
+  :class:`~repro.exceptions.SanitizationError` (strict ingestion);
+* ``"repair"`` — defects are fixed in a copy (non-finite and negative
+  weights dropped, asymmetry symmetrised by maximum — the same
+  convention as :func:`~repro.graphs.builders.knn_graph` — and
+  self-loops zeroed) and a clean snapshot is returned;
+* ``"quarantine"`` — a defective snapshot is rejected wholesale
+  (``None`` is returned) so a streaming run can skip it and resume
+  against the last good snapshot.
+
+Every call returns a :class:`SanitizationReport` describing what was
+found, whichever policy resolved it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import GraphConstructionError, SanitizationError
+from .snapshot import GraphSnapshot, NodeUniverse
+
+#: Recognised sanitization policies.
+SANITIZE_POLICIES = ("raise", "repair", "quarantine")
+
+#: Absolute tolerance below which opposing entries count as symmetric
+#: (matches the snapshot validator's tolerance).
+_SYMMETRY_ATOL = 1e-8
+
+
+@dataclass(frozen=True)
+class SanitizationReport:
+    """What sanitization found (and did) for one snapshot.
+
+    Attributes:
+        policy: the policy that was applied.
+        time: the snapshot's time label, when one was supplied.
+        non_finite: stored entries that were NaN or infinite.
+        negative: stored entries with negative weight.
+        asymmetric: undirected pairs whose two directions disagreed.
+        self_loops: non-zero diagonal entries.
+        quarantined: True when the snapshot was rejected wholesale.
+    """
+
+    policy: str
+    time: Any = None
+    non_finite: int = 0
+    negative: int = 0
+    asymmetric: int = 0
+    self_loops: int = 0
+    quarantined: bool = False
+
+    @property
+    def is_clean(self) -> bool:
+        """True when the input had no defects at all."""
+        return not (self.non_finite or self.negative
+                    or self.asymmetric or self.self_loops)
+
+    @property
+    def repaired(self) -> bool:
+        """True when defects were found and fixed in place."""
+        return not self.is_clean and not self.quarantined
+
+    @property
+    def entries_fixed(self) -> int:
+        """Total defective entries found across all categories."""
+        return (self.non_finite + self.negative
+                + self.asymmetric + self.self_loops)
+
+    def describe(self) -> str:
+        """One-line summary naming each defect category found."""
+        if self.is_clean:
+            return "clean snapshot"
+        found = []
+        if self.non_finite:
+            found.append(f"{self.non_finite} non-finite weight(s)")
+        if self.negative:
+            found.append(f"{self.negative} negative weight(s)")
+        if self.asymmetric:
+            found.append(f"{self.asymmetric} asymmetric pair(s)")
+        if self.self_loops:
+            found.append(f"{self.self_loops} self-loop(s)")
+        if self.quarantined:
+            verdict = "quarantined"
+        elif self.policy == "raise":
+            verdict = "rejected"
+        else:
+            verdict = "repaired"
+        prefix = "" if self.time is None else f"snapshot {self.time!r}: "
+        return f"{prefix}{verdict}: " + ", ".join(found)
+
+
+def sanitize_adjacency(adjacency: sp.spmatrix | np.ndarray,
+                       policy: str = "repair",
+                       time: Any = None,
+                       ) -> tuple[sp.csr_matrix | None, SanitizationReport]:
+    """Inspect a raw adjacency matrix and resolve its defects.
+
+    Args:
+        adjacency: square matrix, possibly carrying NaN/inf weights,
+            negative weights, asymmetry, or self-loops.
+        policy: ``"raise"``, ``"repair"``, or ``"quarantine"``.
+        time: optional time label, echoed into the report.
+
+    Returns:
+        ``(matrix, report)`` where ``matrix`` is the repaired canonical
+        CSR matrix, or ``None`` when the snapshot was quarantined.
+
+    Raises:
+        SanitizationError: under ``policy="raise"`` on any defect.
+        GraphConstructionError: on input that no policy can resolve
+            (non-square matrices).
+    """
+    if policy not in SANITIZE_POLICIES:
+        raise SanitizationError(
+            f"policy must be one of {SANITIZE_POLICIES}, got {policy!r}"
+        )
+    matrix = (
+        adjacency.tocsr().astype(np.float64).copy()
+        if sp.issparse(adjacency)
+        else sp.csr_matrix(np.asarray(adjacency, dtype=np.float64))
+    )
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise GraphConstructionError(
+            f"adjacency must be a square 2-D matrix, got shape "
+            f"{matrix.shape}"
+        )
+
+    # Repair progressively on the copy so later categories are counted
+    # on already-finite, non-negative data.
+    bad = ~np.isfinite(matrix.data)
+    non_finite = int(bad.sum())
+    matrix.data[bad] = 0.0
+
+    negative_mask = matrix.data < 0
+    negative = int(negative_mask.sum())
+    matrix.data[negative_mask] = 0.0
+
+    self_loops = int(np.count_nonzero(matrix.diagonal()))
+    if self_loops:
+        matrix.setdiag(0.0)
+
+    difference = (matrix - matrix.T).tocoo()
+    disagreeing = int(
+        np.count_nonzero(np.abs(difference.data) > _SYMMETRY_ATOL)
+    )
+    asymmetric = disagreeing // 2  # each pair appears twice in M - M^T
+    if asymmetric:
+        matrix = matrix.maximum(matrix.T)
+
+    report = SanitizationReport(
+        policy=policy, time=time,
+        non_finite=non_finite, negative=negative,
+        asymmetric=asymmetric, self_loops=self_loops,
+        quarantined=policy == "quarantine" and bool(
+            non_finite or negative or asymmetric or self_loops
+        ),
+    )
+    if report.is_clean:
+        matrix.eliminate_zeros()
+        matrix.sort_indices()
+        return matrix, report
+    if policy == "raise":
+        raise SanitizationError(report.describe())
+    if report.quarantined:
+        return None, report
+    matrix.eliminate_zeros()
+    matrix.sort_indices()
+    return matrix, report
+
+
+def sanitize_snapshot(adjacency: sp.spmatrix | np.ndarray,
+                      universe: NodeUniverse | None = None,
+                      time: Any = None,
+                      policy: str = "repair",
+                      ) -> tuple[GraphSnapshot | None, SanitizationReport]:
+    """Sanitize a raw matrix and wrap the result as a snapshot.
+
+    Same policies as :func:`sanitize_adjacency`; a quarantined matrix
+    yields ``(None, report)``, otherwise the repaired matrix becomes a
+    validated :class:`~repro.graphs.snapshot.GraphSnapshot`.
+    """
+    matrix, report = sanitize_adjacency(adjacency, policy=policy,
+                                        time=time)
+    if matrix is None:
+        return None, report
+    return GraphSnapshot(matrix, universe, time), report
+
+
+def raw_matrix_from_edges(edges, universe: NodeUniverse) -> sp.csr_matrix:
+    """Build an *unvalidated* adjacency matrix from an edge list.
+
+    The lenient counterpart of
+    :func:`~repro.graphs.builders.snapshot_from_edges`: weights may be
+    NaN/inf/negative and self-loops are kept on the diagonal, so the
+    result can be fed to :func:`sanitize_adjacency`. Duplicate entries
+    sum. Endpoints must still belong to the universe — an unknown node
+    is an ingestion bug no policy can repair.
+
+    Raises:
+        GraphConstructionError: on an endpoint outside the universe.
+    """
+    n = len(universe)
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    for u, v, weight in edges:
+        if u not in universe or v not in universe:
+            raise GraphConstructionError(
+                f"edge ({u!r}, {v!r}) references a node outside the "
+                f"universe"
+            )
+        i = universe.index_of(u)
+        j = universe.index_of(v)
+        if i == j:
+            rows.append(i)
+            cols.append(j)
+            data.append(float(weight))
+        else:
+            rows.extend((i, j))
+            cols.extend((j, i))
+            data.extend((float(weight), float(weight)))
+    return sp.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()

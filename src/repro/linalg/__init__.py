@@ -33,7 +33,7 @@ from .pseudoinverse import (
     effective_resistance_matrix,
     laplacian_pseudoinverse,
 )
-from .solvers import LaplacianSolver, conjugate_gradient
+from .solvers import LaplacianSolver, conjugate_gradient, make_solver
 from .sparsify import effective_resistances, sparsify
 from .updates import IncrementalPseudoinverse, rank_one_update
 
@@ -63,6 +63,7 @@ __all__ = [
     "laplacian_eigenmaps",
     "laplacian_pseudoinverse",
     "laplacian_quadratic_form",
+    "make_solver",
     "principal_eigenvector",
     "principal_left_singular_vector",
     "suggest_embedding_dimension",

@@ -27,7 +27,7 @@ import scipy.sparse as sp
 from .._validation import as_rng, check_positive_int
 from ..exceptions import EmbeddingError
 from .laplacian import graph_volume, incidence_factors
-from .solvers import LaplacianSolver
+from .solvers import make_solver
 
 _PROJECTION_CHUNK = 262_144  # edges per chunk when sketching Q W^{1/2} B
 
@@ -54,8 +54,13 @@ class CommuteTimeEmbedding:
             sparse). Must contain at least one edge.
         k: embedding dimension (paper's ``k_RP``; > 10 recommended).
         seed: int seed or numpy Generator for the JL projection.
-        solver: ``"cg"`` or ``"direct"`` Laplacian solve backend.
+        solver: ``"cg"``, ``"direct"``, ``"fallback"``, or a
+            :class:`~repro.resilience.fallback.FallbackPolicy` for the
+            Laplacian solve backend.
         tol: solver tolerance.
+        health: optional
+            :class:`~repro.resilience.health.HealthMonitor` recording
+            which backend served each solve (fallback chains only).
 
     Attributes:
         points: ``(n, k)`` array; ``||points[i] - points[j]||^2``
@@ -65,8 +70,9 @@ class CommuteTimeEmbedding:
     def __init__(self, adjacency: sp.spmatrix | np.ndarray,
                  k: int = 50,
                  seed=None,
-                 solver: str = "cg",
-                 tol: float = 1e-8):
+                 solver="cg",
+                 tol: float = 1e-8,
+                 health=None):
         k = check_positive_int(k, "k")
         matrix = (
             adjacency.tocsr() if sp.issparse(adjacency)
@@ -82,7 +88,8 @@ class CommuteTimeEmbedding:
         incidence, weights = incidence_factors(matrix)
         sketch = _sketch_weighted_incidence(incidence, weights, k, rng)
 
-        laplacian_solver = LaplacianSolver(matrix, method=solver, tol=tol)
+        laplacian_solver = make_solver(matrix, solver=solver, tol=tol,
+                                       health=health)
         # Solve L z_d = y_d for each of the k sketch directions.
         z = laplacian_solver.solve_many(sketch.T)  # (n, k)
 
@@ -139,7 +146,7 @@ def estimate_embedding_error(adjacency: sp.spmatrix | np.ndarray,
                              k: int = 50,
                              num_samples: int = 50,
                              seed=None,
-                             solver: str = "cg") -> dict[str, float]:
+                             solver="cg") -> dict[str, float]:
     """Measure an embedding's commute-time error on sampled pairs.
 
     Compares the k-dimensional embedding against *exact* per-pair
@@ -176,7 +183,7 @@ def estimate_embedding_error(adjacency: sp.spmatrix | np.ndarray,
     embedding = CommuteTimeEmbedding(matrix, k=k, seed=rng,
                                      solver=solver)
     approx = embedding.commute_times(rows, cols)
-    exact_solver = LaplacianSolver(matrix, method=solver)
+    exact_solver = make_solver(matrix, solver=solver)
     exact = exact_solver.commute_times_for_pairs(rows, cols)
     valid = exact > 0
     if not valid.any():

@@ -247,13 +247,70 @@ class LaplacianSolver:
         return np.clip(values, 0.0, None)
 
     def solve_many(self, rhs_matrix: np.ndarray) -> np.ndarray:
-        """Solve for each column of ``rhs_matrix``; returns same shape."""
+        """Solve for each column of ``rhs_matrix``; returns same shape.
+
+        The direct backend solves all columns per component in one
+        batched triangular sweep (``splu`` factorisations accept matrix
+        right-hand sides), which is what makes it competitive for the
+        embedding's ``k`` simultaneous solves.
+        """
         columns = np.asarray(rhs_matrix, dtype=np.float64)
         if columns.ndim != 2 or columns.shape[0] != self._n:
             raise SolverError(
                 f"rhs matrix has shape {columns.shape}, expected "
                 f"({self._n}, k)"
             )
-        return np.column_stack([
-            self.solve(columns[:, j]) for j in range(columns.shape[1])
-        ])
+        if self._method != "direct":
+            return np.column_stack([
+                self.solve(columns[:, j]) for j in range(columns.shape[1])
+            ])
+        result = np.zeros_like(columns)
+        for c, nodes in enumerate(self._components):
+            if nodes.size < 2:
+                continue
+            local = columns[nodes] - columns[nodes].mean(axis=0)
+            if not np.any(local):
+                continue
+            solution = np.empty_like(local)
+            solution[0, :] = 0.0
+            solution[1:, :] = self._factorizations[c].solve(local[1:, :])
+            solution -= solution.mean(axis=0)
+            result[nodes] = solution
+        return result
+
+
+def make_solver(adjacency: sp.spmatrix | np.ndarray,
+                solver="cg",
+                tol: float = 1e-10,
+                max_iter: int | None = None,
+                health=None):
+    """Build the Laplacian solve backend named by ``solver``.
+
+    The single dispatch point between the plain per-method
+    :class:`LaplacianSolver` and the resilient
+    :class:`~repro.resilience.fallback.FallbackSolver`, shared by the
+    embedding and its diagnostics.
+
+    Args:
+        adjacency: symmetric non-negative adjacency matrix.
+        solver: ``"cg"``, ``"direct"``, ``"fallback"`` (default
+            escalation chain), or a
+            :class:`~repro.resilience.fallback.FallbackPolicy` instance
+            for a tuned chain.
+        tol: CG tolerance (also the fallback chain's first-stage target).
+        max_iter: CG iteration budget.
+        health: optional
+            :class:`~repro.resilience.health.HealthMonitor` receiving
+            per-solve records (fallback chains only).
+
+    Raises:
+        SolverError: on an unrecognised ``solver`` value.
+    """
+    if isinstance(solver, str) and solver in ("cg", "direct"):
+        return LaplacianSolver(adjacency, method=solver, tol=tol,
+                               max_iter=max_iter)
+    # Imported lazily: repro.resilience depends on this module.
+    from ..resilience.fallback import FallbackSolver, resolve_policy
+
+    return FallbackSolver(adjacency, policy=resolve_policy(solver),
+                          tol=tol, max_iter=max_iter, health=health)

@@ -48,13 +48,32 @@ def report_to_dict(report: DetectionReport,
                 float(x) for x in transition.scores.node_scores
             ]
         transitions.append(entry)
-    return {
+    document: dict[str, Any] = {
         "format": FORMAT,
         "version": VERSION,
         "detector": report.detector,
         "threshold": float(report.threshold),
         "transitions": transitions,
     }
+    if report.health is not None:
+        health = report.health
+        document["health"] = {
+            "solves_by_backend": dict(health.solves_by_backend),
+            "fallbacks_taken": health.fallbacks_taken,
+            "retries_spent": health.retries_spent,
+            "failed_solves": health.failed_solves,
+            "snapshots_repaired": health.snapshots_repaired,
+            "repairs_applied": health.repairs_applied,
+            "quarantined": [
+                {
+                    "position": record.position,
+                    "time": _jsonable(record.time),
+                    "reason": record.reason,
+                }
+                for record in health.quarantined
+            ],
+        }
+    return document
 
 
 def write_report_json(report: DetectionReport,

@@ -1,0 +1,41 @@
+"""Fault tolerance for the detection pipeline.
+
+Production streams treat solver failure and dirty input as routine
+events to degrade around, not fatal errors. This package supplies the
+resilience layer:
+
+* :mod:`~repro.resilience.fallback` — a solver chain that escalates
+  CG → relaxed CG retries → sparse LU → dense pseudoinverse;
+* :mod:`~repro.resilience.health` — per-run accounting of fallbacks,
+  retries, repairs, and quarantined snapshots;
+* :mod:`~repro.resilience.checkpoint` — durable checkpoint files for
+  :class:`~repro.core.streaming.StreamingCadDetector`;
+* :mod:`~repro.resilience.faults` — deterministic fault injection used
+  to prove every fallback edge actually fires.
+
+Snapshot sanitization itself lives next to the graph model in
+:mod:`repro.graphs.sanitize`.
+"""
+
+from .checkpoint import read_checkpoint, write_checkpoint
+from .fallback import DEFAULT_POLICY, FallbackPolicy, FallbackSolver
+from .faults import CORRUPTION_KINDS, FaultInjector, corrupt_adjacency
+from .health import (
+    HealthMonitor,
+    HealthReport,
+    QuarantineRecord,
+)
+
+__all__ = [
+    "CORRUPTION_KINDS",
+    "DEFAULT_POLICY",
+    "FallbackPolicy",
+    "FallbackSolver",
+    "FaultInjector",
+    "HealthMonitor",
+    "HealthReport",
+    "QuarantineRecord",
+    "corrupt_adjacency",
+    "read_checkpoint",
+    "write_checkpoint",
+]

@@ -1,0 +1,292 @@
+"""Solver fallback chain: escalate through backends instead of aborting.
+
+A single :class:`~repro.exceptions.ConvergenceError` from the
+from-scratch CG solver used to abort an entire sequence run. Real
+deployments treat solver failure as routine; :class:`FallbackSolver`
+wraps the same per-snapshot solve interface as
+:class:`~repro.linalg.solvers.LaplacianSolver` and escalates through a
+configurable chain when an attempt fails:
+
+1. **cg** — Jacobi-preconditioned CG at the target tolerance;
+2. **cg-retry** — bounded CG retries with geometrically relaxed
+   tolerance and a growing iteration budget;
+3. **direct** — sparse LU of the grounded component blocks;
+4. **dense** — the dense pseudoinverse, for graphs small enough that
+   O(n^3) is an acceptable last resort.
+
+Every solve records which backend served it (and how many retries were
+spent) into a :class:`~repro.resilience.health.HealthMonitor`, so the
+final report shows exactly how much degradation a run absorbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import check_positive_float
+from ..exceptions import SolverError
+from ..linalg.pseudoinverse import laplacian_pseudoinverse
+from ..linalg.solvers import LaplacianSolver
+from .faults import FaultInjector
+from .health import HealthMonitor
+
+
+@dataclass(frozen=True)
+class FallbackPolicy:
+    """Configuration of the solve fallback chain.
+
+    Args:
+        cg_retries: bounded number of relaxed-CG retries between the
+            first CG attempt and the direct backend.
+        tol_relaxation: multiplicative tolerance relaxation per retry
+            (retry ``r`` runs at ``tol * tol_relaxation**r``).
+        budget_growth: multiplicative iteration-budget escalation per
+            retry (retry ``r`` runs with ``base_iters * budget_growth**r``).
+        use_direct: include the sparse-LU stage in the chain.
+        dense_limit: include the dense-pseudoinverse stage only for
+            graphs with at most this many nodes (O(n^3) last resort).
+        fault_injector: optional deterministic failure source used by
+            resilience tests to force specific chain edges to fire.
+    """
+
+    cg_retries: int = 2
+    tol_relaxation: float = 100.0
+    budget_growth: float = 4.0
+    use_direct: bool = True
+    dense_limit: int = 2000
+    fault_injector: FaultInjector | None = None
+
+    def __post_init__(self) -> None:
+        if self.cg_retries < 0:
+            raise ValueError(
+                f"cg_retries must be >= 0, got {self.cg_retries}"
+            )
+        check_positive_float(self.tol_relaxation, "tol_relaxation")
+        check_positive_float(self.budget_growth, "budget_growth")
+        if self.dense_limit < 0:
+            raise ValueError(
+                f"dense_limit must be >= 0, got {self.dense_limit}"
+            )
+
+
+#: Chain used when callers ask for ``solver="fallback"`` without tuning.
+DEFAULT_POLICY = FallbackPolicy()
+
+
+@dataclass(frozen=True)
+class _Stage:
+    """One rung of the chain: a backend name plus its CG parameters."""
+
+    backend: str
+    tol: float | None = None
+    max_iter: int | None = None
+
+
+class FallbackSolver:
+    """Drop-in ``L^+ y`` solver that degrades through backends.
+
+    Mirrors the :class:`~repro.linalg.solvers.LaplacianSolver` interface
+    (``solve`` / ``solve_many`` / ``commute_times_for_pairs`` plus the
+    component accessors) so the commute-time embedding can use either
+    interchangeably.
+
+    Args:
+        adjacency: symmetric non-negative adjacency matrix.
+        policy: chain configuration; defaults to :data:`DEFAULT_POLICY`.
+        tol: target CG tolerance of the first stage.
+        max_iter: CG iteration budget of the first stage (defaults to
+            the solver's size-derived budget).
+        health: monitor receiving one record per solve; optional.
+    """
+
+    def __init__(self, adjacency: sp.spmatrix | np.ndarray,
+                 policy: FallbackPolicy | None = None,
+                 tol: float = 1e-10,
+                 max_iter: int | None = None,
+                 health: HealthMonitor | None = None):
+        matrix = (
+            adjacency.tocsr() if sp.issparse(adjacency)
+            else sp.csr_matrix(np.asarray(adjacency, dtype=np.float64))
+        )
+        self._matrix = matrix
+        self._n = matrix.shape[0]
+        self._policy = DEFAULT_POLICY if policy is None else policy
+        self._tol = check_positive_float(tol, "tol")
+        self._health = health
+        # The primary CG solver doubles as the component analysis.
+        primary = LaplacianSolver(matrix, method="cg", tol=self._tol,
+                                  max_iter=max_iter)
+        base_iters = max_iter if max_iter is not None else 10 * self._n + 100
+        self._stages: list[_Stage] = [
+            _Stage("cg", tol=self._tol, max_iter=base_iters)
+        ]
+        for retry in range(1, self._policy.cg_retries + 1):
+            self._stages.append(_Stage(
+                "cg-retry",
+                tol=min(self._tol * self._policy.tol_relaxation ** retry,
+                        0.1),
+                max_iter=int(base_iters *
+                             self._policy.budget_growth ** retry),
+            ))
+        if self._policy.use_direct:
+            self._stages.append(_Stage("direct"))
+        if self._n <= self._policy.dense_limit:
+            self._stages.append(_Stage("dense"))
+        # Stage solvers are built lazily: escalation is the exception,
+        # so most runs only ever pay for the primary CG solver.
+        self._stage_solvers: dict[int, object] = {0: primary}
+        self._component_labels = primary.component_labels
+        self._num_components = primary.num_components
+
+    @property
+    def num_components(self) -> int:
+        """Number of connected components of the underlying graph."""
+        return self._num_components
+
+    @property
+    def component_labels(self) -> np.ndarray:
+        """Per-node component ids (length n)."""
+        return self._component_labels
+
+    @property
+    def backends(self) -> tuple[str, ...]:
+        """The chain's backend names, in escalation order."""
+        return tuple(stage.backend for stage in self._stages)
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Minimum-norm ``x = L^+ rhs`` via the first backend to succeed.
+
+        Raises:
+            SolverError: on a malformed right-hand side (no backend
+                could help), or when every backend in the chain failed.
+        """
+        b = np.asarray(rhs, dtype=np.float64)
+        if b.shape != (self._n,):
+            raise SolverError(
+                f"rhs has shape {b.shape}, expected ({self._n},)"
+            )
+        injector = self._policy.fault_injector
+        solve_index = injector.begin_solve() if injector else -1
+        retries = 0
+        last_error: Exception | None = None
+        for position, stage in enumerate(self._stages):
+            try:
+                if injector is not None:
+                    injector.check_backend(solve_index, stage.backend)
+                solution = self._solver_for(position).solve(b)
+            except SolverError as error:
+                last_error = error
+                retries += 1
+                continue
+            if self._health is not None:
+                self._health.record_solve(stage.backend,
+                                          retries=retries)
+            return solution
+        if self._health is not None:
+            self._health.record_failed_solve(retries=retries)
+        raise SolverError(
+            f"all {len(self._stages)} fallback backends failed "
+            f"({' -> '.join(self.backends)})"
+        ) from last_error
+
+    def solve_many(self, rhs_matrix: np.ndarray) -> np.ndarray:
+        """Solve per column of ``rhs_matrix``; same shape returned.
+
+        Columns are solved independently so a failure on one column
+        escalates only that column's chain.
+        """
+        columns = np.asarray(rhs_matrix, dtype=np.float64)
+        if columns.ndim != 2 or columns.shape[0] != self._n:
+            raise SolverError(
+                f"rhs matrix has shape {columns.shape}, expected "
+                f"({self._n}, k)"
+            )
+        return np.column_stack([
+            self.solve(columns[:, j]) for j in range(columns.shape[1])
+        ])
+
+    def commute_times_for_pairs(self, rows: np.ndarray,
+                                cols: np.ndarray) -> np.ndarray:
+        """Exact commute times for selected pairs via fallback solves.
+
+        Same contract as
+        :meth:`repro.linalg.solvers.LaplacianSolver.commute_times_for_pairs`.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.shape != cols.shape:
+            raise SolverError(
+                f"rows and cols must align, got {rows.shape} vs "
+                f"{cols.shape}"
+            )
+        volume = float(self._matrix.sum())
+        values = np.empty(rows.size)
+        for position, (i, j) in enumerate(zip(rows, cols)):
+            if i == j:
+                values[position] = 0.0
+                continue
+            rhs = np.zeros(self._n)
+            rhs[i] = 1.0
+            rhs[j] = -1.0
+            solution = self.solve(rhs)
+            values[position] = volume * (solution[i] - solution[j])
+        return np.clip(values, 0.0, None)
+
+    def _solver_for(self, position: int):
+        """The stage's solver object, built on first use."""
+        solver = self._stage_solvers.get(position)
+        if solver is None:
+            stage = self._stages[position]
+            if stage.backend in ("cg", "cg-retry"):
+                solver = LaplacianSolver(
+                    self._matrix, method="cg",
+                    tol=stage.tol, max_iter=stage.max_iter,
+                )
+            elif stage.backend == "direct":
+                solver = LaplacianSolver(self._matrix, method="direct")
+            else:
+                solver = _DensePseudoinverseSolver(
+                    self._matrix, self._component_labels,
+                    self._num_components,
+                )
+            self._stage_solvers[position] = solver
+        return solver
+
+
+class _DensePseudoinverseSolver:
+    """Last-resort backend: apply the dense ``L^+`` directly."""
+
+    def __init__(self, matrix: sp.csr_matrix,
+                 component_labels: np.ndarray,
+                 num_components: int):
+        self._pseudoinverse = laplacian_pseudoinverse(matrix)
+        self._component_labels = component_labels
+        self._num_components = num_components
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        projected = np.asarray(rhs, dtype=np.float64).copy()
+        for component in range(self._num_components):
+            mask = self._component_labels == component
+            projected[mask] -= projected[mask].mean()
+        return self._pseudoinverse @ projected
+
+
+def resolve_policy(solver: str | FallbackPolicy) -> FallbackPolicy:
+    """Normalise a ``solver=`` argument into a :class:`FallbackPolicy`.
+
+    Accepts the string ``"fallback"`` (default chain) or an explicit
+    policy instance.
+
+    Raises:
+        SolverError: on any other value.
+    """
+    if isinstance(solver, FallbackPolicy):
+        return solver
+    if solver == "fallback":
+        return DEFAULT_POLICY
+    raise SolverError(
+        f"cannot derive a fallback policy from solver={solver!r}"
+    )

@@ -1,0 +1,167 @@
+"""Deterministic fault injection for resilience testing.
+
+Proving that every fallback edge actually fires needs failures on
+demand: "the Nth Laplacian solve diverges", "the 3rd snapshot arrives
+with a NaN weight". :class:`FaultInjector` produces exactly those
+faults, deterministically (a seeded generator picks which entries to
+corrupt), so resilience tests are reproducible bit for bit.
+
+This module is part of the library rather than the test tree so that
+downstream users can drive the same chaos drills against their own
+deployments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import as_rng
+from ..exceptions import ConvergenceError
+
+#: Supported adjacency corruption kinds.
+CORRUPTION_KINDS = ("nan", "inf", "negative", "asymmetric", "self_loops")
+
+
+def corrupt_adjacency(adjacency: sp.spmatrix | np.ndarray,
+                      kind: str = "nan",
+                      amount: int = 1,
+                      seed=0) -> sp.csr_matrix:
+    """Return a corrupted copy of ``adjacency``.
+
+    Args:
+        adjacency: a clean symmetric adjacency matrix.
+        kind: defect to introduce — ``"nan"``/``"inf"`` (non-finite
+            weights), ``"negative"`` (sign-flipped weights),
+            ``"asymmetric"`` (one direction of an edge rewritten), or
+            ``"self_loops"`` (non-zero diagonal entries).
+        amount: how many entries to corrupt (clipped to what exists).
+        seed: seed for the deterministic choice of entries.
+
+    Raises:
+        ValueError: on an unknown ``kind`` or when the matrix has no
+            edges to corrupt.
+    """
+    if kind not in CORRUPTION_KINDS:
+        raise ValueError(
+            f"kind must be one of {CORRUPTION_KINDS}, got {kind!r}"
+        )
+    matrix = (
+        adjacency.tocsr().astype(np.float64).copy()
+        if sp.issparse(adjacency)
+        else sp.csr_matrix(np.asarray(adjacency, dtype=np.float64))
+    )
+    rng = as_rng(seed)
+    n = matrix.shape[0]
+    if kind == "self_loops":
+        rows = rng.choice(n, size=min(amount, n), replace=False)
+        lil = matrix.tolil()
+        for i in rows:
+            lil[i, i] = 1.0
+        return lil.tocsr()
+    upper = sp.triu(matrix, k=1).tocoo()
+    if upper.nnz == 0:
+        raise ValueError("adjacency has no edges to corrupt")
+    picks = rng.choice(upper.nnz, size=min(amount, upper.nnz),
+                       replace=False)
+    lil = matrix.tolil()
+    for p in picks:
+        i, j = int(upper.row[p]), int(upper.col[p])
+        if kind == "nan":
+            lil[i, j] = lil[j, i] = np.nan
+        elif kind == "inf":
+            lil[i, j] = lil[j, i] = np.inf
+        elif kind == "negative":
+            lil[i, j] = lil[j, i] = -abs(float(upper.data[p]))
+        else:  # asymmetric: rewrite one direction only
+            lil[i, j] = float(upper.data[p]) + 1.0
+    return lil.tocsr()
+
+
+class FaultInjector:
+    """Deterministic, seedable failure source for resilience tests.
+
+    Two independent fault channels:
+
+    * **solve faults** — the injector counts top-level Laplacian solves
+      issued through a :class:`~repro.resilience.fallback.FallbackSolver`
+      and makes the configured backends of the configured solve indices
+      raise :class:`~repro.exceptions.ConvergenceError`, forcing the
+      fallback chain to escalate;
+    * **snapshot corruption** — :meth:`maybe_corrupt` rewrites the
+      configured snapshot positions of a stream with a chosen defect, so
+      sanitization and quarantine paths can be exercised end to end.
+
+    Args:
+        fail_solves: 0-based solve indices to sabotage (counted across
+            the injector's lifetime, in issue order).
+        fail_backends: backend names whose attempts fail on those solves
+            (subset of ``cg``, ``cg-retry``, ``direct``, ``dense``);
+            backends not listed succeed, which is what lets a test pin
+            exactly how far the chain must escalate.
+        corrupt_snapshots: 0-based stream positions whose adjacency
+            :meth:`maybe_corrupt` rewrites.
+        corruption: defect kind for :meth:`maybe_corrupt`
+            (see :func:`corrupt_adjacency`).
+        seed: seed for the deterministic corruption choices.
+    """
+
+    def __init__(self,
+                 fail_solves: Collection[int] = (),
+                 fail_backends: Iterable[str] = ("cg",),
+                 corrupt_snapshots: Collection[int] = (),
+                 corruption: str = "nan",
+                 seed: int = 0):
+        if corruption not in CORRUPTION_KINDS:
+            raise ValueError(
+                f"corruption must be one of {CORRUPTION_KINDS}, "
+                f"got {corruption!r}"
+            )
+        self._fail_solves = frozenset(int(i) for i in fail_solves)
+        self._fail_backends = frozenset(fail_backends)
+        self._corrupt_snapshots = frozenset(
+            int(i) for i in corrupt_snapshots
+        )
+        self._corruption = corruption
+        self._seed = seed
+        self._solve_count = 0
+
+    @property
+    def solves_issued(self) -> int:
+        """Top-level solves counted so far."""
+        return self._solve_count
+
+    def begin_solve(self) -> int:
+        """Register one top-level solve; returns its 0-based index."""
+        index = self._solve_count
+        self._solve_count += 1
+        return index
+
+    def check_backend(self, solve_index: int, backend: str) -> None:
+        """Raise the injected failure when this attempt is sabotaged.
+
+        Raises:
+            ConvergenceError: for a (solve, backend) pair configured to
+                fail.
+        """
+        if solve_index in self._fail_solves and \
+                backend in self._fail_backends:
+            raise ConvergenceError(
+                f"injected fault: solve {solve_index} via {backend!r}"
+            )
+
+    def maybe_corrupt(self, adjacency: sp.spmatrix | np.ndarray,
+                      position: int) -> sp.spmatrix | np.ndarray:
+        """Corrupt ``adjacency`` when ``position`` is targeted.
+
+        Untargeted positions pass through unchanged. Corruption is
+        deterministic per position (seeded with ``seed + position``).
+        """
+        if position not in self._corrupt_snapshots:
+            return adjacency
+        return corrupt_adjacency(
+            adjacency, kind=self._corruption,
+            seed=self._seed + int(position),
+        )

@@ -1,0 +1,196 @@
+"""Per-run health accounting for the fault-tolerant pipeline.
+
+Resilient runs degrade around failures instead of aborting: solves fall
+back to slower backends, dirty snapshots are repaired or quarantined,
+streams skip over bad input. None of that should happen silently — the
+:class:`HealthMonitor` collects every such event during a run and a
+frozen :class:`HealthReport` snapshot rides along on the final
+:class:`~repro.core.results.DetectionReport` so operators can see how
+much degradation a result absorbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Backend that serves a solve when nothing went wrong. Solves served by
+#: any other backend count as fallbacks taken.
+PRIMARY_BACKEND = "cg"
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One snapshot excluded from a run.
+
+    Attributes:
+        position: 0-based position of the snapshot in the input stream
+            (counting every pushed snapshot, including quarantined ones).
+        time: the snapshot's time label, when one was available.
+        reason: human-readable cause (sanitization verdict or the solver
+            error that made the transition unscorable).
+    """
+
+    position: int
+    time: Any
+    reason: str
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Immutable summary of the degradation events of one run.
+
+    Attributes:
+        solves_by_backend: how many Laplacian solves each backend served
+            (``cg``, ``cg-retry``, ``direct``, ``dense``).
+        retries_spent: total extra solve attempts beyond each solve's
+            first try.
+        failed_solves: solves that exhausted the entire fallback chain.
+        quarantined: snapshots excluded from the run, in stream order.
+        snapshots_repaired: snapshots whose adjacency needed repair
+            during sanitization.
+        repairs_applied: individual entries fixed across all repaired
+            snapshots (NaN/inf, negative, asymmetric, self-loop counts
+            summed).
+    """
+
+    solves_by_backend: dict[str, int] = field(default_factory=dict)
+    retries_spent: int = 0
+    failed_solves: int = 0
+    quarantined: tuple[QuarantineRecord, ...] = ()
+    snapshots_repaired: int = 0
+    repairs_applied: int = 0
+
+    @property
+    def total_solves(self) -> int:
+        """Solves served by any backend."""
+        return sum(self.solves_by_backend.values())
+
+    @property
+    def fallbacks_taken(self) -> int:
+        """Solves that the primary backend did not serve."""
+        return self.total_solves - self.solves_by_backend.get(
+            PRIMARY_BACKEND, 0
+        )
+
+    def is_empty(self) -> bool:
+        """True when the run saw no degradation at all."""
+        return (
+            self.fallbacks_taken == 0
+            and self.retries_spent == 0
+            and self.failed_solves == 0
+            and not self.quarantined
+            and self.snapshots_repaired == 0
+        )
+
+    def describe(self) -> str:
+        """One-line summary for report footers and the CLI."""
+        parts = [
+            f"fallbacks={self.fallbacks_taken}",
+            f"retries={self.retries_spent}",
+            f"quarantined={len(self.quarantined)}",
+        ]
+        if self.snapshots_repaired:
+            parts.append(f"repaired={self.snapshots_repaired}")
+        if self.failed_solves:
+            parts.append(f"failed_solves={self.failed_solves}")
+        served = ", ".join(
+            f"{backend}:{count}"
+            for backend, count in sorted(self.solves_by_backend.items())
+            if backend != PRIMARY_BACKEND and count
+        )
+        if served:
+            parts.append(f"served_by[{served}]")
+        return "health: " + " ".join(parts)
+
+
+class HealthMonitor:
+    """Mutable collector of degradation events during one run.
+
+    One monitor is shared by everything that can degrade — the fallback
+    solver records which backend served each solve, sanitization records
+    repairs, the streaming detector records quarantines — and
+    :meth:`report` freezes the current totals into a
+    :class:`HealthReport`.
+    """
+
+    def __init__(self) -> None:
+        self._solves_by_backend: dict[str, int] = {}
+        self._retries_spent = 0
+        self._failed_solves = 0
+        self._quarantined: list[QuarantineRecord] = []
+        self._snapshots_repaired = 0
+        self._repairs_applied = 0
+
+    def record_solve(self, backend: str, retries: int = 0) -> None:
+        """Record one completed solve and who served it."""
+        self._solves_by_backend[backend] = (
+            self._solves_by_backend.get(backend, 0) + 1
+        )
+        self._retries_spent += int(retries)
+
+    def record_failed_solve(self, retries: int = 0) -> None:
+        """Record a solve that exhausted the whole fallback chain."""
+        self._failed_solves += 1
+        self._retries_spent += int(retries)
+
+    def record_quarantine(self, position: int, time: Any,
+                          reason: str) -> None:
+        """Record a snapshot excluded from the run."""
+        self._quarantined.append(
+            QuarantineRecord(position=position, time=time, reason=reason)
+        )
+
+    def record_repair(self, entries_fixed: int) -> None:
+        """Record one snapshot repaired during sanitization."""
+        self._snapshots_repaired += 1
+        self._repairs_applied += int(entries_fixed)
+
+    @property
+    def quarantined(self) -> tuple[QuarantineRecord, ...]:
+        """Quarantine records so far, in stream order."""
+        return tuple(self._quarantined)
+
+    def report(self) -> HealthReport:
+        """Freeze the current totals into an immutable report."""
+        return HealthReport(
+            solves_by_backend=dict(self._solves_by_backend),
+            retries_spent=self._retries_spent,
+            failed_solves=self._failed_solves,
+            quarantined=tuple(self._quarantined),
+            snapshots_repaired=self._snapshots_repaired,
+            repairs_applied=self._repairs_applied,
+        )
+
+    def state(self) -> dict[str, Any]:
+        """Plain-data snapshot of the monitor (for checkpointing)."""
+        return {
+            "solves_by_backend": dict(self._solves_by_backend),
+            "retries_spent": self._retries_spent,
+            "failed_solves": self._failed_solves,
+            "quarantined": [
+                {"position": q.position, "time": q.time, "reason": q.reason}
+                for q in self._quarantined
+            ],
+            "snapshots_repaired": self._snapshots_repaired,
+            "repairs_applied": self._repairs_applied,
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore totals captured by :meth:`state`."""
+        self._solves_by_backend = {
+            str(backend): int(count)
+            for backend, count in state.get("solves_by_backend", {}).items()
+        }
+        self._retries_spent = int(state.get("retries_spent", 0))
+        self._failed_solves = int(state.get("failed_solves", 0))
+        self._quarantined = [
+            QuarantineRecord(
+                position=int(entry["position"]),
+                time=entry.get("time"),
+                reason=str(entry["reason"]),
+            )
+            for entry in state.get("quarantined", [])
+        ]
+        self._snapshots_repaired = int(state.get("snapshots_repaired", 0))
+        self._repairs_applied = int(state.get("repairs_applied", 0))

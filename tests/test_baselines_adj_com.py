@@ -6,7 +6,7 @@ import pytest
 from repro.baselines import AdjDetector, ComDetector
 from repro.core import CadDetector
 from repro.exceptions import DetectionError
-from repro.graphs import DynamicGraph, GraphSnapshot
+from repro.graphs import GraphSnapshot
 
 
 @pytest.fixture

@@ -1,0 +1,95 @@
+"""CLI tests for sanitization flags, solver selection, and exit codes."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def dirty_csv(tmp_path):
+    """Three snapshots; the middle one carries a NaN weight."""
+    path = tmp_path / "dirty.csv"
+    path.write_text(
+        "time,source,target,weight\n"
+        "t0,a,b,1.0\n"
+        "t0,b,c,2.0\n"
+        "t0,c,d,1.0\n"
+        "t1,a,b,nan\n"
+        "t1,b,c,2.0\n"
+        "t1,c,d,1.5\n"
+        "t2,a,b,1.0\n"
+        "t2,b,c,0.5\n"
+        "t2,c,d,1.0\n"
+    )
+    return str(path)
+
+
+class TestDetectSanitize:
+    def test_default_repairs_and_notes(self, dirty_csv, capsys):
+        assert main(["detect", dirty_csv, "-l", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "sanitize:" in captured.err
+        assert "repaired" in captured.err
+        assert "non-finite" in captured.err
+
+    def test_strict_fails_with_exit_2(self, dirty_csv, capsys):
+        assert main(["detect", dirty_csv, "-l", "1", "--strict"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "rejected" in captured.err
+
+    def test_sanitize_raise_equals_strict(self, dirty_csv):
+        assert main(
+            ["detect", dirty_csv, "-l", "1", "--sanitize", "raise"]
+        ) == 2
+
+    def test_quarantine_skips_snapshot(self, dirty_csv, capsys):
+        assert main(
+            ["detect", dirty_csv, "-l", "1", "--sanitize", "quarantine"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "quarantined" in captured.err
+        # only t0 -> t2 remains: a single transition in the summary
+        assert "transitions=1" in captured.out
+        assert "[t0->t2]" in captured.out
+
+    def test_clean_input_prints_no_notes(self, tmp_path, capsys):
+        path = tmp_path / "clean.csv"
+        path.write_text(
+            "time,source,target,weight\n"
+            "t0,a,b,1.0\n"
+            "t0,b,c,2.0\n"
+            "t1,a,b,1.5\n"
+            "t1,b,c,2.0\n"
+        )
+        assert main(["detect", str(path), "-l", "1"]) == 0
+        assert "sanitize:" not in capsys.readouterr().err
+
+
+class TestDetectSolver:
+    @pytest.mark.parametrize("solver", ["cg", "direct", "fallback"])
+    def test_solver_choices_run(self, dirty_csv, solver, capsys):
+        assert main(
+            ["detect", dirty_csv, "-l", "1", "--solver", solver]
+        ) == 0
+        assert "anomalous" in capsys.readouterr().out
+
+    def test_solver_ignored_for_other_detectors(self, dirty_csv,
+                                                capsys):
+        # --solver is CAD-specific; other detectors simply ignore it.
+        assert main(
+            ["detect", dirty_csv, "-l", "1", "--detector", "adj",
+             "--solver", "fallback"]
+        ) == 0
+
+
+class TestExitCodes:
+    def test_missing_file_is_exit_1(self, capsys):
+        assert main(["detect", "/nonexistent/graph.csv"]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_unsupported_extension_is_exit_1(self, tmp_path, capsys):
+        path = tmp_path / "graph.parquet"
+        path.write_text("not a graph")
+        assert main(["detect", str(path)]) == 1
+        assert "unsupported" in capsys.readouterr().err

@@ -8,7 +8,7 @@ from repro.core import (
     aggregate_node_scores,
     cad_edge_scores,
 )
-from repro.graphs import DynamicGraph, GraphSnapshot
+from repro.graphs import GraphSnapshot
 
 
 @pytest.fixture

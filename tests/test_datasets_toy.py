@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import CadDetector
 from repro.datasets import toy_example
-from repro.datasets.toy import ANOMALOUS_SCENARIOS, BENIGN_SCENARIOS
+from repro.datasets.toy import BENIGN_SCENARIOS
 
 
 @pytest.fixture(scope="module")

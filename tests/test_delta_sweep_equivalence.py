@@ -9,7 +9,6 @@ ranking (up to ties).
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import CadDetector, anomaly_sets_at

@@ -31,7 +31,8 @@ def sample_graph() -> DynamicGraph:
 
 def _assert_equivalent(a: DynamicGraph, b: DynamicGraph) -> None:
     assert len(a) == len(b)
-    assert [str(l) for l in a.universe] == [str(l) for l in b.universe]
+    assert ([str(node) for node in a.universe]
+            == [str(node) for node in b.universe])
     for s1, s2 in zip(a, b):
         np.testing.assert_allclose(
             s1.adjacency.toarray(), s2.adjacency.toarray()

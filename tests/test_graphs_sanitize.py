@@ -1,0 +1,247 @@
+"""Tests for snapshot sanitization and the sanitizing IO readers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import GraphConstructionError, SanitizationError
+from repro.graphs import (
+    GraphSnapshot,
+    NodeUniverse,
+    raw_matrix_from_edges,
+    read_npz,
+    read_temporal_edge_csv,
+    sanitize_adjacency,
+    sanitize_snapshot,
+    write_npz,
+)
+from repro.graphs.dynamic import DynamicGraph
+from repro.resilience import corrupt_adjacency
+
+
+def _clean_matrix():
+    matrix = np.zeros((4, 4))
+    matrix[0, 1] = matrix[1, 0] = 1.0
+    matrix[1, 2] = matrix[2, 1] = 2.0
+    matrix[2, 3] = matrix[3, 2] = 0.5
+    return matrix
+
+
+class TestCleanInput:
+    def test_clean_passthrough(self):
+        matrix, report = sanitize_adjacency(_clean_matrix())
+        assert report.is_clean
+        assert not report.repaired
+        assert report.entries_fixed == 0
+        assert report.describe() == "clean snapshot"
+        np.testing.assert_allclose(matrix.toarray(), _clean_matrix())
+
+    def test_clean_under_raise_policy(self):
+        matrix, report = sanitize_adjacency(_clean_matrix(),
+                                            policy="raise")
+        assert matrix is not None and report.is_clean
+
+
+class TestDefectCounting:
+    def test_non_finite(self):
+        dirty = _clean_matrix()
+        dirty[0, 1] = dirty[1, 0] = np.nan
+        dirty[1, 2] = np.inf
+        dirty[2, 1] = np.inf
+        _, report = sanitize_adjacency(dirty)
+        assert report.non_finite == 4  # stored entries, both directions
+
+    def test_negative(self):
+        dirty = _clean_matrix()
+        dirty[0, 1] = dirty[1, 0] = -2.0
+        _, report = sanitize_adjacency(dirty)
+        assert report.negative == 2
+
+    def test_self_loops(self):
+        dirty = _clean_matrix()
+        dirty[0, 0] = 3.0
+        dirty[2, 2] = 1.0
+        _, report = sanitize_adjacency(dirty)
+        assert report.self_loops == 2
+
+    def test_asymmetric_counted_as_pairs(self):
+        dirty = _clean_matrix()
+        dirty[0, 1] = 5.0  # disagree with dirty[1, 0] == 1.0
+        _, report = sanitize_adjacency(dirty)
+        assert report.asymmetric == 1
+
+
+class TestRepairPolicy:
+    def test_non_finite_weights_dropped(self):
+        dirty = _clean_matrix()
+        dirty[0, 1] = dirty[1, 0] = np.nan
+        matrix, report = sanitize_adjacency(dirty)
+        assert report.repaired
+        assert matrix[0, 1] == 0.0
+        assert np.isfinite(matrix.toarray()).all()
+
+    def test_negative_weights_dropped(self):
+        dirty = _clean_matrix()
+        dirty[2, 3] = dirty[3, 2] = -1.0
+        matrix, _ = sanitize_adjacency(dirty)
+        assert matrix[2, 3] == 0.0
+
+    def test_asymmetry_symmetrised_by_maximum(self):
+        dirty = _clean_matrix()
+        dirty[0, 1] = 5.0
+        matrix, _ = sanitize_adjacency(dirty)
+        assert matrix[0, 1] == 5.0
+        assert matrix[1, 0] == 5.0
+
+    def test_self_loops_zeroed(self):
+        dirty = _clean_matrix()
+        dirty[3, 3] = 9.0
+        matrix, _ = sanitize_adjacency(dirty)
+        assert matrix.diagonal().sum() == 0.0
+
+    def test_repaired_matrix_is_snapshot_clean(self):
+        dirty = _clean_matrix()
+        dirty[0, 1] = np.nan
+        dirty[1, 0] = -3.0
+        dirty[2, 2] = 1.0
+        snapshot, report = sanitize_snapshot(dirty, time="march")
+        assert isinstance(snapshot, GraphSnapshot)
+        assert snapshot.time == "march"
+        assert report.time == "march"
+        assert "march" in report.describe()
+
+
+class TestRaisePolicy:
+    def test_raises_and_names_defects(self):
+        dirty = _clean_matrix()
+        dirty[0, 1] = dirty[1, 0] = np.nan
+        with pytest.raises(SanitizationError, match="non-finite"):
+            sanitize_adjacency(dirty, policy="raise")
+
+    def test_verdict_word(self):
+        dirty = _clean_matrix()
+        dirty[0, 0] = 1.0
+        with pytest.raises(SanitizationError, match="rejected"):
+            sanitize_adjacency(dirty, policy="raise")
+
+
+class TestQuarantinePolicy:
+    def test_dirty_snapshot_rejected_wholesale(self):
+        dirty = _clean_matrix()
+        dirty[0, 1] = dirty[1, 0] = np.inf
+        matrix, report = sanitize_adjacency(dirty, policy="quarantine")
+        assert matrix is None
+        assert report.quarantined
+        assert not report.repaired
+        snapshot, _ = sanitize_snapshot(dirty, policy="quarantine")
+        assert snapshot is None
+
+    def test_clean_snapshot_kept(self):
+        matrix, report = sanitize_adjacency(_clean_matrix(),
+                                            policy="quarantine")
+        assert matrix is not None
+        assert not report.quarantined
+
+
+class TestValidation:
+    def test_unknown_policy(self):
+        with pytest.raises(SanitizationError, match="policy"):
+            sanitize_adjacency(_clean_matrix(), policy="ignore")
+
+    def test_non_square_unrepairable(self):
+        with pytest.raises(GraphConstructionError):
+            sanitize_adjacency(np.zeros((2, 3)))
+
+
+class TestRawMatrixFromEdges:
+    def test_keeps_defects_for_sanitization(self):
+        universe = NodeUniverse(["a", "b", "c"])
+        matrix = raw_matrix_from_edges(
+            [("a", "b", np.nan), ("b", "c", -2.0), ("a", "a", 1.0)],
+            universe,
+        )
+        assert np.isnan(matrix[0, 1])
+        assert matrix[1, 2] == -2.0
+        assert matrix[0, 0] == 1.0  # self-loop kept on the diagonal
+
+    def test_unknown_endpoint_rejected(self):
+        universe = NodeUniverse(["a", "b"])
+        with pytest.raises(GraphConstructionError, match="outside"):
+            raw_matrix_from_edges([("a", "zz", 1.0)], universe)
+
+
+class TestSanitizingReaders:
+    def _write_dirty_csv(self, path):
+        path.write_text(
+            "time,source,target,weight\n"
+            "t0,a,b,1.0\n"
+            "t0,b,c,2.0\n"
+            "t1,a,b,nan\n"
+            "t1,b,c,2.0\n"
+            "t2,a,b,1.5\n"
+            "t2,b,c,2.5\n"
+        )
+
+    def test_csv_repair_with_reports(self, tmp_path):
+        source = tmp_path / "dirty.csv"
+        self._write_dirty_csv(source)
+        reports = []
+        graph = read_temporal_edge_csv(source, sanitize="repair",
+                                       reports=reports)
+        assert len(graph) == 3
+        assert [r.is_clean for r in reports] == [True, False, True]
+        assert reports[1].non_finite == 2
+
+    def test_csv_quarantine_drops_snapshot(self, tmp_path):
+        source = tmp_path / "dirty.csv"
+        self._write_dirty_csv(source)
+        reports = []
+        graph = read_temporal_edge_csv(source, sanitize="quarantine",
+                                       reports=reports)
+        assert len(graph) == 2
+        assert [s.time for s in graph] == ["t0", "t2"]
+        assert reports[1].quarantined
+
+    def test_csv_strict_raises(self, tmp_path):
+        source = tmp_path / "dirty.csv"
+        self._write_dirty_csv(source)
+        with pytest.raises(SanitizationError):
+            read_temporal_edge_csv(source, sanitize="raise")
+
+    def test_csv_without_sanitize_stays_strict(self, tmp_path):
+        source = tmp_path / "dirty.csv"
+        self._write_dirty_csv(source)
+        with pytest.raises(GraphConstructionError):
+            read_temporal_edge_csv(source)
+
+    def test_all_quarantined_rejected(self, tmp_path):
+        source = tmp_path / "allbad.csv"
+        source.write_text(
+            "time,source,target,weight\n"
+            "t0,a,b,nan\n"
+            "t1,a,b,-1.0\n"
+        )
+        with pytest.raises(GraphConstructionError, match="quarantined"):
+            read_temporal_edge_csv(source, sanitize="quarantine")
+
+    def test_npz_round_trip_sanitizes(self, tmp_path,
+                                      random_connected_graph):
+        corrupted = corrupt_adjacency(random_connected_graph.adjacency,
+                                      kind="negative", amount=2, seed=1)
+        clean = GraphSnapshot(random_connected_graph.adjacency)
+        graph = DynamicGraph([clean, clean])
+        path = tmp_path / "graph.npz"
+        write_npz(graph, path)
+        # Rewrite one snapshot's stored arrays with the corrupted data.
+        arrays = dict(np.load(path, allow_pickle=False))
+        arrays["data_1"] = corrupted.data
+        arrays["indices_1"] = corrupted.indices
+        arrays["indptr_1"] = corrupted.indptr
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(GraphConstructionError):
+            read_npz(path)
+        reports = []
+        repaired = read_npz(path, sanitize="repair", reports=reports)
+        assert len(repaired) == 2
+        assert reports[1].negative > 0
+        assert sp.issparse(repaired[1].adjacency)

@@ -10,7 +10,6 @@ Two structural symmetries that any correct implementation must honour:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import CadDetector, cad_edge_scores, CommuteTimeCalculator

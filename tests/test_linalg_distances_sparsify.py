@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import EmbeddingError, SolverError
-from repro.graphs import GraphSnapshot, random_sparse_graph
+from repro.graphs import random_sparse_graph
 from repro.linalg import (
     DISTANCE_REGISTRY,
     commute_distance_matrix,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.exceptions import EmbeddingError
-from repro.graphs import random_sparse_graph
 from repro.linalg import (
     CommuteTimeEmbedding,
     commute_time_matrix,

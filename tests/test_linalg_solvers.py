@@ -59,6 +59,26 @@ class TestConjugateGradient:
         with pytest.raises(SolverError):
             conjugate_gradient(matrix, np.zeros(3))
 
+    def test_zero_curvature_raises(self):
+        # The zero matrix is symmetric PSD with an empty range, so the
+        # first search direction has exactly zero curvature while the
+        # residual is still the full right-hand side.
+        matrix = sp.csr_matrix((5, 5))
+        with pytest.raises(SolverError, match="curvature"):
+            conjugate_gradient(matrix, np.ones(5), tol=1e-12)
+
+    def test_zero_curvature_accepts_converged_iterate(self):
+        # A singular system whose in-range part is already solved at
+        # x0: the remaining residual is pure null-space direction
+        # (curvature exactly zero) but sits inside the sqrt(tol)
+        # acceptance band, so CG returns instead of raising.
+        matrix = sp.csr_matrix(np.diag([1.0, 1.0, 0.0]))
+        b = np.array([1.0, -1.0, 1e-9])
+        x = conjugate_gradient(matrix, b, tol=1e-16,
+                               x0=np.array([1.0, -1.0, 0.0]))
+        np.testing.assert_allclose(matrix @ x, [1.0, -1.0, 0.0],
+                                   atol=1e-12)
+
     def test_matches_scipy(self):
         from scipy.sparse.linalg import cg as scipy_cg
 
@@ -125,6 +145,61 @@ class TestLaplacianSolver:
             solver.solve(np.zeros(7))
         with pytest.raises(SolverError):
             solver.solve_many(np.zeros((7, 2)))
+
+    def test_cg_budget_exhaustion_surfaces(self, random_connected_graph):
+        solver = LaplacianSolver(random_connected_graph.adjacency,
+                                 method="cg", tol=1e-14, max_iter=1)
+        b = np.random.default_rng(10).standard_normal(
+            random_connected_graph.num_nodes
+        )
+        with pytest.raises(ConvergenceError):
+            solver.solve(b)
+
+    def test_pair_shape_mismatch_rejected(self, random_connected_graph):
+        solver = LaplacianSolver(random_connected_graph.adjacency)
+        with pytest.raises(SolverError, match="align"):
+            solver.commute_times_for_pairs(np.array([0, 1]),
+                                           np.array([2]))
+
+    def test_solve_many_direct_matches_cg(self, random_connected_graph):
+        adjacency = random_connected_graph.adjacency
+        rng = np.random.default_rng(11)
+        rhs = rng.standard_normal((adjacency.shape[0], 5))
+        direct = LaplacianSolver(adjacency, method="direct")
+        cg = LaplacianSolver(adjacency, method="cg", tol=1e-12)
+        np.testing.assert_allclose(direct.solve_many(rhs),
+                                   cg.solve_many(rhs), atol=1e-7)
+
+    def test_solve_many_direct_disconnected(self, disconnected_graph):
+        # The batched direct path works per component and leaves
+        # isolated structure untouched.
+        solver = LaplacianSolver(disconnected_graph.adjacency,
+                                 method="direct")
+        rng = np.random.default_rng(12)
+        rhs = rng.standard_normal((4, 3))
+        stacked = solver.solve_many(rhs)
+        for j in range(3):
+            np.testing.assert_allclose(stacked[:, j],
+                                       solver.solve(rhs[:, j]),
+                                       atol=1e-12)
+        # zero mean per component, column-wise
+        np.testing.assert_allclose(stacked[:2].sum(axis=0), 0.0,
+                                   atol=1e-10)
+        np.testing.assert_allclose(stacked[2:].sum(axis=0), 0.0,
+                                   atol=1e-10)
+
+    def test_solve_many_direct_with_isolated_nodes(self):
+        adjacency = np.zeros((4, 4))
+        adjacency[0, 1] = adjacency[1, 0] = 2.0
+        solver = LaplacianSolver(adjacency, method="direct")
+        rhs = np.random.default_rng(13).standard_normal((4, 2))
+        stacked = solver.solve_many(rhs)
+        np.testing.assert_array_equal(stacked[2], 0.0)
+        np.testing.assert_array_equal(stacked[3], 0.0)
+        for j in range(2):
+            np.testing.assert_allclose(stacked[:, j],
+                                       solver.solve(rhs[:, j]),
+                                       atol=1e-12)
 
     def test_cg_and_direct_agree(self, random_connected_graph):
         adjacency = random_connected_graph.adjacency

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import CadDetector
-from repro.baselines import ActDetector, ClcDetector
+from repro.baselines import ClcDetector
 from repro.exceptions import DetectionError
 from repro.pipeline import (
     DETECTOR_FACTORIES,

@@ -1,0 +1,308 @@
+"""Tests for the solver fallback chain, fault injection, and health."""
+
+import numpy as np
+import pytest
+
+from repro.core.cad import CadDetector
+from repro.exceptions import ConvergenceError, SolverError
+from repro.graphs import DynamicGraph, random_sparse_graph
+from repro.linalg import LaplacianSolver, make_solver
+from repro.resilience import (
+    DEFAULT_POLICY,
+    FallbackPolicy,
+    FallbackSolver,
+    FaultInjector,
+    HealthMonitor,
+    corrupt_adjacency,
+)
+from repro.resilience.fallback import resolve_policy
+
+
+class TestFallbackPolicy:
+    def test_default_chain(self, random_connected_graph):
+        solver = FallbackSolver(random_connected_graph.adjacency)
+        assert solver.backends == (
+            "cg", "cg-retry", "cg-retry", "direct", "dense",
+        )
+
+    def test_no_retries_no_direct(self, random_connected_graph):
+        policy = FallbackPolicy(cg_retries=0, use_direct=False)
+        solver = FallbackSolver(random_connected_graph.adjacency,
+                                policy=policy)
+        assert solver.backends == ("cg", "dense")
+
+    def test_dense_limit_excludes_dense(self, random_connected_graph):
+        policy = FallbackPolicy(dense_limit=10)  # graph has 60 nodes
+        solver = FallbackSolver(random_connected_graph.adjacency,
+                                policy=policy)
+        assert "dense" not in solver.backends
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FallbackPolicy(cg_retries=-1)
+        with pytest.raises(ValueError):
+            FallbackPolicy(dense_limit=-5)
+        with pytest.raises(Exception):
+            FallbackPolicy(tol_relaxation=0.0)
+
+    def test_resolve_policy(self):
+        assert resolve_policy("fallback") is DEFAULT_POLICY
+        tuned = FallbackPolicy(cg_retries=1)
+        assert resolve_policy(tuned) is tuned
+        with pytest.raises(SolverError):
+            resolve_policy("magic")
+
+
+class TestFallbackSolver:
+    def test_matches_reference_without_faults(self, random_connected_graph):
+        adjacency = random_connected_graph.adjacency
+        fallback = FallbackSolver(adjacency, tol=1e-12)
+        reference = LaplacianSolver(adjacency, method="cg", tol=1e-12)
+        b = np.random.default_rng(3).standard_normal(adjacency.shape[0])
+        np.testing.assert_allclose(fallback.solve(b), reference.solve(b),
+                                   atol=1e-10)
+
+    def test_healthy_solves_served_by_cg(self, random_connected_graph):
+        health = HealthMonitor()
+        solver = FallbackSolver(random_connected_graph.adjacency,
+                                health=health)
+        solver.solve(np.random.default_rng(0).standard_normal(60))
+        report = health.report()
+        assert report.solves_by_backend == {"cg": 1}
+        assert report.fallbacks_taken == 0
+        assert report.is_empty()
+
+    def test_cg_failure_escalates_to_retry(self, random_connected_graph):
+        injector = FaultInjector(fail_solves=(0,), fail_backends=("cg",))
+        health = HealthMonitor()
+        solver = FallbackSolver(
+            random_connected_graph.adjacency,
+            policy=FallbackPolicy(fault_injector=injector),
+            health=health,
+        )
+        b = np.random.default_rng(1).standard_normal(60)
+        x = solver.solve(b)
+        reference = LaplacianSolver(random_connected_graph.adjacency,
+                                    method="direct").solve(b)
+        np.testing.assert_allclose(x, reference, atol=1e-5)
+        report = health.report()
+        assert report.solves_by_backend == {"cg-retry": 1}
+        assert report.retries_spent == 1
+        assert report.fallbacks_taken == 1
+
+    def test_cg_and_retries_failing_reaches_direct(
+            self, random_connected_graph):
+        injector = FaultInjector(fail_solves=(0,),
+                                 fail_backends=("cg", "cg-retry"))
+        health = HealthMonitor()
+        solver = FallbackSolver(
+            random_connected_graph.adjacency,
+            policy=FallbackPolicy(fault_injector=injector),
+            health=health,
+        )
+        b = np.random.default_rng(2).standard_normal(60)
+        x = solver.solve(b)
+        reference = LaplacianSolver(random_connected_graph.adjacency,
+                                    method="direct").solve(b)
+        np.testing.assert_allclose(x, reference, atol=1e-8)
+        report = health.report()
+        assert report.solves_by_backend == {"direct": 1}
+        assert report.retries_spent == 3  # cg + 2 retries all failed
+
+    def test_whole_chain_exhausted_raises(self, random_connected_graph):
+        injector = FaultInjector(
+            fail_solves=(0,),
+            fail_backends=("cg", "cg-retry", "direct", "dense"),
+        )
+        health = HealthMonitor()
+        solver = FallbackSolver(
+            random_connected_graph.adjacency,
+            policy=FallbackPolicy(fault_injector=injector),
+            health=health,
+        )
+        with pytest.raises(SolverError, match="fallback backends failed"):
+            solver.solve(np.zeros(60) + np.arange(60))
+        report = health.report()
+        assert report.failed_solves == 1
+        # A later solve succeeds again: faults are per solve index.
+        b = np.random.default_rng(4).standard_normal(60)
+        solver.solve(b)
+        assert health.report().solves_by_backend == {"cg": 1}
+
+    def test_rhs_shape_rejected_without_escalation(
+            self, random_connected_graph):
+        injector = FaultInjector(fail_solves=(0,))
+        solver = FallbackSolver(
+            random_connected_graph.adjacency,
+            policy=FallbackPolicy(fault_injector=injector),
+        )
+        with pytest.raises(SolverError, match="shape"):
+            solver.solve(np.zeros(7))
+        with pytest.raises(SolverError, match="shape"):
+            solver.solve_many(np.zeros((7, 2)))
+        with pytest.raises(SolverError, match="align"):
+            solver.commute_times_for_pairs(np.array([0, 1]),
+                                           np.array([2]))
+        # No solve was issued for the malformed inputs.
+        assert injector.solves_issued == 0
+
+    def test_commute_times_match_plain_solver(self, random_connected_graph):
+        adjacency = random_connected_graph.adjacency
+        fallback = FallbackSolver(adjacency, tol=1e-12)
+        plain = LaplacianSolver(adjacency, method="direct")
+        rows = np.array([0, 5, 12])
+        cols = np.array([7, 5, 30])
+        np.testing.assert_allclose(
+            fallback.commute_times_for_pairs(rows, cols),
+            plain.commute_times_for_pairs(rows, cols),
+            atol=1e-6,
+        )
+
+    def test_component_accessors(self, disconnected_graph):
+        solver = FallbackSolver(disconnected_graph.adjacency)
+        assert solver.num_components == 2
+        assert solver.component_labels.shape == (4,)
+
+
+class TestMakeSolver:
+    def test_plain_methods(self, path_graph):
+        assert isinstance(make_solver(path_graph.adjacency, "cg"),
+                          LaplacianSolver)
+        assert isinstance(make_solver(path_graph.adjacency, "direct"),
+                          LaplacianSolver)
+
+    def test_fallback_values(self, path_graph):
+        assert isinstance(make_solver(path_graph.adjacency, "fallback"),
+                          FallbackSolver)
+        policy = FallbackPolicy(cg_retries=1)
+        assert isinstance(make_solver(path_graph.adjacency, policy),
+                          FallbackSolver)
+
+    def test_unknown_rejected(self, path_graph):
+        with pytest.raises(SolverError):
+            make_solver(path_graph.adjacency, "magic")
+
+
+class TestFaultInjector:
+    def test_check_backend_targets_only_configured_pairs(self):
+        injector = FaultInjector(fail_solves=(1,), fail_backends=("cg",))
+        injector.check_backend(0, "cg")  # untargeted solve: no raise
+        injector.check_backend(1, "direct")  # untargeted backend
+        with pytest.raises(ConvergenceError, match="injected fault"):
+            injector.check_backend(1, "cg")
+
+    def test_maybe_corrupt_passthrough_and_determinism(
+            self, random_connected_graph):
+        adjacency = random_connected_graph.adjacency
+        injector = FaultInjector(corrupt_snapshots=(2,), corruption="nan",
+                                 seed=5)
+        assert injector.maybe_corrupt(adjacency, 0) is adjacency
+        first = injector.maybe_corrupt(adjacency, 2)
+        second = injector.maybe_corrupt(adjacency, 2)
+        assert np.isnan(first.data).any()
+        np.testing.assert_array_equal(
+            np.isnan(first.data), np.isnan(second.data)
+        )
+
+    def test_rejects_unknown_corruption(self):
+        with pytest.raises(ValueError):
+            FaultInjector(corruption="melt")
+
+
+class TestCorruptAdjacency:
+    @pytest.mark.parametrize("kind,predicate", [
+        ("nan", lambda m: np.isnan(m.data).any()),
+        ("inf", lambda m: np.isinf(m.data).any()),
+        ("negative", lambda m: (m.data < 0).any()),
+        ("self_loops", lambda m: np.count_nonzero(m.diagonal()) > 0),
+    ])
+    def test_kinds(self, random_connected_graph, kind, predicate):
+        corrupted = corrupt_adjacency(random_connected_graph.adjacency,
+                                      kind=kind, amount=2, seed=3)
+        assert predicate(corrupted)
+
+    def test_asymmetric(self, random_connected_graph):
+        corrupted = corrupt_adjacency(random_connected_graph.adjacency,
+                                      kind="asymmetric", seed=3)
+        difference = (corrupted - corrupted.T).tocoo()
+        assert np.count_nonzero(difference.data) > 0
+
+    def test_unknown_kind(self, path_graph):
+        with pytest.raises(ValueError):
+            corrupt_adjacency(path_graph.adjacency, kind="melt")
+
+    def test_edgeless_rejected(self):
+        with pytest.raises(ValueError, match="no edges"):
+            corrupt_adjacency(np.zeros((3, 3)), kind="nan")
+
+
+class TestDetectorUnderFaults:
+    def test_report_identical_despite_solver_failure(self):
+        """Acceptance: a failed first-choice solve changes nothing in the
+        anomaly sets — only the health accounting."""
+        snapshots = [random_sparse_graph(50, mean_degree=5.0, seed=s,
+                                         connected=True)
+                     for s in range(4)]
+        graph = DynamicGraph(snapshots)
+        healthy = CadDetector(method="approx", k=16, seed=7).detect(
+            graph, anomalies_per_transition=3
+        )
+        injector = FaultInjector(fail_solves=(0, 5),
+                                 fail_backends=("cg", "cg-retry"))
+        faulty = CadDetector(
+            method="approx", k=16, seed=7,
+            solver=FallbackPolicy(fault_injector=injector),
+        ).detect(graph, anomalies_per_transition=3)
+
+        assert healthy.health is None
+        assert faulty.health is not None
+        assert faulty.health.solves_by_backend.get("direct") == 2
+        # The direct backend answers within the CG tolerance, so the
+        # discrete anomaly sets are unchanged (scores may move in the
+        # last few bits).
+        assert faulty.threshold == pytest.approx(healthy.threshold,
+                                                 rel=1e-6)
+        for a, b in zip(healthy.transitions, faulty.transitions):
+            assert a.anomalous_nodes == b.anomalous_nodes
+            assert ([(u, v) for u, v, _ in a.anomalous_edges]
+                    == [(u, v) for u, v, _ in b.anomalous_edges])
+
+    def test_health_line_in_summary(self):
+        snapshots = [random_sparse_graph(30, mean_degree=4.0, seed=s,
+                                         connected=True)
+                     for s in range(3)]
+        graph = DynamicGraph(snapshots)
+        injector = FaultInjector(fail_solves=(0,), fail_backends=("cg",))
+        report = CadDetector(
+            method="approx", k=12, seed=1,
+            solver=FallbackPolicy(fault_injector=injector),
+        ).detect(graph, anomalies_per_transition=2)
+        assert report.summary().splitlines()[-1].startswith("health:")
+
+
+class TestHealthReport:
+    def test_describe_mentions_everything(self):
+        monitor = HealthMonitor()
+        monitor.record_solve("cg")
+        monitor.record_solve("direct", retries=3)
+        monitor.record_failed_solve(retries=4)
+        monitor.record_quarantine(2, "t2", "nan weights")
+        monitor.record_repair(entries_fixed=5)
+        report = monitor.report()
+        text = report.describe()
+        assert "fallbacks=1" in text
+        assert "retries=7" in text
+        assert "quarantined=1" in text
+        assert "repaired=1" in text
+        assert "failed_solves=1" in text
+        assert "direct:1" in text
+        assert report.total_solves == 2
+        assert not report.is_empty()
+
+    def test_state_round_trip(self):
+        monitor = HealthMonitor()
+        monitor.record_solve("dense", retries=2)
+        monitor.record_quarantine(1, None, "bad")
+        restored = HealthMonitor()
+        restored.load_state(monitor.state())
+        assert restored.report() == monitor.report()
