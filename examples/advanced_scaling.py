@@ -1,6 +1,7 @@
-"""Advanced: sparsify dense snapshots + swap the distance measure.
+"""Advanced: sparsify dense snapshots + swap the distance measure
++ shard the scoring across worker processes.
 
-Two production levers on one workload:
+Three production levers on one workload:
 
 1. the paper's §4.1 similarity graphs are *complete* (n² edges);
    effective-resistance sparsification shrinks them with bounded
@@ -8,14 +9,17 @@ Two production levers on one workload:
 2. the distance inside the score is pluggable — here we compare
    commute time against shortest-path distance on a corrupted variant
    where a few static shortcut edges break the shortest-path signal
-   (the paper's robustness argument, §3.1).
+   (the paper's robustness argument, §3.1);
+3. scoring parallelises: ``detect(graph, workers=N)`` shards the work
+   across a process pool and merges a report identical to the serial
+   one (see docs/parallelism.md for the determinism contract).
 
 Run:  python examples/advanced_scaling.py
 """
 
 import numpy as np
 
-from repro import CadDetector, GenericDistanceDetector, sparsify
+from repro import CadDetector, GenericDistanceDetector, detect, sparsify
 from repro.datasets import generate_gaussian_mixture_instance
 from repro.evaluation import auc_score, node_ranking_scores
 from repro.graphs import DynamicGraph, GraphSnapshot
@@ -85,6 +89,21 @@ def main() -> None:
     print("commute time averages over all paths, so a handful of "
           "static shortcuts barely disturb it; shortest-path distance "
           "is decided by a single path and collapses.")
+    print()
+
+    # -- lever 3: multi-process scoring -------------------------------------
+    serial = detect(instance.graph, anomalies_per_transition=5)
+    parallel = detect(instance.graph, anomalies_per_transition=5,
+                      workers=2, shard_by="transition")
+    assert parallel.threshold == serial.threshold
+    assert all(
+        p.anomalous_edges == s.anomalous_edges
+        for p, s in zip(parallel.transitions, serial.transitions)
+    )
+    print("lever 3: detect(..., workers=2) reproduced the serial "
+          f"report exactly (threshold {parallel.threshold:.4g}); on "
+          "multi-core machines long sequences and disconnected graphs "
+          "score near-linearly faster.")
 
 
 if __name__ == "__main__":

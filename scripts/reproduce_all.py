@@ -13,6 +13,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import subprocess
 import sys
 from datetime import datetime, timezone
@@ -49,9 +50,14 @@ SECTIONS = (
 )
 
 
-def run(command: list[str]) -> int:
+def run(command: list[str], workers: int | None = None) -> int:
     print("$", " ".join(command), flush=True)
-    return subprocess.call(command, cwd=ROOT)
+    env = os.environ.copy()
+    if workers is not None and workers > 1:
+        # Every pipeline-level detect() in the run picks this up and
+        # routes CAD scoring through repro.parallel.
+        env["REPRO_TEST_WORKERS"] = str(workers)
+    return subprocess.call(command, cwd=ROOT, env=env)
 
 
 def main() -> int:
@@ -61,17 +67,22 @@ def main() -> int:
     parser.add_argument("--assemble-only", action="store_true",
                         help="assemble the report from existing "
                              "benchmarks/results/ files")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="run CAD scoring with this many worker "
+                        "processes (sets REPRO_TEST_WORKERS for the "
+                        "test and benchmark subprocesses)")
     args = parser.parse_args()
 
     if not args.assemble_only:
         if not args.skip_tests:
-            code = run([sys.executable, "-m", "pytest", "tests/", "-q"])
+            code = run([sys.executable, "-m", "pytest", "tests/", "-q"],
+                       workers=args.workers)
             if code != 0:
                 print("test suite failed; aborting", file=sys.stderr)
                 return code
 
         code = run([sys.executable, "-m", "pytest", "benchmarks/",
-                    "--benchmark-only", "-q"])
+                    "--benchmark-only", "-q"], workers=args.workers)
         if code != 0:
             print("benchmark suite failed; report may be incomplete",
                   file=sys.stderr)

@@ -54,6 +54,7 @@ from .exceptions import (
     EmbeddingError,
     EvaluationError,
     GraphConstructionError,
+    ParallelExecutionError,
     ReproError,
     SanitizationError,
     SolverError,
@@ -79,7 +80,8 @@ from .linalg import (
     laplacian_pseudoinverse,
     sparsify,
 )
-from .pipeline import detect, make_detector
+from .parallel import ParallelCadDetector
+from .pipeline import detect, detect_windowed, make_detector
 from .resilience import (
     FallbackPolicy,
     FallbackSolver,
@@ -121,6 +123,8 @@ __all__ = [
     "LaplacianSolver",
     "NodeUniverse",
     "OnlineThresholdSelector",
+    "ParallelCadDetector",
+    "ParallelExecutionError",
     "PrecipitationSimulator",
     "ReproError",
     "SanitizationError",
@@ -132,6 +136,7 @@ __all__ = [
     "TransitionScores",
     "commute_time_matrix",
     "detect",
+    "detect_windowed",
     "explain_node",
     "explain_transition",
     "sparsify",

@@ -102,6 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("cg", "direct", "fallback"),
                      help="Laplacian solver backend for CAD; 'fallback' "
                      "escalates CG -> relaxed CG -> LU -> dense")
+    run.add_argument("--workers", type=int, default=None,
+                     help="score CAD with this many worker processes "
+                     "(repro.parallel); default serial. A dead worker "
+                     "pool exits with code 2 like any library error")
+    run.add_argument("--shard-by", default="auto",
+                     choices=("transition", "component", "auto"),
+                     help="parallel work decomposition: 'transition' "
+                     "(bit-for-bit serial parity), 'component' (union "
+                     "components, exact backend only), or 'auto'")
     run.add_argument("--sanitize", default="repair",
                      choices=("repair", "quarantine", "raise"),
                      help="policy for dirty snapshots (NaN/negative "
@@ -190,6 +199,8 @@ def _cmd_detect(args) -> int:
         detector=args.detector,
         anomalies_per_transition=args.anomalies_per_transition,
         delta=args.delta,
+        workers=args.workers,
+        shard_by=args.shard_by,
         **kwargs,
     )
     print(report.summary())

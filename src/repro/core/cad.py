@@ -43,6 +43,10 @@ class CadDetector(Detector):
             :mod:`repro.resilience.fallback`), or a
             :class:`~repro.resilience.fallback.FallbackPolicy`.
         exact_limit: node-count crossover for ``method="auto"``.
+        seed_mode: randomness derivation for the approximate backend —
+            ``"stream"`` (default) or ``"content"`` (scoring-order and
+            process independent; see
+            :class:`~repro.core.commute.CommuteTimeCalculator`).
     """
 
     name = "CAD"
@@ -51,10 +55,11 @@ class CadDetector(Detector):
                  k: int = 50,
                  seed=None,
                  solver="cg",
-                 exact_limit: int = DEFAULT_EXACT_LIMIT):
+                 exact_limit: int = DEFAULT_EXACT_LIMIT,
+                 seed_mode: str = "stream"):
         self._calculator = CommuteTimeCalculator(
             method=method, k=k, seed=seed, solver=solver,
-            exact_limit=exact_limit,
+            exact_limit=exact_limit, seed_mode=seed_mode,
         )
 
     @property

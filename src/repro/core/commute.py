@@ -25,6 +25,27 @@ from ..resilience.health import HealthMonitor, HealthReport
 #: O(n^3) pseudoinverse to the approximate embedding.
 DEFAULT_EXACT_LIMIT = 1500
 
+#: Recognised randomness-derivation modes for the approximate backend.
+SEED_MODES = ("stream", "content")
+
+
+def snapshot_seed_sequence(root_entropy,
+                           snapshot: GraphSnapshot) -> np.random.SeedSequence:
+    """Content-keyed seed for one snapshot's JL projection.
+
+    Mixes a run-level root entropy with the snapshot's
+    :meth:`~repro.graphs.snapshot.GraphSnapshot.content_digest`, so the
+    derived randomness depends only on *what* is being embedded — not
+    on scoring order, process boundaries, or which worker picked the
+    task. This is the determinism keystone of :mod:`repro.parallel`.
+    """
+    digest = snapshot.content_digest()
+    words = [
+        int.from_bytes(digest[offset:offset + 8], "little")
+        for offset in range(0, len(digest), 8)
+    ]
+    return np.random.SeedSequence([int(root_entropy), *words])
+
 
 class CommuteTimeCalculator:
     """Computes commute times for node pairs of a snapshot.
@@ -42,6 +63,14 @@ class CommuteTimeCalculator:
             :class:`~repro.resilience.fallback.FallbackPolicy`.
         exact_limit: node-count crossover for ``method="auto"``.
         tol: solver tolerance for the embedding path.
+        seed_mode: how the approximate backend derives per-snapshot
+            randomness. ``"stream"`` (default, the historical
+            behaviour) consumes one shared rng stream in scoring
+            order; ``"content"`` derives each snapshot's projection
+            from the seed and the snapshot's content digest, making
+            approximate scores independent of scoring order and
+            process boundaries — the mode :mod:`repro.parallel`
+            relies on for bit-for-bit reproducibility.
     """
 
     def __init__(self, method: str = "auto",
@@ -49,10 +78,15 @@ class CommuteTimeCalculator:
                  seed=None,
                  solver="cg",
                  exact_limit: int = DEFAULT_EXACT_LIMIT,
-                 tol: float = 1e-8):
+                 tol: float = 1e-8,
+                 seed_mode: str = "stream"):
         if method not in ("exact", "approx", "auto"):
             raise DetectionError(
                 f"method must be 'exact', 'approx' or 'auto', got {method!r}"
+            )
+        if seed_mode not in SEED_MODES:
+            raise DetectionError(
+                f"seed_mode must be one of {SEED_MODES}, got {seed_mode!r}"
             )
         self._method = method
         self._k = check_positive_int(k, "k")
@@ -60,6 +94,9 @@ class CommuteTimeCalculator:
         self._solver = solver
         self._exact_limit = check_positive_int(exact_limit, "exact_limit")
         self._tol = tol
+        self._seed_mode = seed_mode
+        self._seed = seed
+        self._cached_root_entropy: int | None = None
         self._health = HealthMonitor()
         # Per-snapshot backend cache (pseudoinverse or embedding).
         # Sequence scoring visits each snapshot twice — as G_{t+1} of
@@ -72,6 +109,53 @@ class CommuteTimeCalculator:
     def k(self) -> int:
         """Embedding dimension used on the approximate path."""
         return self._k
+
+    @property
+    def seed_mode(self) -> str:
+        """Randomness-derivation mode (``"stream"`` or ``"content"``)."""
+        return self._seed_mode
+
+    def root_entropy(self) -> int:
+        """The run-level entropy anchoring content-keyed randomness.
+
+        Equal to the integer seed when one was given; drawn once (and
+        cached) from the generator/fresh entropy otherwise, so the
+        value is stable for the calculator's lifetime and can be
+        shipped to worker processes.
+        """
+        if self._cached_root_entropy is None:
+            if isinstance(self._seed, np.random.Generator):
+                self._cached_root_entropy = int(
+                    self._seed.integers(0, 2 ** 63)
+                )
+            elif self._seed is None:
+                self._cached_root_entropy = int(
+                    np.random.SeedSequence().generate_state(
+                        1, np.uint64
+                    )[0]
+                )
+            else:
+                self._cached_root_entropy = int(self._seed)
+        return self._cached_root_entropy
+
+    def spec(self) -> dict:
+        """Picklable constructor arguments reproducing this calculator.
+
+        The returned dictionary can be fed back to
+        :class:`CommuteTimeCalculator` (or shipped to another process)
+        to build a calculator that scores identically under
+        ``seed_mode="content"``. The live rng *stream* is deliberately
+        not captured — content mode does not depend on it.
+        """
+        return {
+            "method": self._method,
+            "k": self._k,
+            "seed": self.root_entropy(),
+            "solver": self._solver,
+            "exact_limit": self._exact_limit,
+            "tol": self._tol,
+            "seed_mode": self._seed_mode,
+        }
 
     @property
     def health(self) -> HealthMonitor:
@@ -128,8 +212,14 @@ class CommuteTimeCalculator:
         if method == "exact":
             backend = laplacian_pseudoinverse(snapshot.adjacency)
         else:
+            if self._seed_mode == "content":
+                seed = np.random.default_rng(
+                    snapshot_seed_sequence(self.root_entropy(), snapshot)
+                )
+            else:
+                seed = self._rng
             backend = CommuteTimeEmbedding(
-                snapshot.adjacency, k=self._k, seed=self._rng,
+                snapshot.adjacency, k=self._k, seed=seed,
                 solver=self._solver, tol=self._tol,
                 health=self._health,
             )

@@ -73,3 +73,10 @@ class CheckpointError(ReproError):
     """Raised when a streaming checkpoint cannot be written (state not
     serialisable) or restored (missing, corrupt, or wrong-version
     document)."""
+
+
+class ParallelExecutionError(ReproError):
+    """Raised when the multi-process execution engine cannot complete a
+    run: a worker process died (broken pool), a shard returned a
+    malformed payload, or shard results could not be merged back into a
+    complete sequence."""

@@ -17,6 +17,7 @@ Snapshots are value objects: all mutating work happens in builders
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Hashable, Iterable, Iterator, Sequence
 from typing import Any
 
@@ -167,6 +168,33 @@ class GraphSnapshot:
         self._universe = universe
         self._time = time
 
+    @classmethod
+    def _from_canonical(cls, matrix: sp.csr_matrix,
+                        universe: NodeUniverse,
+                        time: Any = None) -> "GraphSnapshot":
+        """Trusted constructor: wrap an *already canonical* CSR matrix.
+
+        Skips coercion and validation entirely, so the matrix is used
+        as-is (it may alias shared or read-only memory). Only for
+        matrices that came out of another snapshot — the parallel
+        engine uses this to rebuild zero-copy snapshots from shared
+        memory, and unpickling uses it to avoid re-validating.
+        """
+        snapshot = object.__new__(cls)
+        snapshot._adjacency = matrix
+        snapshot._universe = universe
+        snapshot._time = time
+        return snapshot
+
+    def __reduce__(self):
+        # Snapshots are canonical by construction, so unpickling can
+        # skip the O(m) coercion/validation pass (the pool round-trips
+        # many snapshots; re-validating each one is pure overhead).
+        return (
+            GraphSnapshot._from_canonical,
+            (self._adjacency, self._universe, self._time),
+        )
+
     # -- structural accessors ------------------------------------------------
 
     @property
@@ -226,6 +254,27 @@ class GraphSnapshot:
             (label(i), label(j), float(w))
             for i, j, w in zip(coo.row, coo.col, coo.data)
         ]
+
+    def content_digest(self) -> bytes:
+        """16-byte digest of the adjacency structure and weights.
+
+        Two snapshots over equal-size universes have equal digests
+        exactly when their canonical CSR matrices match entry for
+        entry. The digest is stable across processes and platforms,
+        which is what lets the parallel engine derive *content-keyed*
+        randomness (the same snapshot gets the same JL projection in
+        every worker) and lets checkpoints fingerprint their input.
+        """
+        matrix = self._adjacency
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(np.int64(matrix.shape[0]).tobytes())
+        digest.update(np.ascontiguousarray(matrix.indptr,
+                                           dtype=np.int64).tobytes())
+        digest.update(np.ascontiguousarray(matrix.indices,
+                                           dtype=np.int64).tobytes())
+        digest.update(np.ascontiguousarray(matrix.data,
+                                           dtype=np.float64).tobytes())
+        return digest.digest()
 
     def density(self) -> float:
         """Fraction of possible undirected edges that are present."""

@@ -1,0 +1,47 @@
+"""Sharded multi-process execution engine for CAD scoring.
+
+Public surface:
+
+* :class:`~repro.parallel.engine.ParallelCadDetector` — drop-in
+  parallel twin of :class:`~repro.core.cad.CadDetector`;
+* the sharding planners and shared-memory store, for callers building
+  their own orchestration.
+
+See ``docs/parallelism.md`` for the sharding axes, the determinism
+contract, and the shared-memory lifecycle.
+"""
+
+from .checkpoint import (
+    read_parallel_checkpoint,
+    sequence_fingerprint,
+    write_parallel_checkpoint,
+)
+from .engine import ParallelCadDetector, default_worker_count
+from .merge import assemble_transition_scores, merge_worker_health
+from .sharding import (
+    SHARD_MODES,
+    ComponentShard,
+    plan_component_shards,
+    plan_transition_chunks,
+    resolve_shard_mode,
+)
+from .shm import AttachedGraphSequence, SharedGraphSequence
+from .worker import WorkerConfig
+
+__all__ = [
+    "ParallelCadDetector",
+    "default_worker_count",
+    "SHARD_MODES",
+    "ComponentShard",
+    "plan_component_shards",
+    "plan_transition_chunks",
+    "resolve_shard_mode",
+    "SharedGraphSequence",
+    "AttachedGraphSequence",
+    "WorkerConfig",
+    "sequence_fingerprint",
+    "read_parallel_checkpoint",
+    "write_parallel_checkpoint",
+    "assemble_transition_scores",
+    "merge_worker_health",
+]

@@ -1,0 +1,354 @@
+"""The parallel CAD execution engine.
+
+:class:`ParallelCadDetector` is a drop-in stand-in for
+:class:`~repro.core.cad.CadDetector` that scores a sequence with a
+process pool instead of a loop:
+
+1. the parent publishes every snapshot to shared memory once
+   (:mod:`repro.parallel.shm`);
+2. work is decomposed along the transition or component axis
+   (:mod:`repro.parallel.sharding`);
+3. pool workers score their shards with worker-local calculators under
+   content-keyed randomness (:mod:`repro.parallel.worker`);
+4. the parent merges payloads back in transition order
+   (:mod:`repro.parallel.merge`), selects δ, and builds the report
+   with the exact serial code path.
+
+Determinism contract (tested in ``tests/test_parallel_determinism.py``):
+transition sharding reproduces a serial run *bit for bit* for any
+worker count; component sharding is deterministic and numerically
+equivalent (per-component pseudoinverses round differently from one
+full factorisation) and is therefore only chosen by ``"auto"`` when it
+provably saves cubic work.
+
+A worker process dying mid-run surfaces as
+:class:`~repro.exceptions.ParallelExecutionError`; pass
+``checkpoint_path`` to make such a run resumable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..core.cad import build_report
+from ..core.commute import DEFAULT_EXACT_LIMIT, CommuteTimeCalculator
+from ..core.detector import Detector
+from ..core.results import DetectionReport, TransitionScores
+from ..core.scores import cad_edge_scores
+from ..core.thresholds import select_global_threshold
+from ..exceptions import DetectionError, ParallelExecutionError
+from ..graphs.dynamic import DynamicGraph
+from ..graphs.snapshot import GraphSnapshot
+from ..resilience.health import HealthReport
+from .checkpoint import (
+    read_parallel_checkpoint,
+    sequence_fingerprint,
+    write_parallel_checkpoint,
+)
+from .merge import (
+    ComponentAccumulator,
+    assemble_transition_scores,
+    empty_transition_payload,
+    merge_worker_health,
+)
+from .sharding import (
+    plan_component_shards,
+    plan_transition_chunks,
+    resolve_shard_mode,
+    validate_shard_mode,
+)
+from .shm import SharedGraphSequence
+from .worker import (
+    WorkerConfig,
+    init_worker,
+    score_component_shard,
+    score_transition_chunk,
+)
+
+
+def default_worker_count() -> int:
+    """CPU count of the machine (at least 1)."""
+    return max(os.cpu_count() or 1, 1)
+
+
+class ParallelCadDetector(Detector):
+    """CAD over a process pool, reproducing serial results.
+
+    Args:
+        workers: pool size; defaults to the machine's CPU count. The
+            pool never exceeds the task count.
+        shard_by: work decomposition — ``"transition"`` (bit-for-bit
+            serial parity), ``"component"`` (union-component tasks,
+            exact backend only), or ``"auto"`` (component only when it
+            provably helps, transition otherwise).
+        chunk_size: transitions per task on the transition axis;
+            defaults to ``ceil(T / workers)`` (one contiguous run per
+            worker, maximising backend-cache reuse).
+        checkpoint_path: when set, completed transitions are written
+            here periodically and a rerun over the same input resumes
+            from them.
+        checkpoint_every: write the checkpoint after this many newly
+            completed transitions (default 1: after every one).
+        skip_unscorable: degrade instead of raising when a transition
+            cannot be scored — zero scores plus a quarantine record in
+            the health report (the streaming detector's lenient
+            semantics).
+        method, k, seed, solver, exact_limit, tol: commute-time backend
+            configuration, as in :class:`~repro.core.cad.CadDetector`.
+            Randomness always runs in ``seed_mode="content"`` so worker
+            scheduling cannot influence scores.
+    """
+
+    name = "CAD"
+
+    def __init__(self, workers: int | None = None,
+                 shard_by: str = "auto",
+                 chunk_size: int | None = None,
+                 checkpoint_path: str | Path | None = None,
+                 checkpoint_every: int = 1,
+                 skip_unscorable: bool = False,
+                 method: str = "auto",
+                 k: int = 50,
+                 seed=None,
+                 solver="cg",
+                 exact_limit: int = DEFAULT_EXACT_LIMIT,
+                 tol: float = 1e-8,
+                 _crash_transitions: tuple[int, ...] = ()):
+        if workers is not None and workers < 1:
+            raise ParallelExecutionError(
+                f"workers must be >= 1, got {workers}"
+            )
+        validate_shard_mode(shard_by)
+        self._workers = workers
+        self._shard_by = shard_by
+        self._chunk_size = chunk_size
+        self._checkpoint_path = (
+            None if checkpoint_path is None else Path(checkpoint_path)
+        )
+        self._checkpoint_every = max(int(checkpoint_every), 1)
+        self._skip_unscorable = bool(skip_unscorable)
+        self._crash_transitions = tuple(_crash_transitions)
+        self._calculator = CommuteTimeCalculator(
+            method=method, k=k, seed=seed, solver=solver,
+            exact_limit=exact_limit, tol=tol, seed_mode="content",
+        )
+        #: Per-worker health reports of the last run, keyed by worker id
+        #: (process id, or ``ckpt:``-prefixed for restored state).
+        self.last_worker_health: dict[str, HealthReport] = {}
+        self._last_health: HealthReport | None = None
+
+    @classmethod
+    def from_detector(cls, detector, workers: int | None = None,
+                      shard_by: str = "auto",
+                      **options) -> "ParallelCadDetector":
+        """Parallel twin of an existing serial ``CadDetector``.
+
+        Copies the serial detector's backend configuration (method, k,
+        root entropy, solver, limits) so that — under
+        ``seed_mode="content"`` — both score identically.
+        """
+        spec = detector.calculator.spec()
+        spec.pop("seed_mode", None)
+        return cls(workers=workers, shard_by=shard_by, **spec, **options)
+
+    @property
+    def calculator(self) -> CommuteTimeCalculator:
+        """The parent-side commute-time backend (serial odd jobs)."""
+        return self._calculator
+
+    @property
+    def workers(self) -> int:
+        """The configured pool size."""
+        return self._workers or default_worker_count()
+
+    def score_transition(self, g_t: GraphSnapshot,
+                         g_t1: GraphSnapshot) -> TransitionScores:
+        """Raw ΔE/ΔN scores for one transition, computed in-process.
+
+        A single transition has no parallelism to exploit, so this is
+        exactly the serial path on the parent's calculator.
+        """
+        return cad_edge_scores(g_t, g_t1, self._calculator)
+
+    def score_sequence(self, graph: DynamicGraph) -> list[TransitionScores]:
+        """Score every transition using the process pool."""
+        if len(graph) < 2:
+            raise DetectionError(
+                "scoring a sequence needs at least two snapshots, got "
+                f"{len(graph)}"
+            )
+        payloads, worker_states = self._run(graph)
+        merged, per_worker = merge_worker_health(worker_states)
+        self._last_health = merged
+        self.last_worker_health = per_worker
+        return assemble_transition_scores(graph, payloads)
+
+    def detect(self, graph: DynamicGraph,
+               anomalies_per_transition: int | None = None,
+               delta: float | None = None) -> DetectionReport:
+        """Algorithm 1 over the pool; same contract as the serial
+        :meth:`~repro.core.cad.CadDetector.detect`."""
+        if (anomalies_per_transition is None) == (delta is None):
+            raise DetectionError(
+                "specify exactly one of anomalies_per_transition or delta"
+            )
+        scored = self.score_sequence(graph)
+        if delta is None:
+            delta = select_global_threshold(scored, anomalies_per_transition)
+        health = self._last_health
+        return build_report(
+            graph, scored, delta, self.name,
+            health=None if health is None or health.is_empty() else health,
+        )
+
+    # -- pool orchestration --------------------------------------------------
+
+    def _run(self, graph: DynamicGraph,
+             ) -> tuple[dict[int, dict[str, np.ndarray]],
+                        dict[str, dict[str, Any]]]:
+        resolved_method = self._calculator.resolve_method(graph.num_nodes)
+        mode = resolve_shard_mode(self._shard_by, resolved_method, graph)
+        if mode == "component" and resolved_method != "exact":
+            raise ParallelExecutionError(
+                "component sharding requires the exact commute-time "
+                "backend (per-component embeddings would not match a "
+                f"serial run); resolved method is {resolved_method!r}"
+            )
+
+        payloads: dict[int, dict[str, np.ndarray]] = {}
+        worker_states: dict[str, dict[str, Any]] = {}
+        fingerprint = None
+        if self._checkpoint_path is not None:
+            fingerprint = sequence_fingerprint(graph)
+            if self._checkpoint_path.exists():
+                payloads, restored = read_parallel_checkpoint(
+                    self._checkpoint_path, fingerprint
+                )
+                worker_states = {
+                    f"ckpt:{worker}": state
+                    for worker, state in restored.items()
+                }
+        remaining = [
+            t for t in range(graph.num_transitions) if t not in payloads
+        ]
+        if not remaining:
+            return payloads, worker_states
+
+        accumulators: dict[int, ComponentAccumulator] = {}
+        if mode == "transition":
+            tasks = [
+                (score_transition_chunk, chunk)
+                for chunk in plan_transition_chunks(
+                    remaining, self.workers, self._chunk_size
+                )
+            ]
+        else:
+            shards, canonical = plan_component_shards(graph)
+            shards = [s for s in shards if s.transition in remaining]
+            expected: dict[int, int] = {}
+            for shard in shards:
+                expected[shard.transition] = (
+                    expected.get(shard.transition, 0) + 1
+                )
+            for transition in remaining:
+                rows, cols = canonical[transition]
+                if transition in expected:
+                    accumulators[transition] = ComponentAccumulator(
+                        transition, rows, cols, graph.num_nodes,
+                        expected[transition],
+                    )
+                else:
+                    # Empty union support: nothing to score.
+                    payloads[transition] = empty_transition_payload(
+                        graph.num_nodes
+                    )
+            tasks = [(score_component_shard, shard) for shard in shards]
+
+        newly_completed = 0
+        if tasks:
+            store = SharedGraphSequence.publish(graph)
+            try:
+                config = WorkerConfig(
+                    sequence=store.spec,
+                    method=resolved_method,
+                    k=self._calculator.k,
+                    root_entropy=self._calculator.root_entropy(),
+                    solver=self._calculator.spec()["solver"],
+                    tol=self._calculator.spec()["tol"],
+                    skip_unscorable=self._skip_unscorable,
+                    unregister_shm=(
+                        multiprocessing.get_start_method() != "fork"
+                    ),
+                    crash_transitions=self._crash_transitions,
+                )
+                pool_size = max(1, min(self.workers, len(tasks)))
+                with ProcessPoolExecutor(
+                    max_workers=pool_size,
+                    initializer=init_worker, initargs=(config,),
+                ) as pool:
+                    futures = [
+                        pool.submit(function, argument)
+                        for function, argument in tasks
+                    ]
+                    for future in as_completed(futures):
+                        result = future.result()
+                        worker_states[str(result["worker"])] = (
+                            result["health"]
+                        )
+                        if mode == "transition":
+                            payloads.update(result["payloads"])
+                            newly_completed += len(result["payloads"])
+                        else:
+                            accumulator = accumulators[
+                                result["transition"]
+                            ]
+                            accumulator.add(result)
+                            if accumulator.complete:
+                                transition = accumulator.transition
+                                payloads[transition] = (
+                                    accumulator.payload()
+                                )
+                                del accumulators[transition]
+                                newly_completed += 1
+                        if (
+                            self._checkpoint_path is not None
+                            and newly_completed >= self._checkpoint_every
+                        ):
+                            write_parallel_checkpoint(
+                                self._checkpoint_path, fingerprint,
+                                payloads, worker_states,
+                            )
+                            newly_completed = 0
+            except BrokenProcessPool as exc:
+                if self._checkpoint_path is not None:
+                    write_parallel_checkpoint(
+                        self._checkpoint_path, fingerprint,
+                        payloads, worker_states,
+                    )
+                raise ParallelExecutionError(
+                    "a worker process died before completing its shard "
+                    "(pool is broken); rerun with checkpoint_path to "
+                    "resume completed work"
+                ) from exc
+            finally:
+                store.cleanup()
+
+        if accumulators:
+            incomplete = sorted(accumulators)
+            raise ParallelExecutionError(
+                f"transitions {incomplete[:8]} never completed all "
+                "component shards"
+            )
+        if self._checkpoint_path is not None and newly_completed:
+            write_parallel_checkpoint(
+                self._checkpoint_path, fingerprint, payloads,
+                worker_states,
+            )
+        return payloads, worker_states

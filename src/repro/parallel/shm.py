@@ -1,0 +1,262 @@
+"""Zero-copy snapshot transfer between processes via shared memory.
+
+Shipping a dynamic graph to every pool worker through pickle would copy
+each CSR snapshot once per worker per task. Instead the parent
+*publishes* the whole sequence into three
+:class:`multiprocessing.shared_memory.SharedMemory` blocks — the
+concatenated ``data`` / ``indices`` / ``indptr`` arrays of every
+snapshot — and workers attach by name and rebuild CSR matrices as
+NumPy views directly into the shared pages. Per-task traffic is then
+just shard indices and result arrays.
+
+Lifecycle contract:
+
+* the parent owns the blocks: :meth:`SharedGraphSequence.publish`
+  creates them, :meth:`SharedGraphSequence.cleanup` closes *and
+  unlinks* them (call from a ``finally``);
+* workers attach with :class:`AttachedGraphSequence` at pool
+  initialisation, hold the mapping for the pool's lifetime, and only
+  ``close`` their handles — never unlink;
+* nobody writes: the views alias memory shared by every process, so
+  attached matrices must be treated as frozen (the snapshots built
+  from them use the trusted
+  :meth:`~repro.graphs.snapshot.GraphSnapshot._from_canonical` path,
+  which performs no mutation).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import ParallelExecutionError
+from ..graphs.dynamic import DynamicGraph
+
+_DATA_DTYPE = np.float64
+_INDEX_DTYPE = np.int64
+
+
+@dataclass(frozen=True)
+class SnapshotLayout:
+    """Where one snapshot's CSR arrays live inside the shared blocks.
+
+    Attributes:
+        data_start: element offset of this snapshot's ``data`` (and
+            ``indices``) slice; both arrays have ``nnz`` elements.
+        nnz: stored entry count of the snapshot.
+        indptr_start: element offset of the ``indptr`` slice
+            (``num_nodes + 1`` elements).
+        time: the snapshot's time label (picklable by assumption —
+            the same assumption checkpointing already makes).
+    """
+
+    data_start: int
+    nnz: int
+    indptr_start: int
+    time: Any
+
+
+@dataclass(frozen=True)
+class SharedSequenceSpec:
+    """Picklable description of a published sequence.
+
+    Carries everything a worker needs to attach: the three block
+    names, the per-snapshot layout, and the node count.
+    """
+
+    data_name: str
+    indices_name: str
+    indptr_name: str
+    num_nodes: int
+    layouts: tuple[SnapshotLayout, ...]
+
+
+def _unregister(shm: shared_memory.SharedMemory) -> None:
+    """Detach a segment from this process's resource tracker.
+
+    Attaching registers the segment with the attaching process's
+    resource tracker (CPython < 3.13 has no opt-out). For *spawned*
+    workers that tracker is their own: left registered, worker exit
+    would unlink blocks the parent still owns. For *forked* workers
+    (and same-process attachment) the tracker is shared with the
+    parent, registration is a set-dedup no-op, and unregistering here
+    would erase the parent's own bookkeeping — so the caller decides
+    (see :class:`AttachedGraphSequence`).
+    """
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+class SharedGraphSequence:
+    """Parent-side owner of a sequence published to shared memory."""
+
+    def __init__(self, spec: SharedSequenceSpec,
+                 blocks: tuple[shared_memory.SharedMemory, ...]):
+        self._spec = spec
+        self._blocks = blocks
+        self._closed = False
+
+    @classmethod
+    def publish(cls, graph: DynamicGraph) -> "SharedGraphSequence":
+        """Copy a dynamic graph's CSR arrays into fresh shared blocks.
+
+        This is the one unavoidable copy; every worker read after it
+        is zero-copy.
+        """
+        token = secrets.token_hex(6)
+        layouts: list[SnapshotLayout] = []
+        data_start = 0
+        indptr_start = 0
+        for snapshot in graph:
+            layouts.append(SnapshotLayout(
+                data_start=data_start,
+                nnz=int(snapshot.adjacency.nnz),
+                indptr_start=indptr_start,
+                time=snapshot.time,
+            ))
+            data_start += int(snapshot.adjacency.nnz)
+            indptr_start += snapshot.num_nodes + 1
+        total_nnz = data_start
+        total_indptr = indptr_start
+
+        def _block(tag: str, nbytes: int) -> shared_memory.SharedMemory:
+            return shared_memory.SharedMemory(
+                create=True, size=max(nbytes, 1),
+                name=f"repro-{token}-{tag}",
+            )
+
+        data_block = _block("data",
+                            total_nnz * np.dtype(_DATA_DTYPE).itemsize)
+        indices_block = _block("indices",
+                               total_nnz * np.dtype(_INDEX_DTYPE).itemsize)
+        indptr_block = _block("indptr",
+                              total_indptr * np.dtype(_INDEX_DTYPE).itemsize)
+        blocks = (data_block, indices_block, indptr_block)
+        try:
+            data_view = np.frombuffer(data_block.buf, dtype=_DATA_DTYPE,
+                                      count=total_nnz)
+            indices_view = np.frombuffer(indices_block.buf,
+                                         dtype=_INDEX_DTYPE,
+                                         count=total_nnz)
+            indptr_view = np.frombuffer(indptr_block.buf,
+                                        dtype=_INDEX_DTYPE,
+                                        count=total_indptr)
+            for snapshot, layout in zip(graph, layouts):
+                matrix = snapshot.adjacency
+                stop = layout.data_start + layout.nnz
+                data_view[layout.data_start:stop] = matrix.data
+                indices_view[layout.data_start:stop] = matrix.indices
+                indptr_stop = layout.indptr_start + snapshot.num_nodes + 1
+                indptr_view[layout.indptr_start:indptr_stop] = matrix.indptr
+            del data_view, indices_view, indptr_view
+        except Exception:
+            for block in blocks:
+                block.close()
+                block.unlink()
+            raise
+        spec = SharedSequenceSpec(
+            data_name=data_block.name,
+            indices_name=indices_block.name,
+            indptr_name=indptr_block.name,
+            num_nodes=graph.num_nodes,
+            layouts=tuple(layouts),
+        )
+        return cls(spec, blocks)
+
+    @property
+    def spec(self) -> SharedSequenceSpec:
+        """The picklable attachment spec to ship to workers."""
+        return self._spec
+
+    def cleanup(self) -> None:
+        """Close and unlink the shared blocks (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for block in self._blocks:
+            try:
+                block.close()
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedGraphSequence":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.cleanup()
+
+
+class AttachedGraphSequence:
+    """Worker-side view of a published sequence.
+
+    Attributes:
+        matrices: one canonical CSR matrix per snapshot, each a
+            zero-copy view into the shared blocks. Treat as frozen.
+        times: per-snapshot time labels.
+
+    Args:
+        spec: the parent's attachment spec.
+        unregister: drop the segments from this process's resource
+            tracker after attaching. Pass ``True`` only in workers that
+            own a *private* tracker (spawn/forkserver start methods);
+            forked workers and same-process attachment share the
+            parent's tracker and must leave its registration alone.
+    """
+
+    def __init__(self, spec: SharedSequenceSpec,
+                 unregister: bool = False):
+        try:
+            self._blocks = tuple(
+                shared_memory.SharedMemory(name=name)
+                for name in (spec.data_name, spec.indices_name,
+                             spec.indptr_name)
+            )
+        except FileNotFoundError as exc:
+            raise ParallelExecutionError(
+                f"shared snapshot store is gone: {exc}"
+            ) from exc
+        if unregister:
+            for block in self._blocks:
+                _unregister(block)
+        data_block, indices_block, indptr_block = self._blocks
+        n = spec.num_nodes
+        self.matrices: list[sp.csr_matrix] = []
+        self.times: list[Any] = []
+        for layout in spec.layouts:
+            data = np.frombuffer(
+                data_block.buf, dtype=_DATA_DTYPE,
+                count=layout.nnz, offset=layout.data_start
+                * np.dtype(_DATA_DTYPE).itemsize,
+            )
+            indices = np.frombuffer(
+                indices_block.buf, dtype=_INDEX_DTYPE,
+                count=layout.nnz, offset=layout.data_start
+                * np.dtype(_INDEX_DTYPE).itemsize,
+            )
+            indptr = np.frombuffer(
+                indptr_block.buf, dtype=_INDEX_DTYPE,
+                count=n + 1, offset=layout.indptr_start
+                * np.dtype(_INDEX_DTYPE).itemsize,
+            )
+            matrix = sp.csr_matrix((data, indices, indptr), shape=(n, n),
+                                   copy=False)
+            self.matrices.append(matrix)
+            self.times.append(layout.time)
+
+    def close(self) -> None:
+        """Drop this process's mapping (the parent still owns the data)."""
+        matrices, self.matrices = self.matrices, []
+        del matrices
+        for block in self._blocks:
+            try:
+                block.close()
+            except BufferError:  # pragma: no cover - views still alive
+                pass

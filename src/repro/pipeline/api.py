@@ -9,6 +9,7 @@ For users who want results without assembling detector objects::
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable
 
 from ..baselines import (
@@ -24,6 +25,7 @@ from ..core.results import DetectionReport
 from ..core.thresholds import select_global_threshold
 from ..exceptions import DetectionError
 from ..graphs.dynamic import DynamicGraph
+from ..parallel.engine import ParallelCadDetector
 
 #: Registered detector factories by lowercase name.
 DETECTOR_FACTORIES: dict[str, Callable[..., Detector]] = {
@@ -34,6 +36,24 @@ DETECTOR_FACTORIES: dict[str, Callable[..., Detector]] = {
     "clc": ClcDetector,
     "afm": AfmDetector,
 }
+
+
+#: Environment variable consulted for a default worker count when the
+#: ``workers=`` argument is not given (used by CI to exercise the whole
+#: suite through the parallel engine: ``REPRO_TEST_WORKERS=2 pytest``).
+WORKERS_ENV_VAR = "REPRO_TEST_WORKERS"
+
+
+def _default_workers() -> int | None:
+    """Worker count from the environment, or ``None`` for serial."""
+    raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        workers = int(raw)
+    except ValueError:
+        return None
+    return workers if workers > 1 else None
 
 
 def make_detector(name: str, **kwargs) -> Detector:
@@ -59,6 +79,8 @@ def detect_windowed(graph: DynamicGraph,
                     stride: int | None = None,
                     detector: str | Detector = "cad",
                     anomalies_per_transition: int = 5,
+                    workers: int | None = None,
+                    shard_by: str = "auto",
                     **detector_kwargs) -> list[DetectionReport]:
     """Run detection per sliding window of a long history.
 
@@ -72,8 +94,10 @@ def detect_windowed(graph: DynamicGraph,
         stride: window start offset; defaults to ``window - 1`` so
             consecutive windows share exactly one snapshot and every
             transition is covered exactly once.
-        detector / anomalies_per_transition / detector_kwargs: as in
-            :func:`detect`.
+        detector / anomalies_per_transition / workers / shard_by /
+            detector_kwargs: as in :func:`detect`. The parallel
+            detector is built once and reused, so each window's δ is
+            still derived independently.
 
     Returns:
         One report per window, in order.
@@ -82,11 +106,29 @@ def detect_windowed(graph: DynamicGraph,
 
     if stride is None:
         stride = max(window - 1, 1)
+    if workers is None:
+        workers = _default_workers()
+    parallel_cad = workers is not None and workers > 1
     if isinstance(detector, str):
-        detector = make_detector(detector, **detector_kwargs)
+        if parallel_cad and detector.lower() == "cad":
+            kwargs = dict(detector_kwargs)
+            kwargs.pop("seed_mode", None)
+            detector = ParallelCadDetector(
+                workers=workers, shard_by=shard_by, **kwargs
+            )
+        else:
+            detector = make_detector(detector, **detector_kwargs)
     elif detector_kwargs:
         raise DetectionError(
             "detector_kwargs are only valid with a detector name"
+        )
+    if (
+        parallel_cad
+        and isinstance(detector, CadDetector)
+        and not isinstance(detector, ParallelCadDetector)
+    ):
+        detector = ParallelCadDetector.from_detector(
+            detector, workers=workers, shard_by=shard_by
         )
     windows = sliding_windows(graph, window=window, stride=stride)
     # Anchor a final window at the end when the stride leaves a tail
@@ -106,6 +148,8 @@ def detect(graph: DynamicGraph,
            detector: str | Detector = "cad",
            anomalies_per_transition: int = 5,
            delta: float | None = None,
+           workers: int | None = None,
+           shard_by: str = "auto",
            **detector_kwargs) -> DetectionReport:
     """Run a detector over a dynamic graph and return discrete results.
 
@@ -119,17 +163,43 @@ def detect(graph: DynamicGraph,
         detector: registered name or a ready detector instance.
         anomalies_per_transition: the δ-selection budget ``l``.
         delta: explicit δ overriding selection (edge detectors only).
+        workers: score CAD transitions with this many processes
+            (``repro.parallel``); ``None`` or 1 runs serially. Defaults
+            to the ``REPRO_TEST_WORKERS`` environment variable when
+            set. Only CAD parallelises; other detectors ignore this.
+        shard_by: parallel work decomposition — ``"transition"``,
+            ``"component"``, or ``"auto"`` (see
+            :class:`~repro.parallel.ParallelCadDetector`).
         **detector_kwargs: constructor arguments when ``detector`` is
             a name.
     """
+    if workers is None:
+        workers = _default_workers()
+    parallel_cad = workers is not None and workers > 1
     if isinstance(detector, str):
-        detector = make_detector(detector, **detector_kwargs)
+        if parallel_cad and detector.lower() == "cad":
+            kwargs = dict(detector_kwargs)
+            # The parallel engine always runs content-keyed seeding.
+            kwargs.pop("seed_mode", None)
+            detector = ParallelCadDetector(
+                workers=workers, shard_by=shard_by, **kwargs
+            )
+        else:
+            detector = make_detector(detector, **detector_kwargs)
     elif detector_kwargs:
         raise DetectionError(
             "detector_kwargs are only valid with a detector name"
         )
+    if (
+        parallel_cad
+        and isinstance(detector, CadDetector)
+        and not isinstance(detector, ParallelCadDetector)
+    ):
+        detector = ParallelCadDetector.from_detector(
+            detector, workers=workers, shard_by=shard_by
+        )
 
-    if isinstance(detector, CadDetector):
+    if isinstance(detector, (CadDetector, ParallelCadDetector)):
         return detector.detect(
             graph,
             anomalies_per_transition=(

@@ -1,0 +1,129 @@
+"""Pickle round-trips for every object the parallel engine ships
+between processes (and for the report objects users may cache).
+
+The multi-process engine relies on pickling worker configs, payloads,
+and exceptions; users additionally pickle whole reports to disk. These
+tests pin the contract: a round-trip preserves content exactly and the
+snapshot fast path (``__reduce__`` via ``_from_canonical``) really does
+reproduce the canonical matrix bit for bit.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import (
+    CadDetector,
+    FallbackPolicy,
+    FaultInjector,
+    GraphSnapshot,
+    NodeUniverse,
+)
+from repro.datasets import toy_example
+from repro.graphs.sanitize import sanitize_snapshot
+from repro.resilience.health import HealthMonitor
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+def test_node_universe_roundtrip():
+    universe = NodeUniverse(["alice", "bob", ("tuple", 3), 7])
+    clone = roundtrip(universe)
+    assert clone == universe
+    assert clone.index_of(("tuple", 3)) == 2
+
+
+def test_graph_snapshot_roundtrip_is_bitwise(triangle_graph):
+    clone = roundtrip(triangle_graph)
+    assert clone.universe == triangle_graph.universe
+    assert clone.time == triangle_graph.time
+    assert np.array_equal(clone.adjacency.data,
+                          triangle_graph.adjacency.data)
+    assert np.array_equal(clone.adjacency.indices,
+                          triangle_graph.adjacency.indices)
+    assert np.array_equal(clone.adjacency.indptr,
+                          triangle_graph.adjacency.indptr)
+    assert clone.content_digest() == triangle_graph.content_digest()
+
+
+def test_snapshot_unpickle_skips_validation_but_stays_canonical():
+    snapshot = GraphSnapshot(
+        np.array([[0.0, 2.0], [2.0, 0.0]]), time="march"
+    )
+    clone = roundtrip(snapshot)
+    # The fast path must still deliver a usable canonical matrix.
+    assert clone.volume() == snapshot.volume()
+    assert clone.num_edges == 1
+    assert clone.adjacency.has_sorted_indices
+
+
+def test_dynamic_graph_roundtrip(small_dynamic_graph):
+    clone = roundtrip(small_dynamic_graph)
+    assert len(clone) == len(small_dynamic_graph)
+    assert clone.universe == small_dynamic_graph.universe
+    for original, copied in zip(small_dynamic_graph, clone):
+        assert np.array_equal(original.adjacency.toarray(),
+                              copied.adjacency.toarray())
+
+
+def test_transition_scores_and_report_roundtrip():
+    toy = toy_example()
+    report = CadDetector(method="exact").detect(
+        toy.graph, anomalies_per_transition=4
+    )
+    clone = roundtrip(report)
+    assert clone.detector == report.detector
+    assert clone.threshold == report.threshold
+    assert len(clone.transitions) == len(report.transitions)
+    for original, copied in zip(report.transitions, clone.transitions):
+        assert copied.anomalous_edges == original.anomalous_edges
+        assert copied.anomalous_nodes == original.anomalous_nodes
+        assert np.array_equal(copied.scores.edge_scores,
+                              original.scores.edge_scores)
+        assert np.array_equal(copied.scores.node_scores,
+                              original.scores.node_scores)
+        for key, value in original.scores.extras.items():
+            assert np.array_equal(copied.scores.extras[key], value)
+
+
+def test_sanitization_report_roundtrip():
+    dirty = np.array([
+        [0.0, -1.0, np.nan],
+        [-1.0, 0.0, 2.0],
+        [np.nan, 2.0, 5.0],
+    ])
+    snapshot, report = sanitize_snapshot(dirty, policy="repair")
+    assert snapshot is not None
+    clone = roundtrip(report)
+    assert clone == report
+    assert not clone.is_clean and clone.repaired
+
+
+def test_health_report_roundtrip():
+    monitor = HealthMonitor()
+    monitor.record_solve("direct", retries=2)
+    monitor.record_quarantine(position=3, time="july", reason="nan weights")
+    report = monitor.report()
+    clone = roundtrip(report)
+    assert clone == report
+    assert clone.quarantined[0].reason == "nan weights"
+
+
+@pytest.mark.parametrize("obj", [
+    FallbackPolicy(cg_retries=1, dense_limit=64),
+    FallbackPolicy(fault_injector=FaultInjector(
+        fail_solves=range(4), fail_backends=("cg", "cg-retry"),
+    )),
+    FaultInjector(corrupt_snapshots=(1, 2), corruption="negative", seed=5),
+])
+def test_resilience_config_roundtrip(obj):
+    clone = roundtrip(obj)
+    assert type(clone) is type(obj)
+    if isinstance(obj, FaultInjector):
+        # Behavioural equality: same sabotage decisions.
+        assert clone.begin_solve() == obj.begin_solve()
