@@ -1,0 +1,126 @@
+"""Overhead benchmark for :mod:`repro.observability` — tracing off vs on.
+
+The acceptance bar for the observability layer is that *disabled*
+instrumentation (the default) costs under 2% of a serial CAD detect.
+Two measurements back that up, written to ``BENCH_observability.json``
+at the repository root:
+
+* ``disabled_per_call_seconds`` — the cost of one ``trace()`` context
+  plus one ``add_counter()`` with no registry installed, averaged over
+  many iterations. Multiplied by the number of instrumentation calls an
+  instrumented run actually makes, this bounds the total disabled
+  overhead independently of run-to-run timing noise.
+* ``detect_wall`` timings for ``metrics=False`` vs ``metrics=True`` on
+  the same graph — the blunt end-to-end comparison (noisier, reported
+  for context; the per-call bound is the verdict).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_observability_overhead.py
+    PYTHONPATH=src python benchmarks/bench_observability_overhead.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import detect
+from repro.graphs import DynamicGraph, random_sparse_graph
+from repro.observability import add_counter, trace
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_observability.json"
+
+
+def build_graph(num_nodes: int, num_snapshots: int) -> DynamicGraph:
+    return DynamicGraph([
+        random_sparse_graph(num_nodes, mean_degree=4.0, seed=seed,
+                            connected=True)
+        for seed in range(num_snapshots)
+    ])
+
+
+def disabled_per_call(iterations: int) -> float:
+    """Seconds per disabled trace()+add_counter() pair."""
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with trace("noop", n=1):
+            pass
+        add_counter("noop")
+    return (time.perf_counter() - start) / iterations
+
+
+def timed_detect(graph: DynamicGraph, metrics: bool, repeats: int):
+    best = None
+    report = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        report = detect(graph, detector="cad", anomalies_per_transition=3,
+                        method="exact", workers=1, metrics=metrics)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller graph / fewer repeats")
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT))
+    args = parser.parse_args(argv)
+
+    num_nodes = 60 if args.quick else 200
+    num_snapshots = 4 if args.quick else 6
+    repeats = 2 if args.quick else 3
+    iterations = 20_000 if args.quick else 100_000
+
+    graph = build_graph(num_nodes, num_snapshots)
+    per_call = disabled_per_call(iterations)
+    wall_off, _ = timed_detect(graph, metrics=False, repeats=repeats)
+    wall_on, report = timed_detect(graph, metrics=True, repeats=repeats)
+
+    span_calls = sum(
+        stats["count"] for stats in report.metrics["spans"].values()
+    )
+    counter_calls = sum(
+        entry["value"] for entry in report.metrics["counters"]
+    )
+    instrumentation_calls = span_calls + counter_calls
+    disabled_overhead = per_call * instrumentation_calls
+    disabled_percent = 100.0 * disabled_overhead / wall_off
+
+    result = {
+        "benchmark": "repro.observability disabled overhead",
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "quick": args.quick,
+        "graph": {"num_nodes": num_nodes,
+                  "num_snapshots": num_snapshots},
+        "disabled_per_call_seconds": per_call,
+        "instrumentation_calls": instrumentation_calls,
+        "span_calls": span_calls,
+        "counter_calls": counter_calls,
+        "detect_wall_seconds_metrics_off": wall_off,
+        "detect_wall_seconds_metrics_on": wall_on,
+        "enabled_overhead_percent": round(
+            100.0 * (wall_on - wall_off) / wall_off, 3
+        ),
+        "disabled_overhead_seconds": disabled_overhead,
+        "disabled_overhead_percent": round(disabled_percent, 5),
+        "meets_two_percent_bar": disabled_percent < 2.0,
+    }
+    Path(args.output).write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    print(f"\nwritten to {args.output}")
+    return 0 if result["meets_two_percent_bar"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Validate a repro-metrics JSON document against the checked-in schema.
+
+Usage::
+
+    python scripts/validate_metrics.py metrics.json
+    python scripts/validate_metrics.py metrics.json --schema schemas/metrics_schema.json
+
+Exit code 0 when the document conforms, 1 with the violations listed on
+stderr otherwise. Uses :mod:`jsonschema` when it is installed; falls
+back to a built-in checker covering the subset of JSON Schema the
+metrics schema actually uses (type, const, required, properties,
+additionalProperties, items, $ref into $defs, minimum, minLength), so
+CI needs no extra dependency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_SCHEMA = REPO_ROOT / "schemas" / "metrics_schema.json"
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _check_type(value, expected: str) -> bool:
+    python_type = _TYPES[expected]
+    if isinstance(value, bool) and expected in ("integer", "number"):
+        return False  # bool is an int subclass; JSON Schema says no
+    return isinstance(value, python_type)
+
+
+def _validate(value, schema: dict, root: dict, path: str,
+              errors: list[str]) -> None:
+    ref = schema.get("$ref")
+    if ref is not None:
+        target = root
+        for part in ref.lstrip("#/").split("/"):
+            target = target[part]
+        _validate(value, target, root, path, errors)
+        return
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, "
+                      f"got {value!r}")
+        return
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = expected if isinstance(expected, list) else [expected]
+        if not any(_check_type(value, t) for t in allowed):
+            errors.append(f"{path}: expected type {expected}, "
+                          f"got {type(value).__name__}")
+            return
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            if key in properties:
+                _validate(item, properties[key], root,
+                          f"{path}.{key}", errors)
+            elif isinstance(extra, dict):
+                _validate(item, extra, root, f"{path}.{key}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+    elif isinstance(value, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for index, item in enumerate(value):
+                _validate(item, items, root, f"{path}[{index}]", errors)
+    elif isinstance(value, str):
+        if len(value) < schema.get("minLength", 0):
+            errors.append(f"{path}: string shorter than minLength")
+    elif isinstance(value, (int, float)):
+        minimum = schema.get("minimum")
+        if minimum is not None and value < minimum:
+            errors.append(f"{path}: {value} below minimum {minimum}")
+
+
+def validate_document(document: dict, schema: dict) -> list[str]:
+    """All schema violations in the document (empty list == valid)."""
+    try:
+        import jsonschema
+    except ImportError:
+        errors: list[str] = []
+        _validate(document, schema, schema, "$", errors)
+        return errors
+    validator = jsonschema.Draft202012Validator(schema)
+    return [
+        f"$.{'.'.join(str(p) for p in error.absolute_path)}: "
+        f"{error.message}"
+        for error in validator.iter_errors(document)
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("document", help="metrics JSON file to validate")
+    parser.add_argument("--schema", default=str(DEFAULT_SCHEMA),
+                        help="JSON Schema file "
+                        "(default: schemas/metrics_schema.json)")
+    args = parser.parse_args(argv)
+
+    document = json.loads(Path(args.document).read_text())
+    schema = json.loads(Path(args.schema).read_text())
+    errors = validate_document(document, schema)
+    if errors:
+        for error in errors:
+            print(f"invalid: {error}", file=sys.stderr)
+        return 1
+    spans = len(document.get("spans", {}))
+    workers = len(document.get("workers", {}))
+    print(f"{args.document}: valid repro-metrics document "
+          f"({spans} span names, {workers} workers)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

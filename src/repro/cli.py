@@ -23,6 +23,7 @@ files, bad usage), ``2`` library errors
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 from pathlib import Path
@@ -36,6 +37,12 @@ from .graphs.io import (
     write_json,
     write_npz,
     write_temporal_edge_csv,
+)
+from .observability import (
+    LOG_LEVELS,
+    configure_logging,
+    get_logger,
+    render_prometheus,
 )
 from .pipeline.api import DETECTOR_FACTORIES, detect, make_detector
 from .pipeline.report import render_table
@@ -80,6 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
             "(CAD, SIGMOD 2014)."
         ),
     )
+    parser.add_argument("--log-level", default="warning",
+                        choices=sorted(LOG_LEVELS),
+                        help="verbosity of the 'repro' logger on stderr")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit log records as JSON lines")
     sub = parser.add_subparsers(dest="command", required=True)
 
     info = sub.add_parser("info", help="summarise a temporal graph file")
@@ -119,6 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--strict", action="store_true",
                      help="treat any snapshot defect as a hard error "
                      "(shorthand for --sanitize raise)")
+    run.add_argument("--metrics-out", default=None,
+                     help="collect tracing/metrics for the run and "
+                     "write the merged document to this path")
+    run.add_argument("--metrics-format", default="json",
+                     choices=("json", "prometheus"),
+                     help="--metrics-out format: JSON document "
+                     "(default) or Prometheus text exposition")
 
     score = sub.add_parser(
         "score", help="print raw CAD scores for one transition"
@@ -152,6 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(level=args.log_level, json_output=args.log_json)
     commands = {
         "info": _cmd_info,
         "detect": _cmd_detect,
@@ -194,6 +214,9 @@ def _cmd_detect(args) -> int:
         kwargs["seed"] = args.seed
     if args.detector == "cad" and args.solver is not None:
         kwargs["solver"] = args.solver
+    logger = get_logger("cli")
+    logger.info("detect: %s over %s (%d snapshots)", args.detector,
+                args.path, len(graph))
     report = detect(
         graph,
         detector=args.detector,
@@ -201,12 +224,20 @@ def _cmd_detect(args) -> int:
         delta=args.delta,
         workers=args.workers,
         shard_by=args.shard_by,
+        metrics=args.metrics_out is not None,
         **kwargs,
     )
     print(report.summary())
     if args.json_out:
         write_report_json(report, args.json_out)
         print(f"report written to {args.json_out}")
+    if args.metrics_out:
+        if args.metrics_format == "prometheus":
+            rendered = render_prometheus(report.metrics)
+        else:
+            rendered = json.dumps(report.metrics, indent=1)
+        Path(args.metrics_out).write_text(rendered)
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 

@@ -19,6 +19,7 @@ from ..linalg.pseudoinverse import (
     commute_times_for_pairs,
     laplacian_pseudoinverse,
 )
+from ..observability import add_counter, trace
 from ..resilience.health import HealthMonitor, HealthReport
 
 #: Above this node count ``method="auto"`` switches from the exact
@@ -196,21 +197,26 @@ class CommuteTimeCalculator:
         if snapshot.volume() <= 0:
             return np.zeros(rows.size)
         method = self.resolve_method(snapshot.num_nodes)
-        backend = self._backend_for(snapshot, method)
-        if method == "exact":
-            return commute_times_for_pairs(
-                snapshot.adjacency, rows, cols, pseudoinverse=backend
-            )
-        return backend.commute_times(rows, cols)
+        with trace("commute.pairwise", method=method, pairs=rows.size):
+            backend = self._backend_for(snapshot, method)
+            if method == "exact":
+                return commute_times_for_pairs(
+                    snapshot.adjacency, rows, cols, pseudoinverse=backend
+                )
+            return backend.commute_times(rows, cols)
 
     def _backend_for(self, snapshot: GraphSnapshot, method: str):
         """Pseudoinverse or embedding for a snapshot, cached (size 2)."""
         key = id(snapshot)
         cached = self._cache.get(key)
         if cached is not None and cached[0] is snapshot:
+            add_counter("commute_backend_cache_hits_total")
             return cached[1]
+        add_counter("commute_backend_builds_total", method=method)
         if method == "exact":
-            backend = laplacian_pseudoinverse(snapshot.adjacency)
+            with trace("commute.backend_build", method=method,
+                       n=snapshot.num_nodes):
+                backend = laplacian_pseudoinverse(snapshot.adjacency)
         else:
             if self._seed_mode == "content":
                 seed = np.random.default_rng(
@@ -218,11 +224,13 @@ class CommuteTimeCalculator:
                 )
             else:
                 seed = self._rng
-            backend = CommuteTimeEmbedding(
-                snapshot.adjacency, k=self._k, seed=seed,
-                solver=self._solver, tol=self._tol,
-                health=self._health,
-            )
+            with trace("commute.backend_build", method=method,
+                       n=snapshot.num_nodes):
+                backend = CommuteTimeEmbedding(
+                    snapshot.adjacency, k=self._k, seed=seed,
+                    solver=self._solver, tol=self._tol,
+                    health=self._health,
+                )
         self._cache[key] = (snapshot, backend)
         self._cache_order.append(key)
         while len(self._cache_order) > 2:

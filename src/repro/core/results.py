@@ -151,12 +151,19 @@ class DetectionReport:
         health: resilience accounting for the run (fallbacks taken,
             snapshots quarantined, repairs applied); ``None`` when the
             run needed no resilience at all.
+        metrics: observability document for the run (spans, counters,
+            per-worker breakdowns — see
+            :func:`repro.observability.build_metrics_document`);
+            ``None`` unless the run collected metrics
+            (``detect(..., metrics=True)`` or an enclosing
+            :func:`repro.observability.collecting` block).
     """
 
     detector: str
     threshold: float
     transitions: list[TransitionResult]
     health: HealthReport | None = None
+    metrics: dict[str, Any] | None = None
 
     def anomalous_transitions(self) -> list[TransitionResult]:
         """Transitions with a non-empty anomaly set."""
@@ -205,4 +212,8 @@ class DetectionReport:
             )
         if self.health is not None:
             lines.append(self.health.describe())
+        if self.metrics is not None:
+            from ..observability import summarize_metrics
+
+            lines.append(summarize_metrics(self.metrics))
         return "\n".join(lines)

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..graphs.operations import union_support
 from ..graphs.snapshot import GraphSnapshot
+from ..observability import add_counter, trace
 from .commute import CommuteTimeCalculator
 from .results import TransitionScores
 
@@ -40,15 +41,19 @@ def cad_edge_scores(g_t: GraphSnapshot,
     g_t.require_same_universe(g_t1)
     rows, cols = union_support(g_t, g_t1)
 
-    adjacency_change = adjacency_change_on_pairs(g_t, g_t1, rows, cols)
-    commute_t = calculator.pairwise(g_t, rows, cols)
-    commute_t1 = calculator.pairwise(g_t1, rows, cols)
-    commute_change = np.abs(commute_t1 - commute_t)
-    edge_scores = adjacency_change * commute_change
+    with trace("score.transition", pairs=rows.size,
+               n=len(g_t.universe)):
+        add_counter("transitions_scored_total")
+        adjacency_change = adjacency_change_on_pairs(g_t, g_t1, rows,
+                                                     cols)
+        commute_t = calculator.pairwise(g_t, rows, cols)
+        commute_t1 = calculator.pairwise(g_t1, rows, cols)
+        commute_change = np.abs(commute_t1 - commute_t)
+        edge_scores = adjacency_change * commute_change
 
-    node_scores = aggregate_node_scores(
-        len(g_t.universe), rows, cols, edge_scores
-    )
+        node_scores = aggregate_node_scores(
+            len(g_t.universe), rows, cols, edge_scores
+        )
     return TransitionScores(
         universe=g_t.universe,
         edge_rows=rows,

@@ -22,6 +22,7 @@ import numpy as np
 
 from .._validation import check_finite_float, check_positive_int
 from ..exceptions import ThresholdError
+from ..observability import trace
 from .results import TransitionScores
 
 
@@ -48,11 +49,22 @@ def minimal_edge_set(edge_scores: np.ndarray, delta: float) -> np.ndarray:
         raise ThresholdError(f"delta must be > 0, got {delta}")
     scores = np.asarray(edge_scores, dtype=np.float64)
     selected = np.zeros(scores.shape, dtype=bool)
-    total = float(scores.sum())
-    if total < delta:
+    if scores.size == 0:
         return selected
     order = np.argsort(-scores)
-    residual = total - np.cumsum(scores[order])
+    prefix = np.cumsum(scores[order])
+    # The residual and the total must come from the SAME summation:
+    # np.sum (pairwise) and np.cumsum (sequential) round differently,
+    # and a delta below that drift would otherwise never satisfy
+    # `residual < delta`, making argmax fall through to index 0 and
+    # return a single edge instead of every positive one. Deriving the
+    # residual as `prefix[-1] - prefix` guarantees it reaches exactly
+    # 0.0 once all positive scores are removed; the clamp absorbs any
+    # transient negative rounding on the way down.
+    total = float(prefix[-1])
+    if total < delta:
+        return selected
+    residual = np.maximum(total - prefix, 0.0)
     # Smallest prefix whose removal brings the residual below delta.
     cutoff = int(np.argmax(residual < delta)) + 1
     selected[order[:cutoff]] = True
@@ -115,19 +127,38 @@ def select_global_threshold(transitions: list[TransitionScores],
     # delta -> count is non-increasing: high delta tolerates all change
     # (no anomalies), delta -> 0 flags every scored edge.
     high = top * (1.0 + 1e-9)
-    low = top * 1e-12
-    if total_node_count(transitions, high) >= target:
-        return high
-    if total_node_count(transitions, low) < target:
-        return low  # budget larger than the available support
-    for _step in range(max_bisection_steps):
-        mid = 0.5 * (low + high)
-        if total_node_count(transitions, mid) >= target:
-            low = mid
-        else:
-            high = mid
-        if high - low <= 1e-12 * top:
-            break
+    # The low probe must make every transition surrender all of its
+    # positive edges. A mass-relative probe (`top * 1e-12`) fails that
+    # on sequences whose score mass spans many orders of magnitude — a
+    # transition with total mass below the probe reports nothing at it
+    # — so anchor the bracket below the smallest positive edge score
+    # instead: any delta <= that score selects every positive edge.
+    smallest_positive = min(
+        (
+            float(scores.edge_scores[scores.edge_scores > 0].min())
+            for scores in transitions
+            if scores.num_scored_edges
+            and bool((scores.edge_scores > 0).any())
+        ),
+        default=top,
+    )
+    low = 0.5 * smallest_positive
+    if low <= 0.0:  # a denormal-tiny smallest score halved to zero
+        low = float(np.finfo(np.float64).tiny)
+    with trace("threshold.select", transitions=len(transitions),
+               target=target):
+        if total_node_count(transitions, high) >= target:
+            return high
+        if total_node_count(transitions, low) < target:
+            return low  # budget larger than the available support
+        for _step in range(max_bisection_steps):
+            mid = 0.5 * (low + high)
+            if total_node_count(transitions, mid) >= target:
+                low = mid
+            else:
+                high = mid
+            if high - low <= 1e-12 * top:
+                break
     # `low` is the largest tested delta still meeting the budget.
     return low
 
@@ -144,8 +175,11 @@ class OnlineThresholdSelector:
     Args:
         anomalies_per_transition: the budget ``l``.
         warmup: number of transitions to absorb before emitting a δ
-            (early estimates are noisy); during warmup ``current()``
-            returns ``None``.
+            (early estimates are noisy); the first ``warmup`` calls to
+            :meth:`update` return ``None`` and ``current()`` stays
+            ``None`` until the transition *after* the warmup window —
+            with the default ``warmup=1`` the first transition is
+            absorbed silently and the second produces the first δ.
     """
 
     def __init__(self, anomalies_per_transition: int, warmup: int = 1):
@@ -157,9 +191,15 @@ class OnlineThresholdSelector:
         self._delta: float | None = None
 
     def update(self, scores: TransitionScores) -> float | None:
-        """Absorb one transition's scores; return the refreshed δ."""
+        """Absorb one transition's scores; return the refreshed δ.
+
+        Returns ``None`` while still inside the warmup window: the
+        first ``warmup`` transitions are absorbed without emitting
+        (``len(seen) <= warmup``, not ``<`` — the historical off-by-one
+        made ``warmup=1`` emit on the very first transition).
+        """
         self._seen.append(scores)
-        if len(self._seen) < self._warmup:
+        if len(self._seen) <= self._warmup:
             return None
         if all(s.total_edge_score() <= 0 for s in self._seen):
             return None

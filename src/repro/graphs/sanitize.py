@@ -31,6 +31,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..exceptions import GraphConstructionError, SanitizationError
+from ..observability import add_counter, trace
 from .snapshot import GraphSnapshot, NodeUniverse
 
 #: Recognised sanitization policies.
@@ -139,47 +140,54 @@ def sanitize_adjacency(adjacency: sp.spmatrix | np.ndarray,
             f"{matrix.shape}"
         )
 
-    # Repair progressively on the copy so later categories are counted
-    # on already-finite, non-negative data.
-    bad = ~np.isfinite(matrix.data)
-    non_finite = int(bad.sum())
-    matrix.data[bad] = 0.0
+    with trace("sanitize.snapshot", policy=policy,
+               n=matrix.shape[0]):
+        # Repair progressively on the copy so later categories are
+        # counted on already-finite, non-negative data.
+        bad = ~np.isfinite(matrix.data)
+        non_finite = int(bad.sum())
+        matrix.data[bad] = 0.0
 
-    negative_mask = matrix.data < 0
-    negative = int(negative_mask.sum())
-    matrix.data[negative_mask] = 0.0
+        negative_mask = matrix.data < 0
+        negative = int(negative_mask.sum())
+        matrix.data[negative_mask] = 0.0
 
-    self_loops = int(np.count_nonzero(matrix.diagonal()))
-    if self_loops:
-        matrix.setdiag(0.0)
+        self_loops = int(np.count_nonzero(matrix.diagonal()))
+        if self_loops:
+            matrix.setdiag(0.0)
 
-    difference = (matrix - matrix.T).tocoo()
-    disagreeing = int(
-        np.count_nonzero(np.abs(difference.data) > _SYMMETRY_ATOL)
-    )
-    asymmetric = disagreeing // 2  # each pair appears twice in M - M^T
-    if asymmetric:
-        matrix = matrix.maximum(matrix.T)
+        difference = (matrix - matrix.T).tocoo()
+        disagreeing = int(
+            np.count_nonzero(np.abs(difference.data) > _SYMMETRY_ATOL)
+        )
+        asymmetric = disagreeing // 2  # pairs appear twice in M - M^T
+        if asymmetric:
+            matrix = matrix.maximum(matrix.T)
 
-    report = SanitizationReport(
-        policy=policy, time=time,
-        non_finite=non_finite, negative=negative,
-        asymmetric=asymmetric, self_loops=self_loops,
-        quarantined=policy == "quarantine" and bool(
-            non_finite or negative or asymmetric or self_loops
-        ),
-    )
-    if report.is_clean:
+        report = SanitizationReport(
+            policy=policy, time=time,
+            non_finite=non_finite, negative=negative,
+            asymmetric=asymmetric, self_loops=self_loops,
+            quarantined=policy == "quarantine" and bool(
+                non_finite or negative or asymmetric or self_loops
+            ),
+        )
+        add_counter("snapshots_sanitized_total", policy=policy)
+        if report.is_clean:
+            matrix.eliminate_zeros()
+            matrix.sort_indices()
+            return matrix, report
+        if report.quarantined:
+            add_counter("snapshots_quarantined_total")
+            return None, report
+        if policy == "raise":
+            raise SanitizationError(report.describe())
+        add_counter("snapshots_repaired_total")
+        add_counter("sanitize_entries_fixed_total",
+                    report.entries_fixed)
         matrix.eliminate_zeros()
         matrix.sort_indices()
         return matrix, report
-    if policy == "raise":
-        raise SanitizationError(report.describe())
-    if report.quarantined:
-        return None, report
-    matrix.eliminate_zeros()
-    matrix.sort_indices()
-    return matrix, report
 
 
 def sanitize_snapshot(adjacency: sp.spmatrix | np.ndarray,

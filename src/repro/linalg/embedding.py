@@ -26,6 +26,7 @@ import scipy.sparse as sp
 
 from .._validation import as_rng, check_positive_int
 from ..exceptions import EmbeddingError
+from ..observability import add_counter, trace
 from .laplacian import graph_volume, incidence_factors
 from .solvers import make_solver
 
@@ -85,13 +86,15 @@ class CommuteTimeEmbedding:
             )
         rng = as_rng(seed)
 
-        incidence, weights = incidence_factors(matrix)
-        sketch = _sketch_weighted_incidence(incidence, weights, k, rng)
+        with trace("embedding.build", n=matrix.shape[0], k=k):
+            add_counter("embeddings_built_total")
+            incidence, weights = incidence_factors(matrix)
+            sketch = _sketch_weighted_incidence(incidence, weights, k, rng)
 
-        laplacian_solver = make_solver(matrix, solver=solver, tol=tol,
-                                       health=health)
-        # Solve L z_d = y_d for each of the k sketch directions.
-        z = laplacian_solver.solve_many(sketch.T)  # (n, k)
+            laplacian_solver = make_solver(matrix, solver=solver, tol=tol,
+                                           health=health)
+            # Solve L z_d = y_d for each of the k sketch directions.
+            z = laplacian_solver.solve_many(sketch.T)  # (n, k)
 
         self._k = k
         self._volume = volume

@@ -29,6 +29,7 @@ import scipy.linalg
 import scipy.sparse as sp
 
 from ..exceptions import SolverError
+from ..observability import add_counter, trace
 from .laplacian import dense_laplacian, graph_volume
 
 
@@ -42,7 +43,9 @@ def laplacian_pseudoinverse(adjacency: sp.spmatrix | np.ndarray) -> np.ndarray:
     lap = dense_laplacian(adjacency)
     if lap.shape[0] == 0:
         raise SolverError("cannot invert an empty Laplacian")
-    return scipy.linalg.pinvh(lap)
+    with trace("pinv", n=lap.shape[0]):
+        add_counter("pinv_total")
+        return scipy.linalg.pinvh(lap)
 
 
 def commute_time_matrix(adjacency: sp.spmatrix | np.ndarray,

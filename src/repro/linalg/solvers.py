@@ -28,6 +28,7 @@ import scipy.sparse.linalg as spla
 from .._validation import check_positive_float, check_positive_int
 from ..exceptions import ConvergenceError, SolverError
 from ..graphs.operations import connected_components
+from ..observability import add_counter, trace
 from .laplacian import laplacian
 
 
@@ -81,14 +82,16 @@ def conjugate_gradient(matrix: sp.spmatrix,
     direction = z.copy()
     rho = float(residual @ z)
 
-    for _iteration in range(max_iter):
+    for iteration in range(max_iter):
         if np.linalg.norm(residual) <= threshold:
+            add_counter("cg_iterations_total", iteration)
             return x
         a_direction = matrix @ direction
         curvature = float(direction @ a_direction)
         if curvature <= 0.0:
             # Null-space direction reached (possible with singular PSD
             # input); residual is as small as it will get.
+            add_counter("cg_iterations_total", iteration)
             if np.linalg.norm(residual) <= np.sqrt(tol) * b_norm:
                 return x
             raise SolverError(
@@ -103,8 +106,10 @@ def conjugate_gradient(matrix: sp.spmatrix,
         direction = z + (rho_next / rho) * direction
         rho = rho_next
 
+    add_counter("cg_iterations_total", max_iter)
     if np.linalg.norm(residual) <= threshold:
         return x
+    add_counter("cg_convergence_failures_total")
     raise ConvergenceError(
         f"conjugate gradient did not converge in {max_iter} iterations "
         f"(residual {np.linalg.norm(residual):.3e}, target {threshold:.3e})"
@@ -190,27 +195,29 @@ class LaplacianSolver:
             raise SolverError(
                 f"rhs has shape {b.shape}, expected ({self._n},)"
             )
-        x = np.zeros(self._n)
-        for c, nodes in enumerate(self._components):
-            if nodes.size < 2:
-                continue
-            local = b[nodes] - b[nodes].mean()
-            if not np.any(local):
-                continue
-            if self._method == "cg":
-                solution = conjugate_gradient(
-                    self._blocks[c], local,
-                    tol=self._tol,
-                    max_iter=self._max_iter,
-                    preconditioner=self._preconditioners[c],
-                )
-            else:
-                solution = np.empty(nodes.size)
-                solution[0] = 0.0
-                solution[1:] = self._factorizations[c].solve(local[1:])
-            solution -= solution.mean()
-            x[nodes] = solution
-        return x
+        with trace("solver.solve", n=self._n, method=self._method):
+            add_counter("solver_solves_total", backend=self._method)
+            x = np.zeros(self._n)
+            for c, nodes in enumerate(self._components):
+                if nodes.size < 2:
+                    continue
+                local = b[nodes] - b[nodes].mean()
+                if not np.any(local):
+                    continue
+                if self._method == "cg":
+                    solution = conjugate_gradient(
+                        self._blocks[c], local,
+                        tol=self._tol,
+                        max_iter=self._max_iter,
+                        preconditioner=self._preconditioners[c],
+                    )
+                else:
+                    solution = np.empty(nodes.size)
+                    solution[0] = 0.0
+                    solution[1:] = self._factorizations[c].solve(local[1:])
+                solution -= solution.mean()
+                x[nodes] = solution
+            return x
 
     def commute_times_for_pairs(self, rows: np.ndarray,
                                 cols: np.ndarray) -> np.ndarray:
@@ -264,19 +271,25 @@ class LaplacianSolver:
             return np.column_stack([
                 self.solve(columns[:, j]) for j in range(columns.shape[1])
             ])
-        result = np.zeros_like(columns)
-        for c, nodes in enumerate(self._components):
-            if nodes.size < 2:
-                continue
-            local = columns[nodes] - columns[nodes].mean(axis=0)
-            if not np.any(local):
-                continue
-            solution = np.empty_like(local)
-            solution[0, :] = 0.0
-            solution[1:, :] = self._factorizations[c].solve(local[1:, :])
-            solution -= solution.mean(axis=0)
-            result[nodes] = solution
-        return result
+        with trace("solver.solve_many", n=self._n,
+                   columns=columns.shape[1]):
+            add_counter("solver_solves_total", columns.shape[1],
+                        backend=self._method)
+            result = np.zeros_like(columns)
+            for c, nodes in enumerate(self._components):
+                if nodes.size < 2:
+                    continue
+                local = columns[nodes] - columns[nodes].mean(axis=0)
+                if not np.any(local):
+                    continue
+                solution = np.empty_like(local)
+                solution[0, :] = 0.0
+                solution[1:, :] = self._factorizations[c].solve(
+                    local[1:, :]
+                )
+                solution -= solution.mean(axis=0)
+                result[nodes] = solution
+            return result
 
 
 def make_solver(adjacency: sp.spmatrix | np.ndarray,

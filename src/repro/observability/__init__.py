@@ -1,0 +1,85 @@
+"""repro.observability — tracing, metrics, and structured logging.
+
+The measurement substrate for the whole stack:
+
+* **Tracing** (:mod:`~repro.observability.tracing`): ``with
+  trace("pinv", n=...)`` spans around every hot operation — Laplacian
+  pseudoinverse, CG/fallback solves, pairwise commute evaluation,
+  per-transition scoring, sanitization, checkpoint IO, and parallel
+  worker lifecycles. Disabled by default at near-zero cost.
+* **Metrics** (:mod:`~repro.observability.metrics`): a
+  :class:`MetricsRegistry` of counters, gauges, and histograms whose
+  plain-data states merge across worker processes exactly like health
+  reports do.
+* **Export** (:mod:`~repro.observability.export`): a JSON document
+  (``report.metrics``, CLI ``--metrics-out``) and a Prometheus text
+  rendering for scrapes.
+* **Logging** (:mod:`~repro.observability.logging`): the ``repro``
+  stdlib logger namespace with an optional JSON formatter (CLI
+  ``--log-json`` / ``--log-level``).
+
+Quick use::
+
+    from repro.observability import collecting, build_metrics_document
+
+    with collecting() as registry:
+        report = detector.detect(graph, anomalies_per_transition=5)
+    print(build_metrics_document(registry)["spans"])
+
+or simply ``repro.detect(graph, metrics=True).metrics``.
+"""
+
+from .export import (
+    FORMAT,
+    VERSION,
+    build_metrics_document,
+    render_prometheus,
+    summarize_metrics,
+)
+from .logging import (
+    LOG_LEVELS,
+    LOGGER_NAME,
+    JsonLogFormatter,
+    configure_logging,
+    get_logger,
+)
+from .metrics import DEFAULT_BUCKETS, MetricsRegistry
+from .tracing import (
+    Span,
+    add_counter,
+    collecting,
+    current_registry,
+    disable,
+    enable,
+    enabled,
+    observe,
+    set_gauge,
+    trace,
+    traced,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "FORMAT",
+    "LOGGER_NAME",
+    "LOG_LEVELS",
+    "VERSION",
+    "JsonLogFormatter",
+    "MetricsRegistry",
+    "Span",
+    "add_counter",
+    "build_metrics_document",
+    "collecting",
+    "configure_logging",
+    "current_registry",
+    "disable",
+    "enable",
+    "enabled",
+    "get_logger",
+    "observe",
+    "render_prometheus",
+    "set_gauge",
+    "summarize_metrics",
+    "trace",
+    "traced",
+]

@@ -1,0 +1,130 @@
+"""Export surfaces for collected metrics: JSON document + Prometheus.
+
+The JSON document is the stable interchange format attached to
+:class:`~repro.core.results.DetectionReport` (``report.metrics``) and
+written by the CLI's ``--metrics-out``. Its schema is checked into the
+repository at ``schemas/metrics_schema.json`` and validated in CI; see
+``docs/observability.md`` for the field-by-field description.
+
+:func:`render_prometheus` renders the same document in the Prometheus
+text exposition format so a scrape endpoint (or a textfile collector)
+can serve run metrics without any extra dependency. All metric names
+are prefixed ``repro_``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .metrics import MetricsRegistry
+
+#: Document format marker for forwards compatibility.
+FORMAT = "repro-metrics"
+VERSION = 1
+
+#: Prefix applied to every exported Prometheus metric name.
+PROMETHEUS_PREFIX = "repro_"
+
+
+def build_metrics_document(
+    registry: MetricsRegistry,
+    worker_states: dict[str, dict[str, Any]] | None = None,
+) -> dict[str, Any]:
+    """The run's merged metrics document.
+
+    Args:
+        registry: the run's registry. For parallel runs the engine has
+            already folded every worker's state into it, so the
+            top-level sections are sequence-wide totals.
+        worker_states: per-worker registry states keyed by worker id;
+            kept verbatim under ``workers`` so the per-worker breakdown
+            survives the merge.
+    """
+    document: dict[str, Any] = {
+        "format": FORMAT,
+        "version": VERSION,
+        **registry.state(),
+    }
+    document["workers"] = {
+        str(worker): dict(state)
+        for worker, state in (worker_states or {}).items()
+    }
+    return document
+
+
+def summarize_metrics(document: dict[str, Any], top: int = 3) -> str:
+    """One-line digest for report summaries: busiest spans by wall time."""
+    spans = document.get("spans", {})
+    if not spans:
+        return "metrics: no spans recorded"
+    ranked = sorted(
+        spans.items(),
+        key=lambda item: -float(item[1].get("wall_seconds", 0.0)),
+    )[:top]
+    parts = [
+        f"{name}:{stats.get('count', 0)}x/"
+        f"{float(stats.get('wall_seconds', 0.0)):.3g}s"
+        for name, stats in ranked
+    ]
+    workers = document.get("workers") or {}
+    suffix = f" workers={len(workers)}" if workers else ""
+    return "metrics: " + " ".join(parts) + suffix
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(document: dict[str, Any]) -> str:
+    """Render a metrics document in Prometheus text exposition format.
+
+    Counters and gauges map directly; histograms emit cumulative
+    ``_bucket``/``_sum``/``_count`` series; span aggregates emit
+    ``repro_span_count``, ``repro_span_wall_seconds_total`` and
+    ``repro_span_cpu_seconds_total`` labelled by span name.
+    """
+    lines: list[str] = []
+
+    def emit(name: str, labels: dict[str, str], value: float) -> None:
+        lines.append(
+            f"{PROMETHEUS_PREFIX}{name}{_format_labels(labels)} {value:g}"
+        )
+
+    for entry in document.get("counters", []):
+        emit(entry["name"], entry.get("labels", {}),
+             float(entry["value"]))
+    for entry in document.get("gauges", []):
+        emit(entry["name"], entry.get("labels", {}),
+             float(entry["value"]))
+    for entry in document.get("histograms", []):
+        name = entry["name"]
+        labels = dict(entry.get("labels", {}))
+        cumulative = 0
+        for edge, count in zip(entry.get("buckets", []),
+                               entry.get("bucket_counts", [])):
+            cumulative += int(count)
+            emit(f"{name}_bucket", {**labels, "le": f"{edge:g}"},
+                 cumulative)
+        emit(f"{name}_bucket", {**labels, "le": "+Inf"},
+             int(entry.get("count", 0)))
+        emit(f"{name}_sum", labels, float(entry.get("sum", 0.0)))
+        emit(f"{name}_count", labels, int(entry.get("count", 0)))
+    for span_name, stats in document.get("spans", {}).items():
+        labels = {"span": span_name}
+        emit("span_count", labels, int(stats.get("count", 0)))
+        emit("span_errors_total", labels, int(stats.get("errors", 0)))
+        emit("span_wall_seconds_total", labels,
+             float(stats.get("wall_seconds", 0.0)))
+        emit("span_cpu_seconds_total", labels,
+             float(stats.get("cpu_seconds", 0.0)))
+    return "\n".join(lines) + "\n"

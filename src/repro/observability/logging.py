@@ -1,0 +1,98 @@
+"""The ``repro``-namespaced stdlib logger and its JSON formatter.
+
+Library code logs through ``get_logger(__name__)`` and stays silent by
+default (standard library etiquette: a ``NullHandler`` on the root
+``repro`` logger, configuration left to the application). The CLI's
+``--log-level`` / ``--log-json`` flags call :func:`configure_logging`,
+which is also the public hook for embedding applications.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, TextIO
+
+#: Root logger name for the whole library.
+LOGGER_NAME = "repro"
+
+#: Accepted ``--log-level`` values, mapped to stdlib levels.
+LOG_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+logging.getLogger(LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per line: machine-readable structured logs."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        document: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info and record.exc_info[0] is not None:
+            document["exception"] = self.formatException(record.exc_info)
+        return json.dumps(document)
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the library's ``repro`` namespace.
+
+    Pass a module's ``__name__``; names already inside the namespace
+    are used as-is, anything else is nested under ``repro.``.
+    """
+    if name is None or name == LOGGER_NAME:
+        return logging.getLogger(LOGGER_NAME)
+    if name.startswith(LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")
+
+
+def configure_logging(level: str = "warning",
+                      json_output: bool = False,
+                      stream: TextIO | None = None) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger.
+
+    Args:
+        level: one of ``debug``/``info``/``warning``/``error``.
+        json_output: emit one JSON object per line instead of text.
+        stream: destination (default ``sys.stderr``).
+
+    Returns:
+        The configured root ``repro`` logger. Calling again replaces
+        the previously attached handler (idempotent reconfiguration).
+    """
+    resolved = LOG_LEVELS.get(str(level).lower())
+    if resolved is None:
+        raise ValueError(
+            f"log level must be one of {sorted(LOG_LEVELS)}, got {level!r}"
+        )
+    logger = logging.getLogger(LOGGER_NAME)
+    for handler in list(logger.handlers):
+        if isinstance(handler, _ConfiguredHandler):
+            logger.removeHandler(handler)
+    handler = _ConfiguredHandler(stream or sys.stderr)
+    if json_output:
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        formatter = logging.Formatter(
+            "%(asctime)s %(levelname)s %(name)s: %(message)s"
+        )
+        formatter.converter = time.gmtime
+        handler.setFormatter(formatter)
+    logger.addHandler(handler)
+    logger.setLevel(resolved)
+    return logger
+
+
+class _ConfiguredHandler(logging.StreamHandler):
+    """Marker subclass so reconfiguration only removes our own handler."""

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..exceptions import CheckpointError
 from ..graphs.dynamic import DynamicGraph
+from ..observability import trace
 from .worker import PAYLOAD_ARRAYS
 
 #: Document format marker for forwards compatibility.
@@ -89,7 +90,8 @@ def write_parallel_checkpoint(path: str | Path,
             f"labels must be plain scalars ({exc})"
         ) from exc
     arrays["meta_json"] = np.array(encoded)
-    np.savez_compressed(Path(path), **arrays)
+    with trace("checkpoint.write", arrays=len(arrays)):
+        np.savez_compressed(Path(path), **arrays)
 
 
 def read_parallel_checkpoint(path: str | Path,
@@ -111,7 +113,8 @@ def read_parallel_checkpoint(path: str | Path,
             or wrong-fingerprint document.
     """
     try:
-        with np.load(Path(path), allow_pickle=False) as archive:
+        with trace("checkpoint.read"), \
+                np.load(Path(path), allow_pickle=False) as archive:
             if "meta_json" not in archive:
                 raise CheckpointError(f"{path}: not a {FORMAT} archive")
             meta = json.loads(str(archive["meta_json"]))

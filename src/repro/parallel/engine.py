@@ -46,6 +46,7 @@ from ..core.thresholds import select_global_threshold
 from ..exceptions import DetectionError, ParallelExecutionError
 from ..graphs.dynamic import DynamicGraph
 from ..graphs.snapshot import GraphSnapshot
+from ..observability import current_registry, enabled, set_gauge, trace
 from ..resilience.health import HealthReport
 from .checkpoint import (
     read_parallel_checkpoint,
@@ -142,6 +143,10 @@ class ParallelCadDetector(Detector):
         #: Per-worker health reports of the last run, keyed by worker id
         #: (process id, or ``ckpt:``-prefixed for restored state).
         self.last_worker_health: dict[str, HealthReport] = {}
+        #: Per-worker metrics states of the last run (same keys as
+        #: :attr:`last_worker_health`); populated only while metrics
+        #: collection is enabled in the parent.
+        self.last_worker_metrics: dict[str, dict[str, Any]] = {}
         self._last_health: HealthReport | None = None
 
     @classmethod
@@ -272,6 +277,7 @@ class ParallelCadDetector(Detector):
             tasks = [(score_component_shard, shard) for shard in shards]
 
         newly_completed = 0
+        worker_metrics: dict[str, dict[str, Any]] = {}
         if tasks:
             store = SharedGraphSequence.publish(graph)
             try:
@@ -286,13 +292,18 @@ class ParallelCadDetector(Detector):
                     unregister_shm=(
                         multiprocessing.get_start_method() != "fork"
                     ),
+                    collect_metrics=enabled(),
                     crash_transitions=self._crash_transitions,
                 )
                 pool_size = max(1, min(self.workers, len(tasks)))
-                with ProcessPoolExecutor(
-                    max_workers=pool_size,
-                    initializer=init_worker, initargs=(config,),
-                ) as pool:
+                set_gauge("parallel_pool_size", pool_size)
+                with trace("parallel.run", mode=mode,
+                           tasks=len(tasks), workers=pool_size), \
+                        ProcessPoolExecutor(
+                            max_workers=pool_size,
+                            initializer=init_worker,
+                            initargs=(config,),
+                        ) as pool:
                     futures = [
                         pool.submit(function, argument)
                         for function, argument in tasks
@@ -302,6 +313,13 @@ class ParallelCadDetector(Detector):
                         worker_states[str(result["worker"])] = (
                             result["health"]
                         )
+                        if result.get("metrics") is not None:
+                            # States are cumulative per worker, so the
+                            # last result to arrive carries the whole
+                            # worker's history.
+                            worker_metrics[str(result["worker"])] = (
+                                result["metrics"]
+                            )
                         if mode == "transition":
                             payloads.update(result["payloads"])
                             newly_completed += len(result["payloads"])
@@ -351,4 +369,13 @@ class ParallelCadDetector(Detector):
                 self._checkpoint_path, fingerprint, payloads,
                 worker_states,
             )
+        self.last_worker_metrics = worker_metrics
+        registry = current_registry()
+        if registry is not None:
+            # Fold each worker's cumulative metrics into the parent's
+            # registry so the merged document covers the whole run.
+            # Metrics deliberately stay out of parallel checkpoints:
+            # they describe a run, not the work completed.
+            for state in worker_metrics.values():
+                registry.merge_state(state)
         return payloads, worker_states

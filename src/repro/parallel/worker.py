@@ -32,6 +32,7 @@ from ..core.scores import adjacency_change_on_pairs, cad_edge_scores
 from ..exceptions import EmbeddingError, SolverError
 from ..graphs.snapshot import GraphSnapshot, NodeUniverse
 from ..linalg.pseudoinverse import laplacian_pseudoinverse
+from ..observability import MetricsRegistry, enable, trace
 from .sharding import ComponentShard
 from .shm import AttachedGraphSequence, SharedSequenceSpec
 
@@ -65,6 +66,10 @@ class WorkerConfig:
             and must unregister the shared blocks after attaching (true
             for spawn/forkserver pools, false for forked ones — see
             :mod:`repro.parallel.shm`).
+        collect_metrics: enable a worker-local
+            :class:`~repro.observability.MetricsRegistry`; its
+            cumulative state rides back on every task result for the
+            parent to merge.
         crash_transitions: test hook — scoring any of these transitions
             kills the worker process outright, simulating a hard crash.
     """
@@ -77,6 +82,7 @@ class WorkerConfig:
     tol: float
     skip_unscorable: bool = False
     unregister_shm: bool = False
+    collect_metrics: bool = False
     crash_transitions: tuple[int, ...] = ()
 
 
@@ -85,24 +91,36 @@ _STATE: dict[str, Any] = {}
 
 def init_worker(config: WorkerConfig) -> None:
     """Pool initializer: attach shared memory, build worker-local state."""
-    attached = AttachedGraphSequence(config.sequence,
-                                     unregister=config.unregister_shm)
-    universe = NodeUniverse.of_size(config.sequence.num_nodes)
-    snapshots = [
-        GraphSnapshot._from_canonical(matrix, universe, time)
-        for matrix, time in zip(attached.matrices, attached.times)
-    ]
-    calculator = CommuteTimeCalculator(
-        method=config.method, k=config.k, seed=config.root_entropy,
-        solver=config.solver, tol=config.tol, seed_mode="content",
-    )
+    registry = None
+    if config.collect_metrics:
+        registry = MetricsRegistry()
+        enable(registry)
+    with trace("worker.init", pid=os.getpid()):
+        attached = AttachedGraphSequence(config.sequence,
+                                         unregister=config.unregister_shm)
+        universe = NodeUniverse.of_size(config.sequence.num_nodes)
+        snapshots = [
+            GraphSnapshot._from_canonical(matrix, universe, time)
+            for matrix, time in zip(attached.matrices, attached.times)
+        ]
+        calculator = CommuteTimeCalculator(
+            method=config.method, k=config.k, seed=config.root_entropy,
+            solver=config.solver, tol=config.tol, seed_mode="content",
+        )
     _STATE.clear()
     _STATE.update(
         config=config,
         attached=attached,
         snapshots=snapshots,
         calculator=calculator,
+        registry=registry,
     )
+
+
+def _metrics_state() -> dict[str, Any] | None:
+    """Cumulative metrics snapshot riding back on each task result."""
+    registry: MetricsRegistry | None = _STATE.get("registry")
+    return registry.state() if registry is not None else None
 
 
 def _payload_from_scores(scores) -> dict[str, np.ndarray]:
@@ -144,26 +162,28 @@ def score_transition_chunk(transitions: tuple[int, ...]) -> dict[str, Any]:
     snapshots = _STATE["snapshots"]
     calculator: CommuteTimeCalculator = _STATE["calculator"]
     payloads: dict[int, dict[str, np.ndarray]] = {}
-    for transition in transitions:
-        if transition in config.crash_transitions:
-            os._exit(17)
-        g_t, g_t1 = snapshots[transition], snapshots[transition + 1]
-        try:
-            payloads[transition] = _payload_from_scores(
-                cad_edge_scores(g_t, g_t1, calculator)
-            )
-        except (SolverError, EmbeddingError) as error:
-            if not config.skip_unscorable:
-                raise
-            calculator.health.record_quarantine(
-                position=transition + 1, time=g_t1.time,
-                reason=f"unscorable transition: {error}",
-            )
-            payloads[transition] = _empty_payload(g_t, g_t1)
+    with trace("worker.chunk", transitions=len(transitions)):
+        for transition in transitions:
+            if transition in config.crash_transitions:
+                os._exit(17)
+            g_t, g_t1 = snapshots[transition], snapshots[transition + 1]
+            try:
+                payloads[transition] = _payload_from_scores(
+                    cad_edge_scores(g_t, g_t1, calculator)
+                )
+            except (SolverError, EmbeddingError) as error:
+                if not config.skip_unscorable:
+                    raise
+                calculator.health.record_quarantine(
+                    position=transition + 1, time=g_t1.time,
+                    reason=f"unscorable transition: {error}",
+                )
+                payloads[transition] = _empty_payload(g_t, g_t1)
     return {
         "worker": os.getpid(),
         "payloads": payloads,
         "health": calculator.health.state(),
+        "metrics": _metrics_state(),
     }
 
 
@@ -180,21 +200,24 @@ def score_component_shard(shard: ComponentShard) -> dict[str, Any]:
     snapshots = _STATE["snapshots"]
     if shard.transition in config.crash_transitions:
         os._exit(17)
-    g_t = snapshots[shard.transition]
-    g_t1 = snapshots[shard.transition + 1]
-    # Unpickled arrays can arrive as views over pickle's read-only
-    # frame buffer, which scipy's fancy indexing rejects; reown them.
-    rows = np.array(shard.rows, dtype=np.int64, copy=True)
-    cols = np.array(shard.cols, dtype=np.int64, copy=True)
-    nodes = np.array(shard.nodes, dtype=np.int64, copy=True)
-    adjacency_change = adjacency_change_on_pairs(g_t, g_t1, rows, cols)
-    local_rows = np.searchsorted(nodes, rows)
-    local_cols = np.searchsorted(nodes, cols)
-    commute_t = _component_commute_times(g_t, nodes,
-                                         local_rows, local_cols)
-    commute_t1 = _component_commute_times(g_t1, nodes,
-                                          local_rows, local_cols)
-    commute_change = np.abs(commute_t1 - commute_t)
+    with trace("worker.shard", transition=shard.transition,
+               pairs=shard.rows.size):
+        g_t = snapshots[shard.transition]
+        g_t1 = snapshots[shard.transition + 1]
+        # Unpickled arrays can arrive as views over pickle's read-only
+        # frame buffer, which scipy's fancy indexing rejects; reown them.
+        rows = np.array(shard.rows, dtype=np.int64, copy=True)
+        cols = np.array(shard.cols, dtype=np.int64, copy=True)
+        nodes = np.array(shard.nodes, dtype=np.int64, copy=True)
+        adjacency_change = adjacency_change_on_pairs(g_t, g_t1, rows,
+                                                     cols)
+        local_rows = np.searchsorted(nodes, rows)
+        local_cols = np.searchsorted(nodes, cols)
+        commute_t = _component_commute_times(g_t, nodes,
+                                             local_rows, local_cols)
+        commute_t1 = _component_commute_times(g_t1, nodes,
+                                              local_rows, local_cols)
+        commute_change = np.abs(commute_t1 - commute_t)
     return {
         "worker": os.getpid(),
         "transition": shard.transition,
@@ -203,6 +226,7 @@ def score_component_shard(shard: ComponentShard) -> dict[str, Any]:
         "adjacency_change": adjacency_change,
         "commute_change": commute_change,
         "health": _STATE["calculator"].health.state(),
+        "metrics": _metrics_state(),
     }
 
 

@@ -9,6 +9,7 @@ For users who want results without assembling detector objects::
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from collections.abc import Callable
 
@@ -25,6 +26,7 @@ from ..core.results import DetectionReport
 from ..core.thresholds import select_global_threshold
 from ..exceptions import DetectionError
 from ..graphs.dynamic import DynamicGraph
+from ..observability import build_metrics_document, collecting, trace
 from ..parallel.engine import ParallelCadDetector
 
 #: Registered detector factories by lowercase name.
@@ -74,6 +76,41 @@ def make_detector(name: str, **kwargs) -> Detector:
     return factory(**kwargs)
 
 
+def _resolve_detector(detector: str | Detector,
+                      workers: int | None,
+                      shard_by: str,
+                      detector_kwargs: dict) -> Detector:
+    """Normalise a ``detector=`` argument into a detector instance.
+
+    Promotes CAD to :class:`~repro.parallel.ParallelCadDetector` when a
+    worker count above 1 is requested (explicitly or via the
+    ``REPRO_TEST_WORKERS`` environment variable).
+    """
+    parallel_cad = workers is not None and workers > 1
+    if isinstance(detector, str):
+        if parallel_cad and detector.lower() == "cad":
+            kwargs = dict(detector_kwargs)
+            # The parallel engine always runs content-keyed seeding.
+            kwargs.pop("seed_mode", None)
+            return ParallelCadDetector(
+                workers=workers, shard_by=shard_by, **kwargs
+            )
+        return make_detector(detector, **detector_kwargs)
+    if detector_kwargs:
+        raise DetectionError(
+            "detector_kwargs are only valid with a detector name"
+        )
+    if (
+        parallel_cad
+        and isinstance(detector, CadDetector)
+        and not isinstance(detector, ParallelCadDetector)
+    ):
+        return ParallelCadDetector.from_detector(
+            detector, workers=workers, shard_by=shard_by
+        )
+    return detector
+
+
 def detect_windowed(graph: DynamicGraph,
                     window: int,
                     stride: int | None = None,
@@ -108,28 +145,8 @@ def detect_windowed(graph: DynamicGraph,
         stride = max(window - 1, 1)
     if workers is None:
         workers = _default_workers()
-    parallel_cad = workers is not None and workers > 1
-    if isinstance(detector, str):
-        if parallel_cad and detector.lower() == "cad":
-            kwargs = dict(detector_kwargs)
-            kwargs.pop("seed_mode", None)
-            detector = ParallelCadDetector(
-                workers=workers, shard_by=shard_by, **kwargs
-            )
-        else:
-            detector = make_detector(detector, **detector_kwargs)
-    elif detector_kwargs:
-        raise DetectionError(
-            "detector_kwargs are only valid with a detector name"
-        )
-    if (
-        parallel_cad
-        and isinstance(detector, CadDetector)
-        and not isinstance(detector, ParallelCadDetector)
-    ):
-        detector = ParallelCadDetector.from_detector(
-            detector, workers=workers, shard_by=shard_by
-        )
+    detector = _resolve_detector(detector, workers, shard_by,
+                                 detector_kwargs)
     windows = sliding_windows(graph, window=window, stride=stride)
     # Anchor a final window at the end when the stride leaves a tail
     # uncovered, so every transition belongs to at least one window.
@@ -150,6 +167,7 @@ def detect(graph: DynamicGraph,
            delta: float | None = None,
            workers: int | None = None,
            shard_by: str = "auto",
+           metrics: bool = False,
            **detector_kwargs) -> DetectionReport:
     """Run a detector over a dynamic graph and return discrete results.
 
@@ -170,35 +188,34 @@ def detect(graph: DynamicGraph,
         shard_by: parallel work decomposition — ``"transition"``,
             ``"component"``, or ``"auto"`` (see
             :class:`~repro.parallel.ParallelCadDetector`).
+        metrics: collect tracing/metrics for this run and attach the
+            merged document (including per-worker breakdowns on
+            parallel runs) as ``report.metrics``.
         **detector_kwargs: constructor arguments when ``detector`` is
             a name.
     """
     if workers is None:
         workers = _default_workers()
-    parallel_cad = workers is not None and workers > 1
-    if isinstance(detector, str):
-        if parallel_cad and detector.lower() == "cad":
-            kwargs = dict(detector_kwargs)
-            # The parallel engine always runs content-keyed seeding.
-            kwargs.pop("seed_mode", None)
-            detector = ParallelCadDetector(
-                workers=workers, shard_by=shard_by, **kwargs
-            )
-        else:
-            detector = make_detector(detector, **detector_kwargs)
-    elif detector_kwargs:
-        raise DetectionError(
-            "detector_kwargs are only valid with a detector name"
-        )
-    if (
-        parallel_cad
-        and isinstance(detector, CadDetector)
-        and not isinstance(detector, ParallelCadDetector)
-    ):
-        detector = ParallelCadDetector.from_detector(
-            detector, workers=workers, shard_by=shard_by
-        )
+    detector = _resolve_detector(detector, workers, shard_by,
+                                 detector_kwargs)
+    if not metrics:
+        return _run_detector(detector, graph,
+                             anomalies_per_transition, delta)
+    with collecting() as registry:
+        with trace("detect", detector=detector.name):
+            report = _run_detector(detector, graph,
+                                   anomalies_per_transition, delta)
+    worker_states = getattr(detector, "last_worker_metrics", None)
+    document = build_metrics_document(registry,
+                                      worker_states=worker_states or None)
+    return dataclasses.replace(report, metrics=document)
 
+
+def _run_detector(detector: Detector,
+                  graph: DynamicGraph,
+                  anomalies_per_transition: int,
+                  delta: float | None) -> DetectionReport:
+    """Dispatch one resolved detector instance over a sequence."""
     if isinstance(detector, (CadDetector, ParallelCadDetector)):
         return detector.detect(
             graph,

@@ -73,6 +73,8 @@ def report_to_dict(report: DetectionReport,
                 for record in health.quarantined
             ],
         }
+    if report.metrics is not None:
+        document["metrics"] = report.metrics
     return document
 
 

@@ -23,6 +23,7 @@ from typing import Any
 import numpy as np
 
 from ..exceptions import CheckpointError
+from ..observability import trace
 
 #: Document format marker for forwards compatibility.
 FORMAT = "repro-streaming-checkpoint"
@@ -100,7 +101,8 @@ def write_checkpoint(state: dict[str, Any], path: str | Path) -> None:
             f"time labels must be plain scalars ({exc})"
         ) from exc
     arrays["meta_json"] = np.array(encoded)
-    np.savez_compressed(Path(path), **arrays)
+    with trace("checkpoint.write", arrays=len(arrays)):
+        np.savez_compressed(Path(path), **arrays)
 
 
 def read_checkpoint(path: str | Path) -> dict[str, Any]:
@@ -116,7 +118,8 @@ def read_checkpoint(path: str | Path) -> dict[str, Any]:
             wrong-version file.
     """
     try:
-        with np.load(Path(path), allow_pickle=False) as archive:
+        with trace("checkpoint.read"), \
+                np.load(Path(path), allow_pickle=False) as archive:
             if "meta_json" not in archive:
                 raise CheckpointError(f"{path}: not a {FORMAT} archive")
             meta = json.loads(str(archive["meta_json"]))

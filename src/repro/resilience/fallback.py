@@ -30,6 +30,7 @@ from .._validation import check_positive_float
 from ..exceptions import SolverError
 from ..linalg.pseudoinverse import laplacian_pseudoinverse
 from ..linalg.solvers import LaplacianSolver
+from ..observability import add_counter, trace
 from .faults import FaultInjector
 from .health import HealthMonitor
 
@@ -172,25 +173,35 @@ class FallbackSolver:
         solve_index = injector.begin_solve() if injector else -1
         retries = 0
         last_error: Exception | None = None
-        for position, stage in enumerate(self._stages):
-            try:
-                if injector is not None:
-                    injector.check_backend(solve_index, stage.backend)
-                solution = self._solver_for(position).solve(b)
-            except SolverError as error:
-                last_error = error
-                retries += 1
-                continue
+        with trace("solver.fallback", n=self._n):
+            for position, stage in enumerate(self._stages):
+                try:
+                    if injector is not None:
+                        injector.check_backend(solve_index,
+                                               stage.backend)
+                    solution = self._solver_for(position).solve(b)
+                except SolverError as error:
+                    last_error = error
+                    retries += 1
+                    continue
+                if self._health is not None:
+                    self._health.record_solve(stage.backend,
+                                              retries=retries)
+                add_counter("solver_served_total",
+                            backend=stage.backend)
+                if retries:
+                    add_counter("solver_fallback_retries_total",
+                                retries)
+                return solution
             if self._health is not None:
-                self._health.record_solve(stage.backend,
-                                          retries=retries)
-            return solution
-        if self._health is not None:
-            self._health.record_failed_solve(retries=retries)
-        raise SolverError(
-            f"all {len(self._stages)} fallback backends failed "
-            f"({' -> '.join(self.backends)})"
-        ) from last_error
+                self._health.record_failed_solve(retries=retries)
+            add_counter("solver_fallback_failures_total")
+            if retries:
+                add_counter("solver_fallback_retries_total", retries)
+            raise SolverError(
+                f"all {len(self._stages)} fallback backends failed "
+                f"({' -> '.join(self.backends)})"
+            ) from last_error
 
     def solve_many(self, rhs_matrix: np.ndarray) -> np.ndarray:
         """Solve per column of ``rhs_matrix``; same shape returned.

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core import (
     CadDetector,
@@ -77,6 +78,83 @@ class TestMinimalEdgeSet:
         assert mask.size == 0
 
 
+class TestFloatDriftRegression:
+    """Regression for the δ-cut float-drift bug.
+
+    The historical implementation compared a ``np.sum`` total against a
+    ``np.cumsum`` prefix. numpy's pairwise summation and cumsum's
+    sequential summation round differently, so on mixed-magnitude score
+    mass the residual ``total - prefix`` bottomed out at the drift —
+    never below a δ smaller than it — and ``np.argmax`` of an all-False
+    mask silently selected a single edge instead of (nearly) all of
+    them.
+    """
+
+    def test_drifty_mass_still_meets_the_residual_contract(self):
+        rng = np.random.default_rng(1)
+        drifty_trials = 0
+        for trial in range(10):
+            scores = rng.random(200) * rng.choice(
+                [1e-6, 1.0, 1e6], size=200
+            )
+            ordered = np.sort(scores)[::-1]
+            drift = abs(float(np.sum(ordered))
+                        - float(np.cumsum(ordered)[-1]))
+            if drift == 0.0:
+                continue
+            drifty_trials += 1
+            delta = drift / 2
+            mask = minimal_edge_set(scores, delta=delta)
+            # Algorithm 1's defining constraint: the unselected score
+            # mass must fall strictly below delta. Pre-fix, the cut
+            # degenerated to a single edge and left ~the whole mass.
+            assert float(scores[~mask].sum()) < delta
+            assert mask.sum() > 100
+        # seed 1 produces drift on trials 0, 1 and 8; if numpy's
+        # summation ever changes, this guard flags the test as inert.
+        assert drifty_trials >= 2
+
+    def test_residual_never_negative(self):
+        # One consistent cumulative sum ends at exactly 0.0; the clamp
+        # protects against tiny negative residuals re-ordering the cut.
+        scores = np.array([1e6, 1.0, 1e-6] * 50)
+        mask = minimal_edge_set(scores, delta=1e-9)
+        assert float(scores[~mask].sum()) < 1e-9
+
+
+class TestMinimalEdgeSetProperties:
+    @given(st.integers(min_value=0, max_value=2**31 - 1),
+           st.integers(min_value=1, max_value=60))
+    @settings(max_examples=60, deadline=None)
+    def test_smaller_delta_selects_superset(self, seed, n):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(n) * rng.choice([1e-6, 1.0, 1e6], size=n)
+        total = float(scores.sum())
+        if total <= 0:
+            return
+        big = total * rng.uniform(0.05, 0.95)
+        small = big * rng.uniform(0.01, 0.99)
+        loose = minimal_edge_set(scores, delta=big)
+        tight = minimal_edge_set(scores, delta=small)
+        assert bool(np.all(tight[loose]))  # loose ⊆ tight
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1),
+           st.integers(min_value=1, max_value=60))
+    @settings(max_examples=60, deadline=None)
+    def test_vanishing_delta_selects_every_positive_edge(self, seed, n):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(n) * rng.choice([0.0, 1e-6, 1.0, 1e6],
+                                            size=n)
+        positive = scores > 0
+        if not positive.any():
+            return
+        delta = float(scores[positive].min()) * 0.5
+        if delta <= 0.0:
+            delta = float(np.finfo(np.float64).tiny)
+        mask = minimal_edge_set(scores, delta=delta)
+        assert bool(np.all(mask[positive]))
+
+
 class TestNodeCounts:
     def test_node_count_at(self):
         scores = _scores([5.0, 3.0, 1.0])
@@ -128,6 +206,23 @@ class TestGlobalThresholdSelection:
         delta = select_global_threshold([scores], 50)
         assert node_count_at(scores, delta) == 2
 
+    def test_wide_magnitude_mass_meets_budget(self):
+        """Bracket hardening: with score mass spanning 12 orders of
+        magnitude, the bisection's low probe must still sit below any
+        δ that meets the budget — the historical ``top * 1e-12`` probe
+        could start *above* the δ the tiny-score transitions need."""
+        rng = np.random.default_rng(7)
+        transitions = []
+        for exponent in (-6, -3, 0, 3, 6):
+            magnitudes = rng.random(30) * 10.0 ** exponent
+            rows = np.arange(30) * 2
+            cols = rows + 1
+            transitions.append(_scores(magnitudes, rows=rows, cols=cols))
+        budget = 4
+        delta = select_global_threshold(transitions, budget)
+        total = total_node_count(transitions, delta)
+        assert total >= budget * len(transitions)
+
 
 class TestAnomalySetsAt:
     def test_nodes_sorted_by_score(self):
@@ -152,18 +247,35 @@ class TestOnlineSelector:
         assert selector.update(_scores([5.0])) is None
         assert selector.current() is None
 
-    def test_updates_after_warmup(self):
+    def test_warmup_one_absorbs_first_transition(self):
+        """warmup=1 must absorb one transition before emitting: the
+        docstring's contract, which the historical off-by-one violated
+        by emitting a δ on the very first update."""
         selector = OnlineThresholdSelector(1, warmup=1)
-        delta = selector.update(_scores([5.0, 1.0]))
+        assert selector.update(_scores([5.0, 1.0])) is None
+        assert selector.current() is None
+        delta = selector.update(_scores([4.0, 2.0]))
+        assert delta is not None
+        assert selector.current() == delta
+
+    def test_warmup_two_absorbs_two_transitions(self):
+        selector = OnlineThresholdSelector(1, warmup=2)
+        assert selector.update(_scores([5.0, 1.0])) is None
+        assert selector.update(_scores([4.0, 2.0])) is None
+        assert selector.current() is None
+        delta = selector.update(_scores([3.0, 3.0]))
         assert delta is not None
         assert selector.current() == delta
 
     def test_threshold_adapts(self):
         selector = OnlineThresholdSelector(1, warmup=1)
-        first = selector.update(_scores([5.0, 1.0]))
+        selector.update(_scores([5.0, 1.0]))
+        first = selector.update(_scores([6.0, 2.0]))
         second = selector.update(_scores([100.0, 50.0]))
+        assert first is not None and second is not None
         assert second != first
 
     def test_all_zero_mass_returns_none(self):
         selector = OnlineThresholdSelector(1, warmup=1)
+        assert selector.update(_scores([0.0])) is None
         assert selector.update(_scores([0.0])) is None

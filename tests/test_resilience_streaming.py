@@ -66,7 +66,7 @@ class TestQuarantineAndSkip:
     def test_push_raw_repairs_by_default(self, stream_snapshots):
         detector = StreamingCadDetector(anomalies_per_transition=3,
                                         warmup=2, method="exact")
-        for position, snapshot in enumerate(stream_snapshots[:3]):
+        for position, snapshot in enumerate(stream_snapshots[:4]):
             adjacency = snapshot.adjacency
             if position == 1:
                 adjacency = corrupt_adjacency(adjacency, kind="negative",
@@ -76,7 +76,7 @@ class TestQuarantineAndSkip:
         assert report.health is not None
         assert report.health.snapshots_repaired == 1
         assert report.health.repairs_applied > 0
-        assert len(report.transitions) == 2  # nothing skipped
+        assert len(report.transitions) == 3  # nothing skipped
 
     def test_solver_failure_quarantines_snapshot(self, stream_snapshots):
         # Snapshots 0 and 1 embed on solves 0..7; snapshot 2's scoring
@@ -90,14 +90,14 @@ class TestQuarantineAndSkip:
             method="approx", k=4, seed=0,
             solver=FallbackPolicy(fault_injector=injector),
         )
-        for snapshot in stream_snapshots[:4]:
+        for snapshot in stream_snapshots[:5]:
             detector.push(snapshot)
         report = detector.finalize()
         assert report.health is not None
         assert [q.position for q in report.health.quarantined] == [2]
         assert "unscorable" in report.health.quarantined[0].reason
-        # snapshots 0, 1, 3 remain -> two scored transitions.
-        assert len(report.transitions) == 2
+        # snapshots 0, 1, 3, 4 remain -> three scored transitions.
+        assert len(report.transitions) == 3
 
     def test_solver_failure_propagates_without_policy(
             self, stream_snapshots):
@@ -272,5 +272,5 @@ class TestHealthSerialization:
         assert document["health"]["fallbacks_taken"] == 0
 
     def test_healthy_report_has_no_health_key(self, stream_snapshots):
-        document = report_to_dict(_run(stream_snapshots[:3]).finalize())
+        document = report_to_dict(_run(stream_snapshots[:4]).finalize())
         assert "health" not in document
