@@ -165,6 +165,28 @@ def build_parser() -> argparse.ArgumentParser:
     convert.add_argument("source", help="input graph file")
     convert.add_argument("destination",
                          help="output file (.csv/.json/.npz)")
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP detection service "
+        "(sessioned streaming ingest; see docs/serving.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port; 0 picks an ephemeral port")
+    serve.add_argument("--max-sessions", type=int, default=64,
+                       help="resident detector ceiling; the LRU idle "
+                       "session is checkpointed to disk beyond it")
+    serve.add_argument("--max-queue", type=int, default=32,
+                       help="global bound on snapshots being ingested "
+                       "at once; excess pushes get 429 + Retry-After")
+    serve.add_argument("--checkpoint-dir", default=None,
+                       help="directory for eviction/drain checkpoints "
+                       "(default: a fresh temporary directory); "
+                       "existing session checkpoints in it are adopted")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="score eligible snapshot batches with this "
+                       "many worker processes (repro.parallel)")
     return parser
 
 
@@ -178,6 +200,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "score": _cmd_score,
         "explain": _cmd_explain,
         "convert": _cmd_convert,
+        "serve": _cmd_serve,
     }
     try:
         return commands[args.command](args)
@@ -276,6 +299,31 @@ def _cmd_convert(args) -> int:
     print(f"wrote {len(graph)} snapshots, {graph.num_nodes} nodes "
           f"to {args.destination}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service import run_server
+
+    if args.port < 0 or args.port > 65535:
+        raise _UsageError(f"port must lie in [0, 65535], got {args.port}")
+    if args.max_sessions < 1:
+        raise _UsageError(
+            f"--max-sessions must be >= 1, got {args.max_sessions}"
+        )
+    if args.max_queue < 1:
+        raise _UsageError(
+            f"--max-queue must be >= 1, got {args.max_queue}"
+        )
+    if args.workers < 1:
+        raise _UsageError(f"--workers must be >= 1, got {args.workers}")
+    return run_server(
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        max_queue=args.max_queue,
+        checkpoint_dir=args.checkpoint_dir,
+        workers=args.workers,
+    )
 
 
 def _cmd_score(args) -> int:

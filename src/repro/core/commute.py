@@ -205,6 +205,31 @@ class CommuteTimeCalculator:
                 )
             return backend.commute_times(rows, cols)
 
+    def install_exact_backend(self, snapshot: GraphSnapshot,
+                              pseudoinverse: np.ndarray) -> None:
+        """Seed the backend cache with an externally maintained ``L^+``.
+
+        Lets an incremental maintainer (e.g.
+        :class:`~repro.linalg.updates.IncrementalPseudoinverse`) hand
+        its current pseudoinverse to the calculator so the exact path
+        skips the O(n^3) rebuild for ``snapshot``. The caller must
+        guarantee the matrix really is ``snapshot``'s Laplacian
+        pseudoinverse and never mutate it afterwards.
+
+        Raises:
+            DetectionError: when the snapshot would not resolve to the
+                exact backend (the installed matrix would be ignored —
+                surfacing that instead of silently recomputing).
+        """
+        if self.resolve_method(snapshot.num_nodes) != "exact":
+            raise DetectionError(
+                "install_exact_backend requires the exact backend; "
+                f"snapshot with {snapshot.num_nodes} nodes resolves to "
+                f"{self.resolve_method(snapshot.num_nodes)!r}"
+            )
+        add_counter("commute_backend_installs_total")
+        self._remember(snapshot, pseudoinverse)
+
     def _backend_for(self, snapshot: GraphSnapshot, method: str):
         """Pseudoinverse or embedding for a snapshot, cached (size 2)."""
         key = id(snapshot)
@@ -231,9 +256,15 @@ class CommuteTimeCalculator:
                     solver=self._solver, tol=self._tol,
                     health=self._health,
                 )
+        self._remember(snapshot, backend)
+        return backend
+
+    def _remember(self, snapshot: GraphSnapshot, backend) -> None:
+        """Insert one backend into the two-deep snapshot cache."""
+        key = id(snapshot)
+        if key not in self._cache:
+            self._cache_order.append(key)
         self._cache[key] = (snapshot, backend)
-        self._cache_order.append(key)
         while len(self._cache_order) > 2:
             evicted = self._cache_order.pop(0)
             self._cache.pop(evicted, None)
-        return backend

@@ -40,6 +40,8 @@ from ..exceptions import CheckpointError, DetectionError, SolverError
 from ..graphs.dynamic import DynamicGraph
 from ..graphs.sanitize import SANITIZE_POLICIES, sanitize_snapshot
 from ..graphs.snapshot import GraphSnapshot, NodeUniverse
+from ..linalg.updates import IncrementalPseudoinverse
+from ..observability import add_counter
 from ..resilience.checkpoint import (
     FORMAT as CHECKPOINT_FORMAT,
     VERSION as CHECKPOINT_VERSION,
@@ -64,6 +66,15 @@ class StreamingCadDetector:
             or ``"quarantine"``) governing :meth:`push_raw` and
             solver-failure handling. ``None`` (default) keeps the
             strict behaviour: every error propagates.
+        incremental: maintain the exact backend's Laplacian
+            pseudoinverse with rank-one updates
+            (:class:`~repro.linalg.updates.IncrementalPseudoinverse`)
+            instead of rebuilding it per push. A transition touching
+            ``q`` edges then costs O(q·n²) instead of O(n³); edits
+            that change the component structure transparently fall
+            back to a full recompute. Requires the exact backend
+            (``method="exact"``, or ``"auto"`` resolving to exact);
+            scores match the non-incremental stream up to roundoff.
         **cad_kwargs: forwarded to :class:`~repro.core.CadDetector`
             (``method``, ``k``, ``seed``, ``solver``, ...).
     """
@@ -71,6 +82,7 @@ class StreamingCadDetector:
     def __init__(self, anomalies_per_transition: int = 5,
                  warmup: int = 3,
                  sanitize: str | None = None,
+                 incremental: bool = False,
                  **cad_kwargs):
         if sanitize is not None and sanitize not in SANITIZE_POLICIES:
             raise DetectionError(
@@ -82,6 +94,8 @@ class StreamingCadDetector:
         )
         self._warmup = check_positive_int(warmup, "warmup")
         self._sanitize = sanitize
+        self._incremental = bool(incremental)
+        self._inc_pinv: IncrementalPseudoinverse | None = None
         self._detector = CadDetector(**cad_kwargs)
         self._selector = OnlineThresholdSelector(self._l, warmup=self._warmup)
         self._previous: GraphSnapshot | None = None
@@ -104,6 +118,37 @@ class StreamingCadDetector:
         """The run's :class:`~repro.resilience.health.HealthMonitor`."""
         return self._detector.calculator.health
 
+    @property
+    def detector(self) -> CadDetector:
+        """The inner per-transition detector (e.g. for building a
+        parallel twin via
+        :meth:`~repro.parallel.ParallelCadDetector.from_detector`)."""
+        return self._detector
+
+    @property
+    def latest_snapshot(self) -> GraphSnapshot | None:
+        """The last accepted snapshot (``None`` before the first push)."""
+        return self._previous
+
+    @property
+    def sanitize_policy(self) -> str | None:
+        """The configured sanitize policy (``None`` = strict)."""
+        return self._sanitize
+
+    @property
+    def incremental(self) -> bool:
+        """Whether the exact backend is maintained incrementally."""
+        return self._incremental
+
+    @property
+    def incremental_recomputes(self) -> int:
+        """Full pseudoinverse recomputations under ``incremental=True``
+        (the initial build counts as one; 0 before the first push or
+        when incremental mode is off)."""
+        if self._inc_pinv is None:
+            return 0
+        return self._inc_pinv.recompute_count
+
     def push(self, snapshot: GraphSnapshot) -> TransitionResult | None:
         """Ingest the next snapshot; return the newest transition's
         result cut at the current online δ.
@@ -122,7 +167,11 @@ class StreamingCadDetector:
         if self._previous is None:
             self._snapshots.append(snapshot)
             self._previous = snapshot
+            if self._incremental:
+                self._advance_incremental(snapshot, first=True)
             return None
+        if self._incremental:
+            self._advance_incremental(snapshot)
         try:
             scores = self._detector.score_transition(self._previous, snapshot)
         except SolverError as error:
@@ -131,6 +180,10 @@ class StreamingCadDetector:
             self.health.record_quarantine(
                 position, snapshot.time, f"unscorable transition: {error}"
             )
+            if self._inc_pinv is not None:
+                # Roll the maintained L+ back to the last good snapshot
+                # so the next push scores against the right matrix.
+                self._inc_pinv.advance_to(self._previous)
             return None
         self._snapshots.append(snapshot)
         self._scored.append(scores)
@@ -140,8 +193,82 @@ class StreamingCadDetector:
             return None
         return self._cut(len(self._scored) - 1, scores, delta)
 
+    def ingest_scored(self, snapshot: GraphSnapshot,
+                      scores: TransitionScores) -> TransitionResult | None:
+        """Ingest a snapshot whose transition was scored externally.
+
+        The batch-ingest primitive behind :mod:`repro.service`: a batch
+        of snapshots can be scored by the parallel engine
+        (:class:`~repro.parallel.ParallelCadDetector`) and folded into
+        the stream one at a time with exactly the bookkeeping
+        :meth:`push` performs — δ update, history append, online cut —
+        minus the scoring itself. ``scores`` must be the CAD scores of
+        the transition ``previous -> snapshot``.
+
+        Raises:
+            DetectionError: before any snapshot was pushed, or under
+                ``incremental=True`` (the maintained pseudoinverse
+                would silently go stale).
+        """
+        if self._previous is None:
+            raise DetectionError(
+                "ingest_scored needs a previous snapshot; push the "
+                "first snapshot before ingesting scored transitions"
+            )
+        if self._incremental:
+            raise DetectionError(
+                "ingest_scored is not available with incremental=True: "
+                "externally scored transitions would leave the "
+                "maintained pseudoinverse stale"
+            )
+        self._previous.require_same_universe(snapshot)
+        self._push_count += 1
+        self._snapshots.append(snapshot)
+        self._scored.append(scores)
+        delta = self._selector.update(scores)
+        self._previous = snapshot
+        if delta is None:
+            return None
+        return self._cut(len(self._scored) - 1, scores, delta)
+
+    def _advance_incremental(self, snapshot: GraphSnapshot,
+                             first: bool = False) -> None:
+        """Bring the maintained ``L^+`` to ``snapshot`` and install it.
+
+        On the first snapshot (or lazily after :meth:`restore`) the
+        pseudoinverse is built from scratch; afterwards each push costs
+        one rank-one update per changed edge. Both the previous and the
+        new snapshot's backends are (re-)installed so the calculator's
+        two-deep cache never falls back to an O(n³) rebuild.
+        """
+        calculator = self._detector.calculator
+        if calculator.resolve_method(snapshot.num_nodes) != "exact":
+            raise DetectionError(
+                "incremental=True requires the exact commute-time "
+                "backend; construct the stream with method='exact' (or "
+                "'auto' with the node count within exact_limit)"
+            )
+        if first:
+            self._inc_pinv = IncrementalPseudoinverse(snapshot)
+            calculator.install_exact_backend(
+                snapshot, self._inc_pinv.pseudoinverse
+            )
+            return
+        if self._inc_pinv is None:  # lazily rebuilt after restore()
+            self._inc_pinv = IncrementalPseudoinverse(self._previous)
+        calculator.install_exact_backend(
+            self._previous, self._inc_pinv.pseudoinverse
+        )
+        edits = self._inc_pinv.advance_to(snapshot)
+        add_counter("streaming_incremental_edits_total", edits)
+        calculator.install_exact_backend(
+            snapshot, self._inc_pinv.pseudoinverse
+        )
+
     def push_raw(self, adjacency: sp.spmatrix | np.ndarray,
-                 time: Any = None) -> TransitionResult | None:
+                 time: Any = None,
+                 universe: NodeUniverse | None = None,
+                 ) -> TransitionResult | None:
         """Sanitize a raw adjacency matrix and push the result.
 
         The stream-facing ingest point: accepts matrices that may carry
@@ -152,6 +279,13 @@ class StreamingCadDetector:
         recorded and skipped entirely — the stream continues and the
         next good snapshot is scored against the last good one.
 
+        Args:
+            adjacency: the raw (possibly dirty) adjacency matrix.
+            time: the snapshot's time label.
+            universe: node universe for the *first* snapshot (labelled
+                streams lose their labels without it); later pushes
+                reuse the stream's universe.
+
         Returns:
             The newest transition's result, or ``None`` for the first
             snapshot, during warmup, or when this snapshot was
@@ -161,9 +295,8 @@ class StreamingCadDetector:
             SanitizationError: under ``sanitize="raise"`` on any defect.
         """
         policy = self._sanitize if self._sanitize is not None else "repair"
-        universe = (
-            self._previous.universe if self._previous is not None else None
-        )
+        if self._previous is not None:
+            universe = self._previous.universe
         snapshot, report = sanitize_snapshot(
             adjacency, universe, time=time, policy=policy
         )
@@ -230,6 +363,7 @@ class StreamingCadDetector:
                 "anomalies_per_transition": self._l,
                 "warmup": self._warmup,
                 "sanitize": self._sanitize,
+                "incremental": self._incremental,
             },
             "universe": list(universe),
             "num_nodes": len(universe),
@@ -288,6 +422,7 @@ class StreamingCadDetector:
                 anomalies_per_transition=config["anomalies_per_transition"],
                 warmup=config["warmup"],
                 sanitize=config.get("sanitize"),
+                incremental=bool(config.get("incremental", False)),
                 **cad_kwargs,
             )
             universe = NodeUniverse(state["universe"])

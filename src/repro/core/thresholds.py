@@ -52,19 +52,20 @@ def minimal_edge_set(edge_scores: np.ndarray, delta: float) -> np.ndarray:
     if scores.size == 0:
         return selected
     order = np.argsort(-scores)
-    prefix = np.cumsum(scores[order])
-    # The residual and the total must come from the SAME summation:
-    # np.sum (pairwise) and np.cumsum (sequential) round differently,
-    # and a delta below that drift would otherwise never satisfy
-    # `residual < delta`, making argmax fall through to index 0 and
-    # return a single edge instead of every positive one. Deriving the
-    # residual as `prefix[-1] - prefix` guarantees it reaches exactly
-    # 0.0 once all positive scores are removed; the clamp absorbs any
-    # transient negative rounding on the way down.
-    total = float(prefix[-1])
+    # The residual after removing the top-k edges is accumulated from
+    # the SMALLEST scores upward. Deriving it as `total - prefix`
+    # (forward cumsum) cancels catastrophically on mixed-magnitude
+    # scores: a true residual of ~1e-9 next to a ~1e8 total rounds to
+    # exactly 0.0 several edges early, silently dropping positive
+    # edges from the cut at small delta. The reverse accumulation
+    # never subtracts, is exact at 0.0 once all positive scores are
+    # removed, and stays monotone non-increasing, so the minimality
+    # argument (first index whose residual falls below delta) holds.
+    tail = np.cumsum(scores[order][::-1])
+    total = float(tail[-1])
     if total < delta:
         return selected
-    residual = np.maximum(total - prefix, 0.0)
+    residual = np.concatenate((tail[-2::-1], [0.0]))
     # Smallest prefix whose removal brings the residual below delta.
     cutoff = int(np.argmax(residual < delta)) + 1
     selected[order[:cutoff]] = True

@@ -1,9 +1,23 @@
-"""Serialising detection results for downstream tooling.
+"""Serialising detection results and snapshot payloads.
 
 Reports are plain data; this module renders them to a stable JSON
 document (and back to a summary-friendly structure) so detections can
 be stored, diffed, or consumed by dashboards without importing the
 library's classes.
+
+It also defines the wire format for *single graph snapshots* —
+:func:`snapshot_to_payload` / :func:`snapshot_from_payload` — used by
+the HTTP detection service (:mod:`repro.service`) to stream snapshots
+into a live session. Two gap-prone cases are handled deliberately:
+
+* **empty-edge snapshots** (a silent month) carry no edges from which
+  a node universe could be inferred, so payloads always embed the full
+  ``nodes`` list and an empty payload without one is rejected rather
+  than guessed at;
+* **non-contiguous node activity** (nodes present in the universe but
+  untouched by any edge) would silently shrink the universe under
+  edge-list inference; embedding ``nodes`` keeps indices and identity
+  stable across the round-trip.
 """
 
 from __future__ import annotations
@@ -12,12 +26,42 @@ import json
 from pathlib import Path
 from typing import Any
 
+import numpy as np
+import scipy.sparse as sp
+
 from ..core.results import DetectionReport
-from ..exceptions import DetectionError
+from ..exceptions import DetectionError, GraphConstructionError
+from ..graphs.snapshot import GraphSnapshot, NodeUniverse
 
 #: Document format marker for forwards compatibility.
 FORMAT = "repro-detection-report"
 VERSION = 1
+
+#: Format marker of single-snapshot payloads (the service wire format).
+SNAPSHOT_FORMAT = "repro-graph-snapshot"
+
+
+def transition_to_entry(transition: Any,
+                        include_scores: bool = False) -> dict[str, Any]:
+    """One transition's JSON-ready entry (shared by report documents
+    and the detection service's push responses)."""
+    entry: dict[str, Any] = {
+        "index": transition.index,
+        "time_from": _jsonable(transition.time_from),
+        "time_to": _jsonable(transition.time_to),
+        "anomalous": transition.is_anomalous,
+        "edges": [
+            {"source": _jsonable(u), "target": _jsonable(v),
+             "score": float(score)}
+            for u, v, score in transition.anomalous_edges
+        ],
+        "nodes": [_jsonable(n) for n in transition.anomalous_nodes],
+    }
+    if include_scores and transition.scores is not None:
+        entry["node_scores"] = [
+            float(x) for x in transition.scores.node_scores
+        ]
+    return entry
 
 
 def report_to_dict(report: DetectionReport,
@@ -29,25 +73,10 @@ def report_to_dict(report: DetectionReport,
         include_scores: also embed each transition's dense node-score
             vector (larger output; useful for re-ranking offline).
     """
-    transitions = []
-    for transition in report.transitions:
-        entry: dict[str, Any] = {
-            "index": transition.index,
-            "time_from": _jsonable(transition.time_from),
-            "time_to": _jsonable(transition.time_to),
-            "anomalous": transition.is_anomalous,
-            "edges": [
-                {"source": _jsonable(u), "target": _jsonable(v),
-                 "score": float(score)}
-                for u, v, score in transition.anomalous_edges
-            ],
-            "nodes": [_jsonable(n) for n in transition.anomalous_nodes],
-        }
-        if include_scores and transition.scores is not None:
-            entry["node_scores"] = [
-                float(x) for x in transition.scores.node_scores
-            ]
-        transitions.append(entry)
+    transitions = [
+        transition_to_entry(transition, include_scores=include_scores)
+        for transition in report.transitions
+    ]
     document: dict[str, Any] = {
         "format": FORMAT,
         "version": VERSION,
@@ -113,4 +142,197 @@ def _jsonable(value: Any) -> Any:
     """Node labels / time labels as JSON-safe scalars."""
     if value is None or isinstance(value, (str, int, float, bool)):
         return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
     return str(value)
+
+
+# -- snapshot payloads (the service wire format) -----------------------------
+
+
+def snapshot_to_payload(snapshot: GraphSnapshot) -> dict[str, Any]:
+    """Render one snapshot as a JSON-ready payload.
+
+    The payload always embeds the full node universe, so empty-edge
+    snapshots and snapshots whose edges touch only part of the
+    universe survive the round-trip with their node identity and
+    indexing intact. Labels go through the same scalarisation as
+    report documents (rich labels become strings).
+    """
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "time": _jsonable(snapshot.time),
+        "nodes": [_jsonable(label) for label in snapshot.universe],
+        "edges": [
+            [_jsonable(u), _jsonable(v), float(w)]
+            for u, v, w in snapshot.edge_list()
+        ],
+    }
+
+
+def _resolve_payload_universe(document: dict[str, Any],
+                              universe: NodeUniverse | None,
+                              ) -> NodeUniverse:
+    """The universe a payload's indices/labels refer to.
+
+    An explicit ``nodes`` list wins (and must match a caller-supplied
+    universe); otherwise the caller's universe applies; otherwise a CSR
+    payload implies integer labels ``0..n-1``. A bare edge list without
+    any of those is only acceptable when non-empty — and is rejected
+    here regardless, because inferring the universe from edges silently
+    drops inactive nodes; callers stream snapshots against a *fixed*
+    universe.
+    """
+    nodes = document.get("nodes")
+    if nodes is not None:
+        if (not isinstance(nodes, (list, tuple))) or not nodes:
+            raise DetectionError(
+                "snapshot payload 'nodes' must be a non-empty list"
+            )
+        try:
+            declared = NodeUniverse(nodes)
+        except (GraphConstructionError, TypeError) as exc:
+            raise DetectionError(
+                f"invalid snapshot payload 'nodes': {exc}"
+            ) from exc
+        if universe is not None and declared != universe:
+            raise DetectionError(
+                "snapshot payload declares a node universe that does "
+                "not match the session's (labels or order differ)"
+            )
+        return declared
+    if universe is not None:
+        return universe
+    csr = document.get("csr")
+    if isinstance(csr, dict) and "indptr" in csr:
+        try:
+            n = len(csr["indptr"]) - 1
+        except TypeError as exc:
+            raise DetectionError(
+                "snapshot payload csr indptr must be an array"
+            ) from exc
+        if n >= 1:
+            return NodeUniverse.of_size(n)
+    raise DetectionError(
+        "snapshot payload carries no 'nodes' list and no universe was "
+        "supplied; empty or partially active snapshots cannot be "
+        "reconstructed without one"
+    )
+
+
+def _payload_matrix(document: dict[str, Any],
+                    universe: NodeUniverse) -> sp.csr_matrix:
+    """The payload's adjacency as an *unvalidated* CSR matrix."""
+    n = len(universe)
+    csr = document.get("csr")
+    edges = document.get("edges")
+    if (csr is None) == (edges is None):
+        raise DetectionError(
+            "snapshot payload must carry exactly one of 'edges' "
+            "(a [source, target, weight] list) or 'csr' "
+            "(data/indices/indptr arrays)"
+        )
+    try:
+        if csr is not None:
+            data = np.asarray(csr["data"], dtype=np.float64)
+            indices = np.asarray(csr["indices"], dtype=np.int64)
+            indptr = np.asarray(csr["indptr"], dtype=np.int64)
+            if indptr.ndim != 1 or indptr.size != n + 1:
+                raise DetectionError(
+                    f"csr indptr must have length {n + 1} for a "
+                    f"{n}-node universe, got {indptr.size}"
+                )
+            if data.shape != indices.shape or data.ndim != 1:
+                raise DetectionError(
+                    "csr data and indices must be 1-D and aligned"
+                )
+            if indices.size and (
+                indices.min() < 0 or indices.max() >= n
+            ):
+                raise DetectionError(
+                    "csr indices reference nodes outside the universe"
+                )
+            return sp.csr_matrix((data, indices, indptr), shape=(n, n))
+        rows: list[int] = []
+        cols: list[int] = []
+        weights: list[float] = []
+        for entry in edges:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+                raise DetectionError(
+                    "each edge must be a [source, target, weight] "
+                    f"triple, got {entry!r}"
+                )
+            u, v, w = entry
+            if u not in universe or v not in universe:
+                raise DetectionError(
+                    f"edge ({u!r}, {v!r}) references a node outside "
+                    "the universe"
+                )
+            i = universe.index_of(u)
+            j = universe.index_of(v)
+            if i == j:
+                rows.append(i)
+                cols.append(j)
+                weights.append(float(w))
+            else:
+                rows.extend((i, j))
+                cols.extend((j, i))
+                weights.extend((float(w), float(w)))
+        return sp.coo_matrix(
+            (weights, (rows, cols)), shape=(n, n)
+        ).tocsr()
+    except DetectionError:
+        raise
+    except (KeyError, TypeError, ValueError, OverflowError) as exc:
+        raise DetectionError(f"malformed snapshot payload: {exc}") from exc
+
+
+def raw_snapshot_from_payload(
+    document: dict[str, Any],
+    universe: NodeUniverse | None = None,
+) -> tuple[sp.csr_matrix, NodeUniverse, Any]:
+    """Parse a payload into ``(raw matrix, universe, time)``.
+
+    The lenient entry point: the matrix is *not* validated (weights may
+    be NaN/negative, the matrix asymmetric), so it can be routed
+    through a sanitization policy
+    (:meth:`~repro.core.streaming.StreamingCadDetector.push_raw`).
+
+    Raises:
+        DetectionError: on a structurally malformed payload (shape
+            mismatches, unknown endpoints, missing universe).
+    """
+    if not isinstance(document, dict):
+        raise DetectionError(
+            f"snapshot payload must be a JSON object, got "
+            f"{type(document).__name__}"
+        )
+    marker = document.get("format", SNAPSHOT_FORMAT)
+    if marker != SNAPSHOT_FORMAT:
+        raise DetectionError(
+            f"not a {SNAPSHOT_FORMAT} payload (format={marker!r})"
+        )
+    resolved = _resolve_payload_universe(document, universe)
+    matrix = _payload_matrix(document, resolved)
+    return matrix, resolved, document.get("time")
+
+
+def snapshot_from_payload(document: dict[str, Any],
+                          universe: NodeUniverse | None = None,
+                          ) -> GraphSnapshot:
+    """Rebuild a validated :class:`GraphSnapshot` from a payload.
+
+    The strict entry point: the adjacency must be clean (finite,
+    symmetric, non-negative). Use :func:`raw_snapshot_from_payload`
+    when a sanitization policy should resolve dirty data instead.
+
+    Raises:
+        DetectionError: on malformed payload structure or dirty data.
+    """
+    matrix, resolved, time = raw_snapshot_from_payload(document, universe)
+    try:
+        return GraphSnapshot(matrix, resolved, time)
+    except GraphConstructionError as exc:
+        raise DetectionError(f"invalid snapshot payload: {exc}") from exc

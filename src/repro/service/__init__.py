@@ -1,0 +1,63 @@
+"""repro.service — a long-running online detection service.
+
+A dependency-free HTTP front (stdlib ``http.server`` + ``json``) over
+many concurrent :class:`~repro.core.streaming.StreamingCadDetector`
+sessions:
+
+* **sessioned streaming ingest** — create a session, POST snapshots
+  (edge lists or CSR payloads), get each transition's anomalies back
+  at the current online δ; results match the offline
+  :func:`repro.detect` transition for transition;
+* **backpressure** — a bounded global ingest budget answers 429 +
+  ``Retry-After`` when saturated instead of queueing unboundedly;
+* **checkpointed eviction** — least-recently-used idle sessions are
+  checkpointed to disk and resurrected transparently, so the resident
+  set stays bounded while the session count does not;
+* **graceful drain** — SIGTERM stops intake, finishes in-flight
+  pushes, checkpoints every session, and exits 0.
+
+Start it from the CLI (``cad-detect serve --port 8765``) or embed it::
+
+    from repro.service import make_server
+
+    server = make_server(port=0, checkpoint_dir="/tmp/cad")
+    threading.Thread(target=server.serve_forever).start()
+    ...
+    server.shutdown(); server.server_close(); server.manager.drain()
+
+See ``docs/serving.md`` for the full API reference.
+"""
+
+from .errors import (
+    BadRequestError,
+    CapacityError,
+    NotFoundError,
+    ServiceError,
+    SessionStateError,
+    ShuttingDownError,
+)
+from .protocol import SessionConfig, parse_session_config
+from .server import (
+    DetectionHTTPServer,
+    DetectionRequestHandler,
+    make_server,
+    run_server,
+)
+from .sessions import SessionManager, SessionRecord
+
+__all__ = [
+    "BadRequestError",
+    "CapacityError",
+    "DetectionHTTPServer",
+    "DetectionRequestHandler",
+    "NotFoundError",
+    "ServiceError",
+    "SessionConfig",
+    "SessionManager",
+    "SessionRecord",
+    "SessionStateError",
+    "ShuttingDownError",
+    "make_server",
+    "parse_session_config",
+    "run_server",
+]

@@ -1,0 +1,73 @@
+"""Service-level errors with HTTP status mapping.
+
+Every error the detection service raises deliberately is a
+:class:`ServiceError` carrying the HTTP status code and a stable
+machine-readable ``code`` string, so the server layer can render any of
+them uniformly as a JSON error body. They subclass
+:class:`~repro.exceptions.ReproError`, keeping the CLI's exit-code
+contract (library error -> exit 2) intact for the ``serve`` command's
+startup failures.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ReproError
+
+
+class ServiceError(ReproError):
+    """Base class for detection-service errors."""
+
+    #: HTTP status the server responds with.
+    status = 500
+    #: Stable machine-readable error code for response bodies.
+    code = "internal_error"
+
+
+class BadRequestError(ServiceError):
+    """Malformed request body, payload, or configuration (400)."""
+
+    status = 400
+    code = "bad_request"
+
+
+class NotFoundError(ServiceError):
+    """Unknown session or route (404)."""
+
+    status = 404
+    code = "not_found"
+
+
+class SessionStateError(ServiceError):
+    """The session cannot accept this operation in its current state
+    (409) — e.g. pushing to a finalized session or reporting before
+    any transition was scored."""
+
+    status = 409
+    code = "conflict"
+
+
+class CapacityError(ServiceError):
+    """The global ingest budget or session table is saturated (429).
+
+    Carries a ``retry_after`` hint (seconds) rendered as the
+    ``Retry-After`` response header — backpressure, never OOM.
+    """
+
+    status = 429
+    code = "over_capacity"
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class ShuttingDownError(ServiceError):
+    """The service is draining and no longer accepts work (503)."""
+
+    status = 503
+    code = "shutting_down"
+
+    def __init__(self, message: str = "service is draining",
+                 retry_after: float = 5.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)

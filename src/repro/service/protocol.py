@@ -1,0 +1,207 @@
+"""Wire protocol of the detection service: config and payload serde.
+
+Everything the HTTP layer exchanges is defined here as plain-data
+documents, so the session layer never touches raw request bodies and
+the formats can be tested without a socket:
+
+* :class:`SessionConfig` — a validated session configuration parsed
+  from the ``POST /sessions`` body;
+* push payloads — one snapshot document
+  (:func:`~repro.pipeline.serialize.snapshot_from_payload` format:
+  ``edges`` or ``csr``) or a batch ``{"snapshots": [...]}``;
+* response documents — push results, session summaries, and report
+  documents reusing :mod:`repro.pipeline.serialize` so offline and
+  online outputs are rendered identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.commute import DEFAULT_EXACT_LIMIT, SEED_MODES
+from ..graphs.sanitize import SANITIZE_POLICIES
+from ..pipeline.serialize import transition_to_entry
+from .errors import BadRequestError
+
+#: Session-config keys accepted by ``POST /sessions``.
+CONFIG_KEYS = (
+    "anomalies_per_transition", "warmup", "sanitize", "incremental",
+    "method", "k", "seed", "solver", "exact_limit", "seed_mode",
+)
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Validated, JSON-round-trippable configuration of one session.
+
+    Mirrors :class:`~repro.core.streaming.StreamingCadDetector`'s
+    constructor. ``seed`` is restricted to an integer (or ``None``) so
+    the configuration survives the eviction checkpoint's JSON sidecar.
+    """
+
+    anomalies_per_transition: int = 5
+    warmup: int = 3
+    sanitize: str | None = None
+    incremental: bool = False
+    method: str = "auto"
+    k: int = 50
+    seed: int | None = None
+    solver: str = "cg"
+    exact_limit: int = DEFAULT_EXACT_LIMIT
+    seed_mode: str = field(default="stream")
+
+    def cad_kwargs(self) -> dict[str, Any]:
+        """Constructor arguments for the inner ``CadDetector`` — the
+        part :meth:`StreamingCadDetector.restore` needs re-supplied."""
+        return {
+            "method": self.method,
+            "k": self.k,
+            "seed": self.seed,
+            "solver": self.solver,
+            "exact_limit": self.exact_limit,
+            "seed_mode": self.seed_mode,
+        }
+
+    def detector_kwargs(self) -> dict[str, Any]:
+        """Full ``StreamingCadDetector`` constructor arguments."""
+        return {
+            "anomalies_per_transition": self.anomalies_per_transition,
+            "warmup": self.warmup,
+            "sanitize": self.sanitize,
+            "incremental": self.incremental,
+            **self.cad_kwargs(),
+        }
+
+    def to_document(self) -> dict[str, Any]:
+        """JSON-ready form (the eviction sidecar format)."""
+        return {key: getattr(self, key) for key in CONFIG_KEYS}
+
+
+def parse_session_config(document: Any) -> SessionConfig:
+    """Validate a ``POST /sessions`` body into a :class:`SessionConfig`.
+
+    Raises:
+        BadRequestError: on a non-object body, unknown keys, or values
+            of the wrong type/range (reported with the offending key).
+    """
+    if document is None:
+        document = {}
+    if not isinstance(document, dict):
+        raise BadRequestError(
+            f"session config must be a JSON object, got "
+            f"{type(document).__name__}"
+        )
+    unknown = sorted(set(document) - set(CONFIG_KEYS))
+    if unknown:
+        raise BadRequestError(
+            f"unknown session config keys: {', '.join(unknown)} "
+            f"(known: {', '.join(CONFIG_KEYS)})"
+        )
+    merged = {**{k: v for k, v in document.items()}}
+    try:
+        config = SessionConfig(**merged)
+    except TypeError as exc:
+        raise BadRequestError(f"invalid session config: {exc}") from exc
+    _check_int(config.anomalies_per_transition,
+               "anomalies_per_transition", minimum=1)
+    _check_int(config.warmup, "warmup", minimum=1)
+    _check_int(config.k, "k", minimum=1)
+    _check_int(config.exact_limit, "exact_limit", minimum=1)
+    if config.seed is not None:
+        _check_int(config.seed, "seed")
+    if config.sanitize is not None and config.sanitize not in \
+            SANITIZE_POLICIES:
+        raise BadRequestError(
+            f"sanitize must be null or one of {list(SANITIZE_POLICIES)}, "
+            f"got {config.sanitize!r}"
+        )
+    if config.method not in ("exact", "approx", "auto"):
+        raise BadRequestError(
+            f"method must be 'exact', 'approx' or 'auto', got "
+            f"{config.method!r}"
+        )
+    if config.seed_mode not in SEED_MODES:
+        raise BadRequestError(
+            f"seed_mode must be one of {list(SEED_MODES)}, got "
+            f"{config.seed_mode!r}"
+        )
+    if config.solver not in ("cg", "direct", "fallback"):
+        raise BadRequestError(
+            f"solver must be 'cg', 'direct' or 'fallback', got "
+            f"{config.solver!r}"
+        )
+    if not isinstance(config.incremental, bool):
+        raise BadRequestError(
+            f"incremental must be a boolean, got {config.incremental!r}"
+        )
+    return config
+
+
+def _check_int(value: Any, name: str, minimum: int | None = None) -> None:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BadRequestError(
+            f"{name} must be an integer, got {value!r}"
+        )
+    if minimum is not None and value < minimum:
+        raise BadRequestError(
+            f"{name} must be >= {minimum}, got {value}"
+        )
+
+
+def snapshot_documents(body: Any) -> list[dict[str, Any]]:
+    """Normalise a push body into a list of snapshot payload documents.
+
+    Accepts a single snapshot payload object or a batch
+    ``{"snapshots": [payload, ...]}``.
+
+    Raises:
+        BadRequestError: on anything else, or an empty batch.
+    """
+    if not isinstance(body, dict):
+        raise BadRequestError(
+            f"push body must be a JSON object, got "
+            f"{type(body).__name__}"
+        )
+    if "snapshots" in body:
+        batch = body["snapshots"]
+        if not isinstance(batch, list) or not batch:
+            raise BadRequestError(
+                "'snapshots' must be a non-empty list of snapshot "
+                "payloads"
+            )
+        bad = [i for i, entry in enumerate(batch)
+               if not isinstance(entry, dict)]
+        if bad:
+            raise BadRequestError(
+                f"batch entries {bad} are not snapshot payload objects"
+            )
+        return list(batch)
+    return [body]
+
+
+def push_response(session_id: str,
+                  results: list[Any],
+                  detector: Any,
+                  quarantined_before: int,
+                  quarantined_after: int) -> dict[str, Any]:
+    """Render a push's outcome as the response document.
+
+    ``results`` holds one entry per pushed snapshot —
+    :class:`~repro.core.results.TransitionResult` or ``None`` (first
+    snapshot, warmup, or quarantine).
+    """
+    delta = detector.current_delta
+    return {
+        "session": session_id,
+        "pushed": len(results),
+        "transitions": [
+            None if result is None else transition_to_entry(result)
+            for result in results
+        ],
+        "num_transitions": detector.num_transitions,
+        "current_delta": None if delta is None else float(delta),
+        "warming_up": delta is None,
+        "quarantined": quarantined_after - quarantined_before,
+        "quarantined_total": quarantined_after,
+    }

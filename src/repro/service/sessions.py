@@ -1,0 +1,548 @@
+"""Session lifecycle for the detection service.
+
+A :class:`SessionManager` owns many concurrent
+:class:`~repro.core.streaming.StreamingCadDetector` streams:
+
+* **per-session locking** — pushes to one session serialise, pushes to
+  distinct sessions run concurrently under the threading HTTP server;
+* **bounded ingest** — a global budget of ``max_queue`` snapshots may
+  be in flight at once; beyond it pushes fail fast with
+  :class:`~repro.service.errors.CapacityError` (HTTP 429 +
+  ``Retry-After``) instead of queueing unboundedly;
+* **LRU eviction** — at most ``max_sessions`` detectors stay resident;
+  the least-recently-used idle session is checkpointed to disk (the
+  streaming npz checkpoint plus a JSON sidecar with its configuration)
+  and transparently resurrected on its next request;
+* **drain** — :meth:`drain` checkpoints every resident session so a
+  SIGTERM leaves nothing but resumable state behind.
+
+Batch pushes can be routed through the parallel engine
+(:class:`~repro.parallel.ParallelCadDetector`, ``workers > 1``) when
+the configuration guarantees bit-for-bit parity with serial scoring;
+anything else falls back to serial pushes.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import uuid
+from pathlib import Path
+from typing import Any
+
+from ..core.streaming import StreamingCadDetector
+from ..exceptions import CheckpointError
+from ..graphs.dynamic import DynamicGraph
+from ..graphs.snapshot import GraphSnapshot, NodeUniverse
+from ..observability import add_counter, get_logger, set_gauge, trace
+from ..parallel import ParallelCadDetector
+from ..pipeline.serialize import (
+    raw_snapshot_from_payload,
+    report_to_dict,
+    snapshot_from_payload,
+)
+from .errors import (
+    CapacityError,
+    NotFoundError,
+    SessionStateError,
+    ShuttingDownError,
+)
+from .protocol import (
+    SessionConfig,
+    parse_session_config,
+    push_response,
+    snapshot_documents,
+)
+
+_logger = get_logger("service.sessions")
+
+#: Sidecar format marker written next to eviction checkpoints.
+SIDECAR_FORMAT = "repro-service-session"
+SIDECAR_VERSION = 1
+
+
+class SessionRecord:
+    """One session's bookkeeping (detector may be evicted to disk)."""
+
+    __slots__ = (
+        "session_id", "config", "lock", "detector", "universe",
+        "last_active", "finalized", "pushes", "has_checkpoint",
+    )
+
+    def __init__(self, session_id: str, config: SessionConfig):
+        self.session_id = session_id
+        self.config = config
+        self.lock = threading.Lock()
+        self.detector: StreamingCadDetector | None = \
+            StreamingCadDetector(**config.detector_kwargs())
+        self.universe: NodeUniverse | None = None
+        self.last_active = 0
+        self.finalized = False
+        self.pushes = 0
+        self.has_checkpoint = False
+
+    @property
+    def resident(self) -> bool:
+        """Whether the detector currently lives in memory."""
+        return self.detector is not None
+
+
+class SessionManager:
+    """Thread-safe owner of every live and evicted session.
+
+    Args:
+        max_sessions: resident-detector ceiling; the LRU idle session
+            is checkpointed to disk when a new one would exceed it.
+        max_queue: global bound on snapshots being ingested at once
+            (the backpressure budget).
+        checkpoint_dir: where eviction/drain checkpoints live; also
+            scanned at startup so sessions survive a restart.
+        workers: when > 1, eligible batch pushes are scored by the
+            parallel engine with this many processes.
+    """
+
+    def __init__(self, max_sessions: int = 64,
+                 max_queue: int = 32,
+                 checkpoint_dir: str | Path | None = None,
+                 workers: int = 1):
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self._max_sessions = int(max_sessions)
+        self._max_queue = int(max_queue)
+        self._workers = max(int(workers), 1)
+        if checkpoint_dir is None:
+            checkpoint_dir = tempfile.mkdtemp(prefix="repro-service-")
+            _logger.info("checkpoint dir not given; using %s",
+                         checkpoint_dir)
+        self._checkpoint_dir = Path(checkpoint_dir)
+        self._checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self._sessions: dict[str, SessionRecord] = {}
+        self._table_lock = threading.Lock()
+        self._clock = 0  # monotonic LRU counter, guarded by _table_lock
+        self._in_flight = 0  # ingest budget in use, guarded by _table_lock
+        self._draining = False
+        self._load_existing()
+
+    # -- public properties ---------------------------------------------------
+
+    @property
+    def checkpoint_dir(self) -> Path:
+        """Directory holding eviction/drain checkpoints."""
+        return self._checkpoint_dir
+
+    @property
+    def draining(self) -> bool:
+        """Whether the manager stopped accepting new work."""
+        return self._draining
+
+    @property
+    def workers(self) -> int:
+        """Worker processes for eligible batch pushes (1 = serial)."""
+        return self._workers
+
+    def begin_drain(self) -> None:
+        """Stop accepting new sessions and pushes (in-flight finish)."""
+        self._draining = True
+
+    # -- session lifecycle ---------------------------------------------------
+
+    def create_session(self, document: Any) -> dict[str, Any]:
+        """Create a session from a ``POST /sessions`` body."""
+        if self._draining:
+            raise ShuttingDownError()
+        config = parse_session_config(document)
+        session_id = uuid.uuid4().hex[:12]
+        record = SessionRecord(session_id, config)
+        with self._table_lock:
+            record.last_active = self._tick()
+            self._sessions[session_id] = record
+            self._update_gauges()
+        self._evict_over_limit()
+        add_counter("service_sessions_created_total")
+        _logger.info("session %s created", session_id)
+        return self._info_document(record)
+
+    def push(self, session_id: str, body: Any) -> dict[str, Any]:
+        """Ingest one snapshot payload (or a batch) into a session."""
+        if self._draining:
+            raise ShuttingDownError()
+        documents = snapshot_documents(body)
+        record = self._get(session_id)
+        self._acquire_ingest(len(documents))
+        try:
+            with record.lock, trace("service.push", batch=len(documents)):
+                if record.finalized:
+                    raise SessionStateError(
+                        f"session {session_id} is finalized and no "
+                        "longer accepts snapshots"
+                    )
+                detector = self._require_resident(record)
+                quarantined_before = len(detector.health.quarantined)
+                snapshots = self._parse_batch(record, documents)
+                results = self._ingest(record, detector, snapshots)
+                record.pushes += len(documents)
+                quarantined_after = len(detector.health.quarantined)
+                add_counter("service_snapshots_ingested_total",
+                            len(documents))
+                return push_response(
+                    session_id, results, detector,
+                    quarantined_before, quarantined_after,
+                )
+        finally:
+            self._release_ingest(len(documents))
+            self._touch(record)
+            self._evict_over_limit()
+
+    def report(self, session_id: str,
+               include_scores: bool = False) -> dict[str, Any]:
+        """The session's current finalized-equivalent report."""
+        record = self._get(session_id)
+        try:
+            with record.lock:
+                detector = self._require_resident(record)
+                if detector.num_transitions == 0:
+                    raise SessionStateError(
+                        f"session {session_id} has no scored "
+                        "transitions yet"
+                    )
+                report = detector.finalize()
+                document = report_to_dict(
+                    report, include_scores=include_scores
+                )
+                document["session"] = session_id
+                return document
+        finally:
+            self._touch(record)
+
+    def finalize(self, session_id: str,
+                 include_scores: bool = False) -> dict[str, Any]:
+        """Finalize a session: emit its report and seal it.
+
+        The session stays readable (``GET .../report``) but rejects
+        further snapshots.
+        """
+        document = self.report(session_id, include_scores=include_scores)
+        record = self._get(session_id)
+        with record.lock:
+            record.finalized = True
+        document["finalized"] = True
+        add_counter("service_sessions_finalized_total")
+        return document
+
+    def delete(self, session_id: str) -> None:
+        """Drop a session and its on-disk checkpoint."""
+        with self._table_lock:
+            record = self._sessions.pop(session_id, None)
+            self._update_gauges()
+        if record is None:
+            raise NotFoundError(f"no session {session_id!r}")
+        with record.lock:
+            record.detector = None
+            for path in self._session_paths(session_id):
+                path.unlink(missing_ok=True)
+        add_counter("service_sessions_deleted_total")
+        _logger.info("session %s deleted", session_id)
+
+    def session_info(self, session_id: str) -> dict[str, Any]:
+        """One session's summary document."""
+        return self._info_document(self._get(session_id))
+
+    def list_sessions(self) -> dict[str, Any]:
+        """Summaries of every known session."""
+        with self._table_lock:
+            records = list(self._sessions.values())
+        return {
+            "sessions": [self._info_document(r) for r in records],
+            "resident": sum(r.resident for r in records),
+            "draining": self._draining,
+        }
+
+    # -- drain & eviction ----------------------------------------------------
+
+    def drain(self) -> int:
+        """Checkpoint every resident session to disk; return how many.
+
+        Called after the HTTP server stopped accepting connections and
+        joined its in-flight handlers, so session locks are only held
+        against stragglers — we still take them for safety.
+        """
+        self._draining = True
+        with self._table_lock:
+            records = list(self._sessions.values())
+        drained = 0
+        with trace("service.drain", sessions=len(records)):
+            for record in records:
+                with record.lock:
+                    if record.detector is None:
+                        continue
+                    if self._checkpoint_record(record):
+                        drained += 1
+                    record.detector = None
+        _logger.info("drained %d session(s) to %s", drained,
+                     self._checkpoint_dir)
+        return drained
+
+    def _evict_over_limit(self) -> None:
+        """Evict LRU idle sessions until the resident count fits."""
+        while True:
+            victim = None
+            with self._table_lock:
+                resident = [
+                    r for r in self._sessions.values() if r.resident
+                ]
+                if len(resident) <= self._max_sessions:
+                    return
+                for record in sorted(resident,
+                                     key=lambda r: r.last_active):
+                    # Skip sessions mid-push; a busy session is by
+                    # definition not idle. locked() probes would race,
+                    # acquire(blocking=False) is the atomic probe.
+                    if record.lock.acquire(blocking=False):
+                        victim = record
+                        break
+                if victim is None:
+                    # Everything over the limit is busy right now;
+                    # the next push's epilogue will retry.
+                    return
+            try:
+                self._evict_locked(victim)
+            finally:
+                victim.lock.release()
+
+    def _evict_locked(self, record: SessionRecord) -> None:
+        """Checkpoint + drop one session's detector (lock held)."""
+        if record.detector is None:
+            return
+        with trace("service.evict", session=record.session_id):
+            self._checkpoint_record(record)
+            record.detector = None
+        add_counter("service_evictions_total")
+        with self._table_lock:
+            self._update_gauges()
+        _logger.info("session %s evicted to disk", record.session_id)
+
+    def _checkpoint_record(self, record: SessionRecord) -> bool:
+        """Write npz + sidecar for one session (lock held)."""
+        npz, sidecar = self._session_paths(record.session_id)
+        detector = record.detector
+        empty = detector is None or detector.latest_snapshot is None
+        if not empty:
+            detector.checkpoint(npz)
+        sidecar_document = {
+            "format": SIDECAR_FORMAT,
+            "version": SIDECAR_VERSION,
+            "session": record.session_id,
+            "config": record.config.to_document(),
+            "finalized": record.finalized,
+            "pushes": record.pushes,
+            "empty": empty,
+        }
+        sidecar.write_text(json.dumps(sidecar_document, indent=1))
+        record.has_checkpoint = True
+        return not empty
+
+    def _resurrect(self, record: SessionRecord) -> StreamingCadDetector:
+        """Rebuild an evicted session's detector from disk (lock held)."""
+        npz, _ = self._session_paths(record.session_id)
+        with trace("service.resurrect", session=record.session_id):
+            if npz.exists():
+                detector = StreamingCadDetector.restore(
+                    npz, **record.config.cad_kwargs()
+                )
+            else:  # evicted before its first snapshot
+                detector = StreamingCadDetector(
+                    **record.config.detector_kwargs()
+                )
+        record.detector = detector
+        if record.universe is None and \
+                detector.latest_snapshot is not None:
+            record.universe = detector.latest_snapshot.universe
+        add_counter("service_resurrections_total")
+        with self._table_lock:
+            self._update_gauges()
+        _logger.info("session %s resurrected from %s",
+                     record.session_id, self._checkpoint_dir)
+        return detector
+
+    def _load_existing(self) -> None:
+        """Adopt checkpoints left behind by a previous process."""
+        for sidecar in sorted(self._checkpoint_dir.glob("*.json")):
+            try:
+                document = json.loads(sidecar.read_text())
+            except (OSError, ValueError):
+                continue
+            if document.get("format") != SIDECAR_FORMAT:
+                continue
+            session_id = str(document.get("session", sidecar.stem))
+            try:
+                config = parse_session_config(document.get("config"))
+            except Exception:
+                _logger.warning("ignoring sidecar %s: bad config",
+                                sidecar)
+                continue
+            record = SessionRecord(session_id, config)
+            record.detector = None  # resurrect lazily on first touch
+            record.finalized = bool(document.get("finalized", False))
+            record.pushes = int(document.get("pushes", 0))
+            record.has_checkpoint = True
+            with self._table_lock:
+                record.last_active = self._tick()
+                self._sessions[session_id] = record
+                self._update_gauges()
+            _logger.info("adopted checkpointed session %s", session_id)
+
+    # -- ingest internals ----------------------------------------------------
+
+    def _parse_batch(self, record: SessionRecord,
+                     documents: list[dict[str, Any]]) -> list[Any]:
+        """Payloads -> snapshots (or raw triples under a sanitize
+        policy, which tolerates dirty matrices)."""
+        universe = record.universe
+        if universe is None and record.detector is not None and \
+                record.detector.latest_snapshot is not None:
+            universe = record.detector.latest_snapshot.universe
+        parsed = []
+        for document in documents:
+            if record.config.sanitize is not None:
+                matrix, resolved, time = raw_snapshot_from_payload(
+                    document, universe
+                )
+                parsed.append((matrix, resolved, time))
+            else:
+                snapshot = snapshot_from_payload(document, universe)
+                parsed.append(snapshot)
+                resolved = snapshot.universe
+            universe = resolved
+        record.universe = universe
+        return parsed
+
+    def _ingest(self, record: SessionRecord,
+                detector: StreamingCadDetector,
+                parsed: list[Any]) -> list[Any]:
+        """Feed parsed snapshots into the stream, parallel when safe."""
+        if record.config.sanitize is not None:
+            return [
+                detector.push_raw(matrix, time=time, universe=resolved)
+                for matrix, resolved, time in parsed
+            ]
+        batch: list[GraphSnapshot] = list(parsed)
+        if self._parallel_eligible(detector, batch):
+            return self._ingest_parallel(detector, batch)
+        return [detector.push(snapshot) for snapshot in batch]
+
+    def _parallel_eligible(self, detector: StreamingCadDetector,
+                           batch: list[GraphSnapshot]) -> bool:
+        """Whether the parallel engine reproduces serial pushes exactly.
+
+        Transition sharding is bit-for-bit, but only when randomness
+        cannot diverge: the exact backend uses none, and the approx
+        backend matches only under content-keyed seeding.
+        """
+        if self._workers <= 1 or len(batch) < 2:
+            return False
+        if detector.incremental or detector.latest_snapshot is None:
+            return False
+        calculator = detector.detector.calculator
+        method = calculator.resolve_method(batch[0].num_nodes)
+        return method == "exact" or calculator.seed_mode == "content"
+
+    def _ingest_parallel(self, detector: StreamingCadDetector,
+                         batch: list[GraphSnapshot]) -> list[Any]:
+        graph = DynamicGraph([detector.latest_snapshot, *batch])
+        engine = ParallelCadDetector.from_detector(
+            detector.detector, workers=self._workers,
+            shard_by="transition",
+        )
+        with trace("service.parallel_batch", transitions=len(batch),
+                   workers=self._workers):
+            scored = engine.score_sequence(graph)
+        return [
+            detector.ingest_scored(snapshot, scores)
+            for snapshot, scores in zip(batch, scored)
+        ]
+
+    def _acquire_ingest(self, count: int) -> None:
+        """Claim ``count`` slots of the global ingest budget or 429."""
+        if count > self._max_queue:
+            raise CapacityError(
+                f"batch of {count} snapshots exceeds the ingest budget "
+                f"of {self._max_queue}; split the batch",
+                retry_after=1.0,
+            )
+        with self._table_lock:
+            if self._in_flight + count > self._max_queue:
+                add_counter("service_rejections_total",
+                            reason="over_capacity")
+                raise CapacityError(
+                    f"ingest budget exhausted ({self._in_flight} of "
+                    f"{self._max_queue} snapshots in flight)",
+                    retry_after=1.0,
+                )
+            self._in_flight += count
+            set_gauge("service_ingest_in_flight", self._in_flight)
+
+    def _release_ingest(self, count: int) -> None:
+        with self._table_lock:
+            self._in_flight = max(self._in_flight - count, 0)
+            set_gauge("service_ingest_in_flight", self._in_flight)
+
+    # -- small helpers -------------------------------------------------------
+
+    def _get(self, session_id: str) -> SessionRecord:
+        with self._table_lock:
+            record = self._sessions.get(session_id)
+        if record is None:
+            raise NotFoundError(f"no session {session_id!r}")
+        return record
+
+    def _require_resident(self, record: SessionRecord,
+                          ) -> StreamingCadDetector:
+        """The session's live detector, resurrecting it if evicted."""
+        if record.detector is not None:
+            return record.detector
+        if not record.has_checkpoint:
+            raise CheckpointError(
+                f"session {record.session_id} lost its detector "
+                "without a checkpoint"
+            )
+        return self._resurrect(record)
+
+    def _touch(self, record: SessionRecord) -> None:
+        with self._table_lock:
+            record.last_active = self._tick()
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def _session_paths(self, session_id: str) -> tuple[Path, Path]:
+        base = self._checkpoint_dir / session_id
+        return base.with_suffix(".npz"), base.with_suffix(".json")
+
+    def _update_gauges(self) -> None:
+        """Refresh session gauges (table lock held)."""
+        resident = sum(
+            r.resident for r in self._sessions.values()
+        )
+        set_gauge("service_sessions_resident", resident)
+        set_gauge("service_sessions_total", len(self._sessions))
+
+    def _info_document(self, record: SessionRecord) -> dict[str, Any]:
+        detector = record.detector
+        return {
+            "session": record.session_id,
+            "config": record.config.to_document(),
+            "resident": record.resident,
+            "finalized": record.finalized,
+            "pushes": record.pushes,
+            "num_transitions": (
+                detector.num_transitions if detector is not None else None
+            ),
+            "current_delta": (
+                detector.current_delta if detector is not None else None
+            ),
+            "has_checkpoint": record.has_checkpoint,
+        }

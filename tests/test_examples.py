@@ -42,3 +42,9 @@ def test_streaming_detection():
     out = _run("streaming_detection.py")
     assert "finalized streaming == offline global-delta result: True" \
         in out
+
+
+def test_serving_client():
+    out = _run("serving_client.py")
+    assert "booted in-process service" in out
+    assert "HTTP-streamed report == offline detect() result: True" in out

@@ -65,3 +65,129 @@ class TestRoundTrip:
         path.write_text(json.dumps(document))
         with pytest.raises(DetectionError):
             read_report_json(path)
+
+
+# -- snapshot payloads (the service wire format) -----------------------------
+
+
+import numpy as np  # noqa: E402
+import scipy.sparse as sp  # noqa: E402
+
+from repro.graphs.snapshot import GraphSnapshot, NodeUniverse  # noqa: E402
+from repro.pipeline.serialize import (  # noqa: E402
+    raw_snapshot_from_payload,
+    snapshot_from_payload,
+    snapshot_to_payload,
+)
+
+
+def _snapshot(edges, labels, time=None):
+    universe = NodeUniverse(labels)
+    matrix = np.zeros((len(labels), len(labels)))
+    for u, v, w in edges:
+        i, j = universe.index_of(u), universe.index_of(v)
+        matrix[i, j] = matrix[j, i] = w
+    return GraphSnapshot(sp.csr_matrix(matrix), universe, time=time)
+
+
+class TestSnapshotPayloadRoundTrip:
+    def test_basic_round_trip(self):
+        snapshot = _snapshot(
+            [("a", "b", 1.5), ("b", "c", 2.0)], ["a", "b", "c"], time=4
+        )
+        back = snapshot_from_payload(snapshot_to_payload(snapshot))
+        assert back.universe == snapshot.universe
+        assert back.time == 4
+        assert (back.adjacency != snapshot.adjacency).nnz == 0
+
+    def test_empty_edge_snapshot_round_trips(self):
+        """Regression: a silent month must keep its full universe."""
+        snapshot = _snapshot([], ["a", "b", "c"], time="2001-07")
+        payload = snapshot_to_payload(snapshot)
+        assert payload["edges"] == []
+        assert payload["nodes"] == ["a", "b", "c"]
+        back = snapshot_from_payload(payload)
+        assert back.universe == snapshot.universe
+        assert back.num_edges == 0
+        assert back.time == "2001-07"
+
+    def test_non_contiguous_activity_round_trips(self):
+        """Regression: nodes untouched by any edge must survive."""
+        snapshot = _snapshot(
+            [("a", "d", 1.0)], ["a", "b", "c", "d", "e"]
+        )
+        back = snapshot_from_payload(snapshot_to_payload(snapshot))
+        assert list(back.universe) == ["a", "b", "c", "d", "e"]
+        assert back.weight("a", "d") == 1.0
+        assert back.neighbors("b") == []
+
+    def test_empty_payload_without_nodes_rejected(self):
+        with pytest.raises(DetectionError, match="universe"):
+            snapshot_from_payload({"edges": []})
+
+    def test_session_universe_fills_missing_nodes(self):
+        universe = NodeUniverse(["a", "b", "c"])
+        back = snapshot_from_payload(
+            {"edges": [["a", "b", 2.0]]}, universe
+        )
+        assert back.universe == universe
+
+    def test_declared_universe_must_match_sessions(self):
+        universe = NodeUniverse(["a", "b", "c"])
+        with pytest.raises(DetectionError, match="does not match"):
+            snapshot_from_payload(
+                {"edges": [], "nodes": ["a", "b"]}, universe
+            )
+
+    def test_csr_payload_with_declared_universe(self):
+        snapshot = _snapshot([("a", "b", 3.0)], ["a", "b", "c"])
+        adjacency = snapshot.adjacency
+        payload = {
+            "nodes": ["a", "b", "c"],
+            "csr": {
+                "data": adjacency.data.tolist(),
+                "indices": adjacency.indices.tolist(),
+                "indptr": adjacency.indptr.tolist(),
+            },
+        }
+        back = snapshot_from_payload(payload)
+        assert back.weight("a", "b") == 3.0
+
+    def test_csr_payload_implies_integer_universe(self):
+        payload = {
+            "csr": {"data": [1.0, 1.0], "indices": [1, 0],
+                    "indptr": [0, 1, 2, 2]},
+        }
+        back = snapshot_from_payload(payload)
+        assert list(back.universe) == [0, 1, 2]
+
+    @pytest.mark.parametrize("payload", [
+        {"edges": [], "csr": {"data": [], "indices": [], "indptr": [0]}},
+        {"nodes": ["a", "b"]},
+        {"nodes": ["a", "a"], "edges": []},
+        {"nodes": ["a", "b"], "edges": [["a", "b"]]},
+        {"nodes": ["a", "b"], "edges": [["a", "z", 1.0]]},
+        {"nodes": ["a", "b"], "edges": [["a", "b", "heavy"]]},
+        {"nodes": ["a", "b"],
+         "csr": {"data": [1.0], "indices": [5], "indptr": [0, 1, 1]}},
+        {"nodes": ["a", "b"],
+         "csr": {"data": [1.0], "indices": [0], "indptr": [0, 1]}},
+        {"format": "something", "edges": [], "nodes": ["a"]},
+        "not-a-payload",
+    ])
+    def test_malformed_payloads_rejected(self, payload):
+        with pytest.raises(DetectionError):
+            snapshot_from_payload(payload)
+
+    def test_raw_payload_keeps_dirt_for_sanitization(self):
+        payload = {
+            "nodes": ["a", "b"],
+            "edges": [["a", "a", 5.0], ["a", "b", -1.0]],
+        }
+        matrix, universe, time = raw_snapshot_from_payload(payload)
+        assert matrix[0, 0] == 5.0  # self-loop preserved
+        assert matrix[0, 1] == -1.0  # negative weight preserved
+        assert list(universe) == ["a", "b"]
+        assert time is None
+        with pytest.raises(DetectionError):
+            snapshot_from_payload(payload)

@@ -190,6 +190,7 @@ class TestCheckpointRestore:
             "anomalies_per_transition": 4,
             "warmup": 3,
             "sanitize": "quarantine",
+            "incremental": False,
         }
         restored = StreamingCadDetector.restore(state, method="exact")
         assert len(restored.health.quarantined) == 1

@@ -1,0 +1,96 @@
+"""Wire-protocol serde of the detection service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.commute import DEFAULT_EXACT_LIMIT
+from repro.service import BadRequestError, SessionConfig, parse_session_config
+from repro.service.protocol import snapshot_documents
+
+
+class TestParseSessionConfig:
+    def test_defaults(self):
+        config = parse_session_config({})
+        assert config == SessionConfig()
+        assert config.anomalies_per_transition == 5
+        assert config.warmup == 3
+        assert config.sanitize is None
+        assert config.incremental is False
+        assert config.exact_limit == DEFAULT_EXACT_LIMIT
+
+    def test_none_body_means_defaults(self):
+        assert parse_session_config(None) == SessionConfig()
+
+    def test_full_round_trip(self):
+        document = {
+            "anomalies_per_transition": 2,
+            "warmup": 4,
+            "sanitize": "quarantine",
+            "incremental": True,
+            "method": "exact",
+            "k": 25,
+            "seed": 7,
+            "solver": "fallback",
+            "exact_limit": 500,
+            "seed_mode": "content",
+        }
+        config = parse_session_config(document)
+        assert config.to_document() == document
+        # the parsed config reconstructs the exact detector arguments
+        kwargs = config.detector_kwargs()
+        assert kwargs["seed"] == 7
+        assert kwargs["sanitize"] == "quarantine"
+        assert kwargs["incremental"] is True
+
+    def test_rejects_non_object(self):
+        with pytest.raises(BadRequestError, match="JSON object"):
+            parse_session_config([1, 2])
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(BadRequestError, match="unknown session"):
+            parse_session_config({"warmupp": 3})
+
+    @pytest.mark.parametrize("document", [
+        {"anomalies_per_transition": 0},
+        {"warmup": "three"},
+        {"k": -1},
+        {"seed": 1.5},
+        {"sanitize": "ignore"},
+        {"method": "magic"},
+        {"seed_mode": "dice"},
+        {"solver": "gmres"},
+        {"incremental": "yes"},
+        {"exact_limit": 0},
+    ])
+    def test_rejects_bad_values(self, document):
+        with pytest.raises(BadRequestError):
+            parse_session_config(document)
+
+    def test_boolean_is_not_an_integer(self):
+        with pytest.raises(BadRequestError, match="warmup"):
+            parse_session_config({"warmup": True})
+
+
+class TestSnapshotDocuments:
+    def test_single_payload_passthrough(self):
+        payload = {"edges": [], "nodes": ["a"]}
+        assert snapshot_documents(payload) == [payload]
+
+    def test_batch_unwraps(self):
+        first = {"edges": [["a", "b", 1.0]]}
+        second = {"edges": []}
+        assert snapshot_documents(
+            {"snapshots": [first, second]}
+        ) == [first, second]
+
+    @pytest.mark.parametrize("body", [
+        None,
+        "payload",
+        {"snapshots": []},
+        {"snapshots": "nope"},
+        {"snapshots": [{"edges": []}, 3]},
+    ])
+    def test_rejects_malformed_bodies(self, body):
+        with pytest.raises(BadRequestError):
+            snapshot_documents(body)
