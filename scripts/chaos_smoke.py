@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Chaos smoke gate: self-healing must be invisible in the scores.
+
+Two disturbances, both with fixed seeds, both required to land
+**bit-for-bit identical** to their undisturbed baselines:
+
+1. **Worker kill mid-run** — a 2-worker parallel detection where the
+   chaos plan kills the worker scoring transition 1 on its first
+   attempt (``os._exit``). The supervisor requeues the shard, respawns
+   the worker, and the merged report must equal the serial baseline
+   byte for byte.
+2. **SIGKILL the service and restart on the same WAL directory** — a
+   ``cad-detect serve`` subprocess is SIGKILLed mid-stream (no drain,
+   no checkpoint), a fresh process adopts the same checkpoint dir,
+   the stream finishes, and the report must equal an undisturbed run.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py
+
+Exit code 0 when both gates hold, 1 with the failure on stderr
+otherwise. Stdlib + numpy/scipy only; CI runs this as the
+``chaos-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import CadDetector, ParallelCadDetector  # noqa: E402
+from repro.graphs import (  # noqa: E402
+    DynamicGraph,
+    perturb_weights,
+    random_sparse_graph,
+)
+from repro.pipeline.serialize import snapshot_to_payload  # noqa: E402
+from repro.resilience.chaos import ChaosSpec  # noqa: E402
+from repro.service import SessionManager  # noqa: E402
+
+CHAOS = ChaosSpec(kill_transitions=(1,))  # first attempt dies, retry heals
+ANOMALIES = 3
+
+
+def sequence(n=24, steps=5, seed=11) -> DynamicGraph:
+    snapshot = random_sparse_graph(n, mean_degree=3.0, seed=seed,
+                                   connected=True)
+    snapshots = [snapshot]
+    for step in range(steps - 1):
+        snapshots.append(perturb_weights(
+            snapshots[-1], relative_noise=0.15, seed=seed + step + 1,
+        ))
+    return DynamicGraph(snapshots)
+
+
+def assert_identical(ours, theirs, label: str) -> None:
+    assert ours.threshold == theirs.threshold, f"{label}: threshold"
+    for mine, other in zip(ours.transitions, theirs.transitions):
+        assert mine.anomalous_edges == other.anomalous_edges, \
+            f"{label}: edge set, transition {mine.index}"
+        assert mine.anomalous_nodes == other.anomalous_nodes, \
+            f"{label}: node set, transition {mine.index}"
+        assert np.array_equal(mine.scores.edge_scores,
+                              other.scores.edge_scores), \
+            f"{label}: edge scores, transition {mine.index}"
+        assert np.array_equal(mine.scores.node_scores,
+                              other.scores.node_scores), \
+            f"{label}: node scores, transition {mine.index}"
+
+
+def gate_worker_kill() -> None:
+    """Kill one worker mid-run; merged output must stay bitwise serial."""
+    graph = sequence()
+    serial = CadDetector(seed=7, seed_mode="content").detect(
+        graph, anomalies_per_transition=ANOMALIES
+    )
+    detector = ParallelCadDetector(
+        workers=2, shard_by="transition", chunk_size=1, seed=7,
+        chaos=CHAOS,
+    )
+    healed = detector.detect(graph, anomalies_per_transition=ANOMALIES)
+    assert detector.last_pool_retries >= 1, \
+        "chaos plan did not fire: no shard was retried"
+    assert_identical(healed, serial, "worker-kill")
+    print(f"worker-kill gate ok: {detector.last_pool_retries} retried "
+          f"shard(s), {detector.last_pool_restarts} respawn(s), "
+          "report bit-for-bit serial")
+
+
+def http(method: str, port: int, path: str, body=None):
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def boot_server(checkpoint_dir: Path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--checkpoint-dir", str(checkpoint_dir)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    line = process.stdout.readline()
+    assert "serving on http://" in line, f"server did not boot: {line!r}"
+    port = int(line.split("http://127.0.0.1:")[1].split()[0])
+    return process, port
+
+
+def picked(report_document) -> list:
+    return [
+        (
+            entry["index"],
+            sorted((e["source"], e["target"]) for e in entry["edges"]),
+            sorted(entry["nodes"]),
+            [e["score"] for e in entry["edges"]],
+        )
+        for entry in report_document["transitions"]
+    ]
+
+
+def gate_sigkill_restart() -> None:
+    """SIGKILL the service mid-stream; a restart on the same WAL
+    directory must finish the stream bit-for-bit."""
+    graph = sequence(steps=8)
+    payloads = [snapshot_to_payload(snapshot) for snapshot in graph]
+    config = {"anomalies_per_transition": ANOMALIES, "seed": 5}
+
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as temp:
+        temp = Path(temp)
+        baseline = SessionManager(checkpoint_dir=temp / "baseline")
+        sid_base = baseline.create_session(config)["session"]
+        for payload in payloads:
+            baseline.push(sid_base, payload)
+        expected = picked(baseline.report(sid_base))
+
+        checkpoints = temp / "ck"
+        process, port = boot_server(checkpoints)
+        try:
+            sid = http("POST", port, "/sessions", config)["session"]
+            for payload in payloads[:4]:
+                http("POST", port, f"/sessions/{sid}/snapshots",
+                     payload)
+        finally:
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+        assert process.returncode == -signal.SIGKILL
+
+        process, port = boot_server(checkpoints)
+        try:
+            for payload in payloads[4:]:
+                http("POST", port, f"/sessions/{sid}/snapshots",
+                     payload)
+            replayed = picked(
+                http("GET", port, f"/sessions/{sid}/report")
+            )
+        finally:
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.wait(timeout=30)
+            finally:
+                if process.poll() is None:
+                    process.kill()
+                    process.wait(timeout=10)
+        assert replayed == expected, \
+            "post-SIGKILL replay diverged from the undisturbed run"
+    print(f"sigkill-restart gate ok: {len(expected)} transitions "
+          "bit-for-bit across a SIGKILL + WAL replay")
+
+
+def main() -> int:
+    try:
+        gate_worker_kill()
+        gate_sigkill_restart()
+    except AssertionError as error:
+        print(f"chaos smoke FAILED: {error}", file=sys.stderr)
+        return 1
+    print("chaos smoke ok: healing is invisible in the scores")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

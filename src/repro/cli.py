@@ -123,6 +123,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="parallel work decomposition: 'transition' "
                      "(bit-for-bit serial parity), 'component' (union "
                      "components, exact backend only), or 'auto'")
+    run.add_argument("--max-worker-restarts", type=int, default=None,
+                     help="parallel runs only: how many dead/hung "
+                     "workers the supervisor may respawn before "
+                     "escalating (default 4)")
+    run.add_argument("--max-shard-retries", type=int, default=None,
+                     help="parallel runs only: how many times one "
+                     "shard may be requeued after its worker died "
+                     "before the run fails (default 2)")
+    run.add_argument("--shard-deadline", type=float, default=None,
+                     help="parallel runs only: seconds one shard may "
+                     "run before its worker is declared hung and "
+                     "replaced (default: no deadline)")
     run.add_argument("--sanitize", default="repair",
                      choices=("repair", "quarantine", "raise"),
                      help="policy for dirty snapshots (NaN/negative "
@@ -187,6 +199,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1,
                        help="score eligible snapshot batches with this "
                        "many worker processes (repro.parallel)")
+    serve.add_argument("--no-wal", action="store_true",
+                       help="disable the per-session write-ahead log "
+                       "(pushes since the last checkpoint are lost on "
+                       "a hard kill)")
+    serve.add_argument("--request-deadline", type=float, default=None,
+                       help="seconds a push may wait for its session "
+                       "lock before failing with 503 "
+                       "deadline_exceeded (default: wait forever)")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive server-side failures that "
+                       "trip a session's circuit breaker (503 "
+                       "circuit_open until the cooldown elapses)")
+    serve.add_argument("--breaker-cooldown", type=float, default=30.0,
+                       help="seconds a tripped breaker stays open; "
+                       "doubles on consecutive trips")
     return parser
 
 
@@ -237,6 +264,19 @@ def _cmd_detect(args) -> int:
         kwargs["seed"] = args.seed
     if args.detector == "cad" and args.solver is not None:
         kwargs["solver"] = args.solver
+    supervision = {
+        "max_worker_restarts": args.max_worker_restarts,
+        "max_shard_retries": args.max_shard_retries,
+        "shard_deadline": args.shard_deadline,
+    }
+    supervision = {k: v for k, v in supervision.items() if v is not None}
+    if supervision:
+        if args.workers is None or args.workers <= 1:
+            raise _UsageError(
+                "--max-worker-restarts/--max-shard-retries/"
+                "--shard-deadline require --workers > 1"
+            )
+        kwargs.update(supervision)
     logger = get_logger("cli")
     logger.info("detect: %s over %s (%d snapshots)", args.detector,
                 args.path, len(graph))
@@ -316,6 +356,14 @@ def _cmd_serve(args) -> int:
         )
     if args.workers < 1:
         raise _UsageError(f"--workers must be >= 1, got {args.workers}")
+    if args.request_deadline is not None and args.request_deadline <= 0:
+        raise _UsageError(
+            f"--request-deadline must be > 0, got {args.request_deadline}"
+        )
+    if args.breaker_threshold < 1:
+        raise _UsageError(
+            f"--breaker-threshold must be >= 1, got {args.breaker_threshold}"
+        )
     return run_server(
         host=args.host,
         port=args.port,
@@ -323,6 +371,10 @@ def _cmd_serve(args) -> int:
         max_queue=args.max_queue,
         checkpoint_dir=args.checkpoint_dir,
         workers=args.workers,
+        wal=not args.no_wal,
+        request_deadline=args.request_deadline,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
     )
 
 

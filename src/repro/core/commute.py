@@ -97,14 +97,15 @@ class CommuteTimeCalculator:
         self._tol = tol
         self._seed_mode = seed_mode
         self._seed = seed
+        self._method_override: str | None = None
         self._cached_root_entropy: int | None = None
         self._health = HealthMonitor()
         # Per-snapshot backend cache (pseudoinverse or embedding).
         # Sequence scoring visits each snapshot twice — as G_{t+1} of
         # one transition and G_t of the next — so keeping the two most
         # recent backends halves the dominant cost.
-        self._cache: dict[int, tuple[object, object]] = {}
-        self._cache_order: list[int] = []
+        self._cache: dict[tuple[int, str], tuple[object, object]] = {}
+        self._cache_order: list[tuple[int, str]] = []
 
     @property
     def k(self) -> int:
@@ -175,8 +176,30 @@ class CommuteTimeCalculator:
         """Restore the JL-projection rng from :meth:`rng_state`."""
         self._rng.bit_generator.state = state
 
+    @property
+    def method_override(self) -> str | None:
+        """Transient backend override (``None``/``"exact"``/``"approx"``).
+
+        Set by operational layers (e.g. the service's degraded mode)
+        to force a backend for the overridden calls only. Deliberately
+        excluded from :meth:`spec` — it describes a momentary
+        operating condition, not the calculator's configuration.
+        """
+        return self._method_override
+
+    @method_override.setter
+    def method_override(self, value: str | None) -> None:
+        if value not in (None, "exact", "approx"):
+            raise DetectionError(
+                "method_override must be None, 'exact' or 'approx', "
+                f"got {value!r}"
+            )
+        self._method_override = value
+
     def resolve_method(self, num_nodes: int) -> str:
         """The concrete method (``"exact"``/``"approx"``) for a size."""
+        if self._method_override is not None:
+            return self._method_override
         if self._method != "auto":
             return self._method
         return "exact" if num_nodes <= self._exact_limit else "approx"
@@ -228,11 +251,16 @@ class CommuteTimeCalculator:
                 f"{self.resolve_method(snapshot.num_nodes)!r}"
             )
         add_counter("commute_backend_installs_total")
-        self._remember(snapshot, pseudoinverse)
+        self._remember(snapshot, "exact", pseudoinverse)
 
     def _backend_for(self, snapshot: GraphSnapshot, method: str):
-        """Pseudoinverse or embedding for a snapshot, cached (size 2)."""
-        key = id(snapshot)
+        """Pseudoinverse or embedding for a snapshot, cached (size 2).
+
+        The key includes ``method``: a degraded-mode override can
+        re-score the same snapshot on the other backend, and an exact
+        pseudoinverse must never be handed out as an embedding.
+        """
+        key = (id(snapshot), method)
         cached = self._cache.get(key)
         if cached is not None and cached[0] is snapshot:
             add_counter("commute_backend_cache_hits_total")
@@ -256,12 +284,13 @@ class CommuteTimeCalculator:
                     solver=self._solver, tol=self._tol,
                     health=self._health,
                 )
-        self._remember(snapshot, backend)
+        self._remember(snapshot, method, backend)
         return backend
 
-    def _remember(self, snapshot: GraphSnapshot, backend) -> None:
+    def _remember(self, snapshot: GraphSnapshot, method: str,
+                  backend) -> None:
         """Insert one backend into the two-deep snapshot cache."""
-        key = id(snapshot)
+        key = (id(snapshot), method)
         if key not in self._cache:
             self._cache_order.append(key)
         self._cache[key] = (snapshot, backend)

@@ -26,6 +26,7 @@ from .sharding import (
     resolve_shard_mode,
 )
 from .shm import AttachedGraphSequence, SharedGraphSequence
+from .supervisor import SupervisedPool
 from .worker import WorkerConfig
 
 __all__ = [
@@ -37,6 +38,7 @@ __all__ = [
     "plan_transition_chunks",
     "resolve_shard_mode",
     "SharedGraphSequence",
+    "SupervisedPool",
     "AttachedGraphSequence",
     "WorkerConfig",
     "sequence_fingerprint",

@@ -21,17 +21,19 @@ equivalent (per-component pseudoinverses round differently from one
 full factorisation) and is therefore only chosen by ``"auto"`` when it
 provably saves cubic work.
 
-A worker process dying mid-run surfaces as
+Execution is *self-healing*: tasks run on a
+:class:`~repro.parallel.supervisor.SupervisedPool` that detects worker
+death and hangs (heartbeats + per-shard deadlines), requeues lost
+shards onto surviving workers, and respawns workers with capped
+exponential backoff. Only exhausted retry/restart budgets escalate to
 :class:`~repro.exceptions.ParallelExecutionError`; pass
-``checkpoint_path`` to make such a run resumable.
+``checkpoint_path`` to make even that resumable.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Any
 
@@ -47,6 +49,7 @@ from ..exceptions import DetectionError, ParallelExecutionError
 from ..graphs.dynamic import DynamicGraph
 from ..graphs.snapshot import GraphSnapshot
 from ..observability import current_registry, enabled, set_gauge, trace
+from ..resilience.chaos import ChaosSpec
 from ..resilience.health import HealthReport
 from .checkpoint import (
     read_parallel_checkpoint,
@@ -66,9 +69,15 @@ from .sharding import (
     validate_shard_mode,
 )
 from .shm import SharedGraphSequence
+from .supervisor import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    DEFAULT_MAX_SHARD_RETRIES,
+    DEFAULT_MAX_WORKER_RESTARTS,
+    SupervisedPool,
+)
 from .worker import (
     WorkerConfig,
-    init_worker,
     score_component_shard,
     score_transition_chunk,
 )
@@ -101,6 +110,21 @@ class ParallelCadDetector(Detector):
             cannot be scored — zero scores plus a quarantine record in
             the health report (the streaming detector's lenient
             semantics).
+        max_worker_restarts: total worker-respawn budget per run; dead
+            workers are respawned with capped exponential backoff
+            until it is spent.
+        max_shard_retries: how many times one lost shard is requeued
+            before the run escalates to ``ParallelExecutionError``.
+        shard_deadline: seconds one shard may run before its worker is
+            declared hung, killed, and the shard requeued (``None``
+            disables the deadline).
+        heartbeat_interval: worker heartbeat period for the supervisor
+            (0/``None`` disables heartbeat supervision).
+        heartbeat_timeout: tolerated heartbeat silence before a worker
+            is declared wedged.
+        chaos: optional :class:`~repro.resilience.chaos.ChaosSpec`
+            injecting deterministic process faults into workers (test
+            and chaos-drill hook).
         method, k, seed, solver, exact_limit, tol: commute-time backend
             configuration, as in :class:`~repro.core.cad.CadDetector`.
             Randomness always runs in ``seed_mode="content"`` so worker
@@ -115,6 +139,13 @@ class ParallelCadDetector(Detector):
                  checkpoint_path: str | Path | None = None,
                  checkpoint_every: int = 1,
                  skip_unscorable: bool = False,
+                 max_worker_restarts: int = DEFAULT_MAX_WORKER_RESTARTS,
+                 max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
+                 shard_deadline: float | None = None,
+                 heartbeat_interval: float | None =
+                 DEFAULT_HEARTBEAT_INTERVAL,
+                 heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+                 chaos: ChaosSpec | None = None,
                  method: str = "auto",
                  k: int = 50,
                  seed=None,
@@ -135,7 +166,19 @@ class ParallelCadDetector(Detector):
         )
         self._checkpoint_every = max(int(checkpoint_every), 1)
         self._skip_unscorable = bool(skip_unscorable)
-        self._crash_transitions = tuple(_crash_transitions)
+        self._max_worker_restarts = int(max_worker_restarts)
+        self._max_shard_retries = int(max_shard_retries)
+        self._shard_deadline = shard_deadline
+        self._heartbeat_interval = heartbeat_interval
+        self._heartbeat_timeout = float(heartbeat_timeout)
+        if chaos is None and _crash_transitions:
+            # Legacy hook: a listed transition always kills its worker,
+            # on every retry — the escalation scenario.
+            chaos = ChaosSpec(
+                kill_transitions=tuple(_crash_transitions),
+                attempts=None,
+            )
+        self._chaos = chaos
         self._calculator = CommuteTimeCalculator(
             method=method, k=k, seed=seed, solver=solver,
             exact_limit=exact_limit, tol=tol, seed_mode="content",
@@ -147,6 +190,10 @@ class ParallelCadDetector(Detector):
         #: :attr:`last_worker_health`); populated only while metrics
         #: collection is enabled in the parent.
         self.last_worker_metrics: dict[str, dict[str, Any]] = {}
+        #: Supervision events of the last run (worker respawns and
+        #: shard requeues) — zero on an undisturbed run.
+        self.last_pool_restarts = 0
+        self.last_pool_retries = 0
         self._last_health: HealthReport | None = None
 
     @classmethod
@@ -293,23 +340,21 @@ class ParallelCadDetector(Detector):
                         multiprocessing.get_start_method() != "fork"
                     ),
                     collect_metrics=enabled(),
-                    crash_transitions=self._crash_transitions,
+                    chaos=self._chaos,
                 )
                 pool_size = max(1, min(self.workers, len(tasks)))
                 set_gauge("parallel_pool_size", pool_size)
+                pool = SupervisedPool(
+                    pool_size, config,
+                    max_worker_restarts=self._max_worker_restarts,
+                    max_shard_retries=self._max_shard_retries,
+                    shard_deadline=self._shard_deadline,
+                    heartbeat_interval=self._heartbeat_interval,
+                    heartbeat_timeout=self._heartbeat_timeout,
+                )
                 with trace("parallel.run", mode=mode,
-                           tasks=len(tasks), workers=pool_size), \
-                        ProcessPoolExecutor(
-                            max_workers=pool_size,
-                            initializer=init_worker,
-                            initargs=(config,),
-                        ) as pool:
-                    futures = [
-                        pool.submit(function, argument)
-                        for function, argument in tasks
-                    ]
-                    for future in as_completed(futures):
-                        result = future.result()
+                           tasks=len(tasks), workers=pool_size), pool:
+                    for result in pool.run(tasks):
                         worker_states[str(result["worker"])] = (
                             result["health"]
                         )
@@ -344,17 +389,17 @@ class ParallelCadDetector(Detector):
                                 payloads, worker_states,
                             )
                             newly_completed = 0
-            except BrokenProcessPool as exc:
+                self.last_pool_restarts = pool.restarts
+                self.last_pool_retries = pool.retries
+            except ParallelExecutionError:
+                # Supervision gave up (budgets exhausted / no workers
+                # left): persist completed work before escalating.
                 if self._checkpoint_path is not None:
                     write_parallel_checkpoint(
                         self._checkpoint_path, fingerprint,
                         payloads, worker_states,
                     )
-                raise ParallelExecutionError(
-                    "a worker process died before completing its shard "
-                    "(pool is broken); rerun with checkpoint_path to "
-                    "resume completed work"
-                ) from exc
+                raise
             finally:
                 store.cleanup()
 

@@ -1,0 +1,430 @@
+"""A supervised process pool that survives worker death and hangs.
+
+``concurrent.futures.ProcessPoolExecutor`` fails closed: one dead
+worker breaks the pool and every pending task with it. This module
+replaces it for the parallel CAD engine with explicit supervision:
+
+* each worker is a ``multiprocessing.Process`` with a private inbox
+  and outbox queue, so the parent always knows which shard a dead
+  worker was holding (and a kill can never corrupt another worker's
+  result channel);
+* workers emit **heartbeats** from a daemon thread; a silent worker
+  (wedged in C code, deadlocked, or gone) is detected and terminated;
+* an optional **per-shard deadline** bounds how long any single task
+  may run — the supervision signal for soft hangs, where the process
+  still heartbeats but the shard never finishes;
+* a lost shard is **requeued** onto surviving workers (front of the
+  queue — it is the oldest work) up to ``max_shard_retries`` retries;
+* dead workers are **respawned** with capped exponential backoff up to
+  a ``max_worker_restarts`` budget;
+* only when a shard exhausts its retries, or no worker slots remain
+  for outstanding work, does the pool escalate to
+  :class:`~repro.exceptions.ParallelExecutionError`.
+
+Results stream back in completion order; the engine's merge is keyed
+by transition index, so retries and reordering cannot change the final
+report — the bit-for-bit parity contract of
+``tests/test_parallel_determinism.py`` holds under chaos too
+(``tests/test_resilience_chaos.py``).
+
+Task-level *exceptions* (a solver giving up, bad input) are not
+retried: they are deterministic library errors, pickled back and
+re-raised in the parent exactly like the plain pool did.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue as queue_module
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from ..exceptions import ParallelExecutionError
+from ..observability import add_counter, get_logger
+from .worker import WorkerConfig, init_worker, set_task_attempt
+
+_logger = get_logger("parallel.supervisor")
+
+#: Default worker-respawn budget for one run.
+DEFAULT_MAX_WORKER_RESTARTS = 4
+#: Default retry budget per shard (initial attempt + this many retries).
+DEFAULT_MAX_SHARD_RETRIES = 2
+#: Default heartbeat period (seconds); 0/None disables heartbeats.
+DEFAULT_HEARTBEAT_INTERVAL = 0.25
+#: Default tolerated heartbeat silence before a worker is declared
+#: wedged. Generous: heartbeats come from a daemon thread, so only a
+#: dead process or one stuck in non-GIL-releasing C code goes silent.
+DEFAULT_HEARTBEAT_TIMEOUT = 30.0
+
+
+@dataclass
+class _Task:
+    """One unit of pool work and its retry accounting."""
+
+    task_id: int
+    function: Callable[[Any], dict[str, Any]]
+    argument: Any
+    attempts: int = 0  # failed attempts so far
+
+
+class _WorkerHandle:
+    """Parent-side view of one worker process."""
+
+    __slots__ = ("slot", "process", "inbox", "outbox", "task",
+                 "dispatched_at", "last_seen")
+
+    def __init__(self, slot: int, process, inbox, outbox):
+        self.slot = slot
+        self.process = process
+        self.inbox = inbox
+        self.outbox = outbox
+        self.task: _Task | None = None
+        self.dispatched_at = 0.0
+        self.last_seen = time.monotonic()
+
+
+def _encode_error(error: BaseException) -> bytes:
+    """Pickle an exception for the result channel, downgrading
+    unpicklable ones to a summary (a queue must never choke on them)."""
+    try:
+        payload = pickle.dumps(error)
+        pickle.loads(payload)  # round-trip: some exceptions lie
+        return payload
+    except Exception:
+        return pickle.dumps(ParallelExecutionError(
+            f"worker task failed with unpicklable "
+            f"{type(error).__name__}: {error}"
+        ))
+
+
+def _worker_main(slot: int, config: WorkerConfig, inbox, outbox,
+                 heartbeat_interval: float | None) -> None:
+    """Worker process body: init once, then execute tasks until the
+    ``None`` sentinel arrives."""
+    try:
+        init_worker(config)
+    except BaseException as error:  # noqa: BLE001 - shipped to parent
+        outbox.put(("init_error", _encode_error(error)))
+        return
+    stop = threading.Event()
+    if heartbeat_interval:
+        def _beat() -> None:
+            while not stop.wait(heartbeat_interval):
+                try:
+                    outbox.put(("heartbeat",))
+                except Exception:
+                    return
+        threading.Thread(target=_beat, daemon=True,
+                         name=f"heartbeat-{slot}").start()
+    while True:
+        message = inbox.get()
+        if message is None:
+            stop.set()
+            return
+        task_id, attempt, function, argument = message
+        set_task_attempt(attempt)
+        try:
+            result = function(argument)
+        except BaseException as error:  # noqa: BLE001 - shipped to parent
+            outbox.put(("error", task_id, _encode_error(error)))
+        else:
+            outbox.put(("result", task_id, result))
+
+
+class SupervisedPool:
+    """Run pool tasks under supervision; see the module docstring.
+
+    Args:
+        workers: worker-slot count (live processes never exceed it).
+        config: the :class:`~repro.parallel.worker.WorkerConfig` every
+            worker initialises with.
+        max_worker_restarts: total respawn budget across the run.
+        max_shard_retries: per-shard retry budget after its initial
+            attempt.
+        shard_deadline: seconds one task may run before its worker is
+            killed and the shard requeued; ``None`` disables.
+        heartbeat_interval: worker heartbeat period; 0/``None``
+            disables heartbeat supervision.
+        heartbeat_timeout: tolerated heartbeat silence before a worker
+            is declared wedged.
+        backoff_base / backoff_cap: respawn delays follow
+            ``min(cap, base * 2**n)`` for the n-th restart.
+        poll_interval: parent supervision-loop tick.
+    """
+
+    def __init__(self, workers: int, config: WorkerConfig,
+                 max_worker_restarts: int = DEFAULT_MAX_WORKER_RESTARTS,
+                 max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
+                 shard_deadline: float | None = None,
+                 heartbeat_interval: float | None =
+                 DEFAULT_HEARTBEAT_INTERVAL,
+                 heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+                 backoff_base: float = 0.05,
+                 backoff_cap: float = 2.0,
+                 poll_interval: float = 0.02):
+        if workers < 1:
+            raise ParallelExecutionError(
+                f"pool needs at least one worker slot, got {workers}"
+            )
+        self._workers = int(workers)
+        self._config = config
+        self._max_worker_restarts = max(int(max_worker_restarts), 0)
+        self._max_shard_retries = max(int(max_shard_retries), 0)
+        self._shard_deadline = shard_deadline
+        self._heartbeat_interval = heartbeat_interval or None
+        self._heartbeat_timeout = float(heartbeat_timeout)
+        self._backoff_base = float(backoff_base)
+        self._backoff_cap = float(backoff_cap)
+        self._poll_interval = float(poll_interval)
+        self._context = multiprocessing.get_context()
+        self._live: list[_WorkerHandle] = []
+        self._pending: deque[_Task] = deque()
+        #: Results rescued from a dead worker's outbox (sent just
+        #: before it died), delivered on the next loop turn.
+        self._rescued: deque[dict[str, Any]] = deque()
+        self._outstanding = 0
+        self._restarts_used = 0
+        self._respawn_at: list[float] = []
+        self._worker_seq = 0
+        #: Supervision events of the run, for logs and tests.
+        self.restarts = 0
+        self.retries = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def __enter__(self) -> "SupervisedPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def run(self, tasks: list[tuple[Callable, Any]],
+            ) -> Iterator[dict[str, Any]]:
+        """Execute tasks, yielding results in completion order.
+
+        Raises:
+            ParallelExecutionError: when retry/respawn budgets are
+                exhausted or no workers remain for outstanding work.
+            Exception: any task-level exception a worker raised,
+                re-raised verbatim (deterministic failures are not
+                retried).
+        """
+        work = [
+            _Task(task_id, function, argument)
+            for task_id, (function, argument) in enumerate(tasks)
+        ]
+        if not work:
+            return
+        self._pending = deque(work)
+        self._outstanding = len(work)
+        try:
+            for _ in range(min(self._workers, len(work))):
+                self._spawn()
+            while self._outstanding > 0:
+                self._spawn_due()
+                self._dispatch()
+                delivered = False
+                for result in self._drain_messages():
+                    delivered = True
+                    self._outstanding -= 1
+                    yield result
+                self._check_workers()
+                while self._rescued:
+                    delivered = True
+                    self._outstanding -= 1
+                    yield self._rescued.popleft()
+                self._check_capacity()
+                if not delivered:
+                    time.sleep(self._poll_interval)
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop every worker; graceful first, then terminate."""
+        for handle in self._live:
+            try:
+                handle.inbox.put_nowait(None)
+            except Exception:
+                pass
+        deadline = time.monotonic() + 1.0
+        for handle in self._live:
+            handle.process.join(max(deadline - time.monotonic(), 0.05))
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(1.0)
+            self._close_queues(handle)
+        self._live = []
+        self._respawn_at = []
+
+    # -- supervision internals -----------------------------------------------
+
+    def _spawn(self) -> None:
+        slot = self._worker_seq
+        self._worker_seq += 1
+        inbox = self._context.Queue()
+        outbox = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(slot, self._config, inbox, outbox,
+                  self._heartbeat_interval),
+            name=f"repro-worker-{slot}",
+            daemon=True,
+        )
+        process.start()
+        self._live.append(_WorkerHandle(slot, process, inbox, outbox))
+
+    def _spawn_due(self) -> None:
+        """Start respawns whose backoff delay has elapsed."""
+        if not self._respawn_at:
+            return
+        now = time.monotonic()
+        due = [t for t in self._respawn_at if t <= now]
+        self._respawn_at = [t for t in self._respawn_at if t > now]
+        for _ in due:
+            self.restarts += 1
+            add_counter("parallel_worker_restarts_total")
+            self._spawn()
+            _logger.info("respawned a worker (%d/%d restarts used)",
+                         self.restarts, self._max_worker_restarts)
+
+    def _dispatch(self) -> None:
+        for handle in self._live:
+            if not self._pending:
+                return
+            if handle.task is None and handle.process.is_alive():
+                task = self._pending.popleft()
+                handle.task = task
+                handle.dispatched_at = time.monotonic()
+                handle.inbox.put((task.task_id, task.attempts,
+                                  task.function, task.argument))
+
+    def _drain_messages(self) -> list[dict[str, Any]]:
+        """Pull every queued worker message; return completed results."""
+        results = []
+        for handle in list(self._live):
+            results.extend(self._drain_handle(handle))
+        return results
+
+    def _drain_handle(self, handle: _WorkerHandle,
+                      ) -> list[dict[str, Any]]:
+        results = []
+        while True:
+            try:
+                message = handle.outbox.get_nowait()
+            except queue_module.Empty:
+                break
+            except (EOFError, OSError):
+                break  # channel torn down mid-kill; liveness check reaps
+            handle.last_seen = time.monotonic()
+            kind = message[0]
+            if kind == "heartbeat":
+                continue
+            if kind == "result":
+                _, task_id, result = message
+                if handle.task is not None and \
+                        handle.task.task_id == task_id:
+                    handle.task = None
+                results.append(result)
+            elif kind == "error":
+                raise pickle.loads(message[2])
+            elif kind == "init_error":
+                raise ParallelExecutionError(
+                    "a worker failed to initialise"
+                ) from pickle.loads(message[1])
+        return results
+
+    def _check_workers(self) -> None:
+        """Reap dead, over-deadline, and heartbeat-silent workers."""
+        now = time.monotonic()
+        for handle in list(self._live):
+            if not handle.process.is_alive():
+                # A final result may have been sent just before death.
+                self._rescued.extend(self._drain_handle(handle))
+                self._reap(
+                    handle,
+                    f"worker exited unexpectedly (exit code "
+                    f"{handle.process.exitcode})",
+                )
+            elif (handle.task is not None
+                  and self._shard_deadline is not None
+                  and now - handle.dispatched_at > self._shard_deadline):
+                handle.process.terminate()
+                self._reap(
+                    handle,
+                    f"shard exceeded its {self._shard_deadline:g}s "
+                    "deadline",
+                )
+            elif (self._heartbeat_interval is not None
+                  and now - handle.last_seen > self._heartbeat_timeout):
+                handle.process.terminate()
+                self._reap(
+                    handle,
+                    f"no heartbeat for {self._heartbeat_timeout:g}s",
+                )
+
+    def _reap(self, handle: _WorkerHandle, reason: str) -> None:
+        """Remove a failed worker: requeue its shard, plan a respawn."""
+        self._live.remove(handle)
+        self._close_queues(handle)
+        task = handle.task
+        _logger.warning("worker %d lost: %s%s", handle.slot, reason,
+                        f" (held shard {task.task_id})" if task else "")
+        if task is not None:
+            task.attempts += 1
+            if task.attempts > self._max_shard_retries:
+                raise ParallelExecutionError(
+                    f"shard {task.task_id} failed {task.attempts} "
+                    f"time(s) — last worker lost because {reason}; "
+                    f"retry budget ({self._max_shard_retries}) "
+                    "exhausted. Rerun with checkpoint_path to resume "
+                    "completed work"
+                )
+            self.retries += 1
+            add_counter("parallel_shard_retries_total")
+            self._pending.appendleft(task)
+        needed = len(self._pending) > 0 or any(
+            h.task is not None for h in self._live
+        )
+        if needed and len(self._live) + len(self._respawn_at) \
+                < self._workers:
+            if self._restarts_used < self._max_worker_restarts:
+                delay = min(
+                    self._backoff_cap,
+                    self._backoff_base * (2 ** self._restarts_used),
+                )
+                self._restarts_used += 1
+                self._respawn_at.append(time.monotonic() + delay)
+                _logger.info("scheduling worker respawn in %.3fs",
+                             delay)
+            else:
+                _logger.warning(
+                    "worker restart budget (%d) exhausted; continuing "
+                    "with %d live worker(s)",
+                    self._max_worker_restarts, len(self._live),
+                )
+
+    def _check_capacity(self) -> None:
+        """Escalate when outstanding work has no worker left to run on."""
+        if self._outstanding <= 0:
+            return
+        if self._live or self._respawn_at:
+            return
+        raise ParallelExecutionError(
+            f"{self._outstanding} shard(s) outstanding but every "
+            "worker is gone and the restart budget "
+            f"({self._max_worker_restarts}) is exhausted. Rerun with "
+            "checkpoint_path to resume completed work"
+        )
+
+    @staticmethod
+    def _close_queues(handle: _WorkerHandle) -> None:
+        for channel in (handle.inbox, handle.outbox):
+            try:
+                channel.close()
+                channel.cancel_join_thread()
+            except Exception:
+                pass

@@ -33,6 +33,7 @@ from ..exceptions import EmbeddingError, SolverError
 from ..graphs.snapshot import GraphSnapshot, NodeUniverse
 from ..linalg.pseudoinverse import laplacian_pseudoinverse
 from ..observability import MetricsRegistry, enable, trace
+from ..resilience.chaos import ChaosSpec
 from .sharding import ComponentShard
 from .shm import AttachedGraphSequence, SharedSequenceSpec
 
@@ -70,8 +71,10 @@ class WorkerConfig:
             :class:`~repro.observability.MetricsRegistry`; its
             cumulative state rides back on every task result for the
             parent to merge.
-        crash_transitions: test hook — scoring any of these transitions
-            kills the worker process outright, simulating a hard crash.
+        chaos: optional :class:`~repro.resilience.chaos.ChaosSpec`
+            arming deterministic process faults (kill/hang/slow) on
+            chosen transitions; attempt-aware, so the supervised pool's
+            retries can demonstrably heal first-attempt faults.
     """
 
     sequence: SharedSequenceSpec
@@ -83,10 +86,29 @@ class WorkerConfig:
     skip_unscorable: bool = False
     unregister_shm: bool = False
     collect_metrics: bool = False
-    crash_transitions: tuple[int, ...] = ()
+    chaos: ChaosSpec | None = None
 
 
 _STATE: dict[str, Any] = {}
+
+#: Attempt index of the task currently executing (0 = first attempt).
+#: Set by the supervised pool before each task so
+#: :class:`~repro.resilience.chaos.ChaosSpec` faults can be
+#: attempt-aware; plain pools never touch it, leaving every task at
+#: attempt 0.
+_TASK_ATTEMPT = 0
+
+
+def set_task_attempt(attempt: int) -> None:
+    """Record the running task's retry attempt (supervised pool hook)."""
+    global _TASK_ATTEMPT
+    _TASK_ATTEMPT = int(attempt)
+
+
+def _chaos(config: WorkerConfig, transition: int) -> None:
+    """Fire any armed chaos faults for ``transition``."""
+    if config.chaos is not None:
+        config.chaos.apply(transition, _TASK_ATTEMPT)
 
 
 def init_worker(config: WorkerConfig) -> None:
@@ -164,8 +186,7 @@ def score_transition_chunk(transitions: tuple[int, ...]) -> dict[str, Any]:
     payloads: dict[int, dict[str, np.ndarray]] = {}
     with trace("worker.chunk", transitions=len(transitions)):
         for transition in transitions:
-            if transition in config.crash_transitions:
-                os._exit(17)
+            _chaos(config, transition)
             g_t, g_t1 = snapshots[transition], snapshots[transition + 1]
             try:
                 payloads[transition] = _payload_from_scores(
@@ -198,8 +219,7 @@ def score_component_shard(shard: ComponentShard) -> dict[str, Any]:
     """
     config: WorkerConfig = _STATE["config"]
     snapshots = _STATE["snapshots"]
-    if shard.transition in config.crash_transitions:
-        os._exit(17)
+    _chaos(config, shard.transition)
     with trace("worker.shard", transition=shard.transition,
                pairs=shard.rows.size):
         g_t = snapshots[shard.transition]

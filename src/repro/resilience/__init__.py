@@ -11,12 +11,22 @@ resilience layer:
 * :mod:`~repro.resilience.checkpoint` — durable checkpoint files for
   :class:`~repro.core.streaming.StreamingCadDetector`;
 * :mod:`~repro.resilience.faults` — deterministic fault injection used
-  to prove every fallback edge actually fires.
+  to prove every fallback edge actually fires;
+* :mod:`~repro.resilience.chaos` — process- and file-layer chaos
+  (kill/hang/slow a worker, truncate a WAL, drop a checkpoint) driving
+  deterministic self-healing scenarios in tests and CI.
 
 Snapshot sanitization itself lives next to the graph model in
 :mod:`repro.graphs.sanitize`.
 """
 
+from .chaos import (
+    CHAOS_EXIT_CODE,
+    ChaosSpec,
+    drop_file,
+    flip_bytes,
+    truncate_tail,
+)
 from .checkpoint import read_checkpoint, write_checkpoint
 from .fallback import DEFAULT_POLICY, FallbackPolicy, FallbackSolver
 from .faults import CORRUPTION_KINDS, FaultInjector, corrupt_adjacency
@@ -27,7 +37,9 @@ from .health import (
 )
 
 __all__ = [
+    "CHAOS_EXIT_CODE",
     "CORRUPTION_KINDS",
+    "ChaosSpec",
     "DEFAULT_POLICY",
     "FallbackPolicy",
     "FallbackSolver",
@@ -36,6 +48,9 @@ __all__ = [
     "HealthReport",
     "QuarantineRecord",
     "corrupt_adjacency",
+    "drop_file",
+    "flip_bytes",
     "read_checkpoint",
+    "truncate_tail",
     "write_checkpoint",
 ]

@@ -1,0 +1,147 @@
+"""Deterministic chaos at the process and file layer.
+
+:mod:`repro.resilience.faults` injects failures *inside* the math
+(solver faults, corrupt matrices). This module extends the idea one
+layer down, to the places production actually breaks:
+
+* :class:`ChaosSpec` — a picklable fault plan shipped to parallel
+  workers: kill (``os._exit``), hang, or slow down the process while it
+  scores chosen transitions. Faults are **attempt-aware**: by default a
+  fault fires only on a shard's first attempt, so the supervised pool's
+  retry demonstrably heals the run; ``attempts=None`` makes the fault
+  permanent (every retry dies too), which is how escalation paths are
+  exercised.
+* file-level chaos — :func:`truncate_tail`, :func:`flip_bytes`, and
+  :func:`drop_file` deterministically damage WALs and checkpoints the
+  way crashes and bad disks do (torn writes, bit rot, lost files).
+
+Everything is seeded/explicit — the same spec over the same input
+produces the same failure sequence, so chaos scenarios are ordinary
+deterministic tests (``tests/test_resilience_chaos.py``,
+``scripts/chaos_smoke.py`` in CI).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+#: Exit code chaos-killed workers die with (distinguishable from
+#: segfaults and OOM kills in supervisor logs).
+CHAOS_EXIT_CODE = 17
+
+
+def _transition_tuple(value) -> tuple[int, ...]:
+    return tuple(int(t) for t in value)
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A deterministic process-fault plan for parallel workers.
+
+    Attributes:
+        kill_transitions: scoring any of these transitions terminates
+            the worker process outright (``os._exit``), simulating a
+            crash/OOM kill mid-shard.
+        hang_transitions: scoring any of these transitions sleeps for
+            ``hang_seconds`` first, simulating a wedged worker; pair
+            with the pool's ``shard_deadline`` to exercise hang
+            detection.
+        slow_transitions: sleeps ``slow_seconds`` before scoring,
+            simulating a straggler (no failure, just latency).
+        attempts: how many attempts of a shard the faults apply to.
+            The default ``1`` means only the first attempt faults and
+            the retry succeeds — the self-healing scenario. ``None``
+            means the fault is permanent (every attempt faults), which
+            drives the escalation-to-error scenario.
+        hang_seconds: sleep length for hangs (default far beyond any
+            reasonable deadline).
+        slow_seconds: sleep length for stragglers.
+        exit_code: what killed workers exit with.
+    """
+
+    kill_transitions: tuple[int, ...] = ()
+    hang_transitions: tuple[int, ...] = ()
+    slow_transitions: tuple[int, ...] = ()
+    attempts: int | None = 1
+    hang_seconds: float = 3600.0
+    slow_seconds: float = 0.05
+    exit_code: int = field(default=CHAOS_EXIT_CODE)
+
+    def __post_init__(self):
+        object.__setattr__(self, "kill_transitions",
+                           _transition_tuple(self.kill_transitions))
+        object.__setattr__(self, "hang_transitions",
+                           _transition_tuple(self.hang_transitions))
+        object.__setattr__(self, "slow_transitions",
+                           _transition_tuple(self.slow_transitions))
+        if self.attempts is not None and self.attempts < 1:
+            raise ValueError(
+                f"attempts must be >= 1 or None, got {self.attempts}"
+            )
+
+    @property
+    def empty(self) -> bool:
+        """Whether this spec injects nothing at all."""
+        return not (self.kill_transitions or self.hang_transitions
+                    or self.slow_transitions)
+
+    def fires(self, attempt: int) -> bool:
+        """Whether faults apply to a shard's ``attempt``-th retry
+        (0-based: the initial attempt is 0)."""
+        return self.attempts is None or attempt < self.attempts
+
+    def apply(self, transition: int, attempt: int = 0) -> None:
+        """Run the faults armed for ``transition`` (worker side)."""
+        if not self.fires(attempt):
+            return
+        if transition in self.slow_transitions:
+            time.sleep(self.slow_seconds)
+        if transition in self.hang_transitions:
+            time.sleep(self.hang_seconds)
+        if transition in self.kill_transitions:
+            os._exit(self.exit_code)
+
+
+# -- file-level chaos ---------------------------------------------------------
+
+
+def truncate_tail(path: str | Path, drop_bytes: int) -> int:
+    """Chop ``drop_bytes`` off the end of a file (torn write / partial
+    flush). Returns the new size; truncating to below zero empties the
+    file."""
+    path = Path(path)
+    size = path.stat().st_size
+    new_size = max(size - int(drop_bytes), 0)
+    with open(path, "r+b") as handle:
+        handle.truncate(new_size)
+    return new_size
+
+
+def flip_bytes(path: str | Path, count: int = 8, seed: int = 0) -> None:
+    """Deterministically corrupt ``count`` bytes in place (bit rot).
+
+    Byte positions and replacement values come from ``seed``, so a
+    corruption scenario reproduces exactly.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        return
+    rng = np.random.default_rng(seed)
+    positions = rng.integers(0, len(data), size=int(count))
+    for position in positions:
+        data[int(position)] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+def drop_file(path: str | Path) -> bool:
+    """Delete a file (lost checkpoint); returns whether it existed."""
+    path = Path(path)
+    existed = path.exists()
+    path.unlink(missing_ok=True)
+    return existed

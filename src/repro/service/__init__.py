@@ -14,7 +14,12 @@ sessions:
   checkpointed to disk and resurrected transparently, so the resident
   set stays bounded while the session count does not;
 * **graceful drain** — SIGTERM stops intake, finishes in-flight
-  pushes, checkpoints every session, and exits 0.
+  pushes, checkpoints every session, and exits 0;
+* **self-healing ingest** — a per-session write-ahead log replays
+  acknowledged pushes after a hard kill (SIGKILL/OOM), circuit
+  breakers trip persistently failing sessions to 503-with-reason,
+  request deadlines bound lock waits, and sustained pressure sheds
+  eligible sessions onto the approximate backend (degraded mode).
 
 Start it from the CLI (``cad-detect serve --port 8765``) or embed it::
 
@@ -31,6 +36,8 @@ See ``docs/serving.md`` for the full API reference.
 from .errors import (
     BadRequestError,
     CapacityError,
+    CircuitOpenError,
+    DeadlineError,
     NotFoundError,
     ServiceError,
     SessionStateError,
@@ -44,10 +51,13 @@ from .server import (
     run_server,
 )
 from .sessions import SessionManager, SessionRecord
+from .wal import SessionWal, WalContents
 
 __all__ = [
     "BadRequestError",
     "CapacityError",
+    "CircuitOpenError",
+    "DeadlineError",
     "DetectionHTTPServer",
     "DetectionRequestHandler",
     "NotFoundError",
@@ -56,7 +66,9 @@ __all__ = [
     "SessionManager",
     "SessionRecord",
     "SessionStateError",
+    "SessionWal",
     "ShuttingDownError",
+    "WalContents",
     "make_server",
     "parse_session_config",
     "run_server",

@@ -71,3 +71,36 @@ class ShuttingDownError(ServiceError):
                  retry_after: float = 5.0):
         super().__init__(message)
         self.retry_after = float(retry_after)
+
+
+class CircuitOpenError(ServiceError):
+    """The session's circuit breaker is open (503).
+
+    A session whose pushes keep failing with server-side errors trips
+    its breaker: further pushes are rejected with the tripping reason
+    until the cooldown elapses (``retry_after``), so one poisoned
+    session cannot keep burning ingest budget and worker time.
+    """
+
+    status = 503
+    code = "circuit_open"
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class DeadlineError(ServiceError):
+    """The request could not start work within its deadline (503).
+
+    Raised when a push waits longer than the configured request
+    deadline for its session lock — the session is wedged or
+    overloaded; retry later rather than piling up threads.
+    """
+
+    status = 503
+    code = "deadline_exceeded"
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)

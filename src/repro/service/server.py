@@ -174,6 +174,10 @@ class DetectionRequestHandler(BaseHTTPRequestHandler):
             if manager.draining:
                 self._respond(503, {"status": "draining"},
                               headers={"Retry-After": "5"})
+            elif manager.degraded:
+                # Still serving (200), but shedding eligible work onto
+                # the approximate backend under sustained pressure.
+                self._respond(200, {"status": "degraded"})
             else:
                 self._respond(200, {"status": "ready"})
             return
@@ -270,6 +274,10 @@ def make_server(host: str = "127.0.0.1",
                 checkpoint_dir: str | None = None,
                 workers: int = 1,
                 registry: MetricsRegistry | None = None,
+                wal: bool = True,
+                request_deadline: float | None = None,
+                breaker_threshold: int = 3,
+                breaker_cooldown: float = 30.0,
                 ) -> DetectionHTTPServer:
     """Build (but do not run) a service instance.
 
@@ -285,6 +293,9 @@ def make_server(host: str = "127.0.0.1",
     manager = SessionManager(
         max_sessions=max_sessions, max_queue=max_queue,
         checkpoint_dir=checkpoint_dir, workers=workers,
+        wal=wal, request_deadline=request_deadline,
+        breaker_threshold=breaker_threshold,
+        breaker_cooldown=breaker_cooldown,
     )
     return DetectionHTTPServer((host, port), manager, registry)
 
@@ -295,7 +306,11 @@ def run_server(host: str = "127.0.0.1",
                max_queue: int = 32,
                checkpoint_dir: str | None = None,
                workers: int = 1,
-               install_signal_handlers: bool = True) -> int:
+               install_signal_handlers: bool = True,
+               wal: bool = True,
+               request_deadline: float | None = None,
+               breaker_threshold: int = 3,
+               breaker_cooldown: float = 30.0) -> int:
     """Run the service until SIGTERM/SIGINT, then drain; returns 0.
 
     The drain sequence on a signal:
@@ -310,7 +325,9 @@ def run_server(host: str = "127.0.0.1",
     server = make_server(
         host=host, port=port, max_sessions=max_sessions,
         max_queue=max_queue, checkpoint_dir=checkpoint_dir,
-        workers=workers,
+        workers=workers, wal=wal, request_deadline=request_deadline,
+        breaker_threshold=breaker_threshold,
+        breaker_cooldown=breaker_cooldown,
     )
     manager = server.manager
 

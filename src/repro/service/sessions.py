@@ -14,7 +14,19 @@ A :class:`SessionManager` owns many concurrent
   streaming npz checkpoint plus a JSON sidecar with its configuration)
   and transparently resurrected on its next request;
 * **drain** — :meth:`drain` checkpoints every resident session so a
-  SIGTERM leaves nothing but resumable state behind.
+  SIGTERM leaves nothing but resumable state behind;
+* **write-ahead logging** — every accepted snapshot is appended to a
+  per-session WAL (:mod:`repro.service.wal`) and replayed on adoption,
+  so even a SIGKILL/OOM between checkpoints loses nothing that was
+  acknowledged;
+* **failure isolation** — per-session circuit breakers trip
+  persistently failing sessions to 503-with-reason, request deadlines
+  bound how long a push may wait on a wedged session, and sustained
+  queue pressure flips the manager into a *degraded mode* that sheds
+  eligible sessions onto the approximate commute-time backend;
+* **quarantine** — corrupt checkpoints/WALs found at startup are moved
+  to ``<checkpoint-dir>/quarantine/`` with a logged reason instead of
+  crashing adoption.
 
 Batch pushes can be routed through the parallel engine
 (:class:`~repro.parallel.ParallelCadDetector`, ``workers > 1``) when
@@ -25,14 +37,25 @@ anything else falls back to serial pushes.
 from __future__ import annotations
 
 import json
+import shutil
 import tempfile
 import threading
+import time
 import uuid
+from collections import deque
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any
 
+import numpy as np
+
 from ..core.streaming import StreamingCadDetector
-from ..exceptions import CheckpointError
+from ..exceptions import (
+    CheckpointError,
+    DetectionError,
+    GraphConstructionError,
+    SanitizationError,
+)
 from ..graphs.dynamic import DynamicGraph
 from ..graphs.snapshot import GraphSnapshot, NodeUniverse
 from ..observability import add_counter, get_logger, set_gauge, trace
@@ -42,9 +65,13 @@ from ..pipeline.serialize import (
     report_to_dict,
     snapshot_from_payload,
 )
+from ..resilience.checkpoint import FORMAT as CHECKPOINT_FORMAT
 from .errors import (
     CapacityError,
+    CircuitOpenError,
+    DeadlineError,
     NotFoundError,
+    ServiceError,
     SessionStateError,
     ShuttingDownError,
 )
@@ -54,12 +81,20 @@ from .protocol import (
     push_response,
     snapshot_documents,
 )
+from .wal import SessionWal
 
 _logger = get_logger("service.sessions")
 
 #: Sidecar format marker written next to eviction checkpoints.
 SIDECAR_FORMAT = "repro-service-session"
 SIDECAR_VERSION = 1
+
+#: Utilization at/below which pressure is considered relieved (the
+#: degraded-mode hysteresis floor; the ceiling is configurable).
+DEGRADE_RECOVER_UTILIZATION = 0.25
+
+#: Clamp bounds for the backpressure-derived ``Retry-After`` estimate.
+RETRY_AFTER_BOUNDS = (0.1, 120.0)
 
 
 class SessionRecord:
@@ -68,6 +103,8 @@ class SessionRecord:
     __slots__ = (
         "session_id", "config", "lock", "detector", "universe",
         "last_active", "finalized", "pushes", "has_checkpoint",
+        "wal", "wal_pending", "breaker_failures", "breaker_until",
+        "breaker_trips", "breaker_reason", "degraded_pushes",
     )
 
     def __init__(self, session_id: str, config: SessionConfig):
@@ -81,6 +118,20 @@ class SessionRecord:
         self.finalized = False
         self.pushes = 0
         self.has_checkpoint = False
+        #: Write-ahead log (None when WAL is disabled).
+        self.wal: SessionWal | None = None
+        #: Snapshot entries appended since the last WAL compaction.
+        self.wal_pending = 0
+        # Circuit-breaker state: consecutive server-side failures, the
+        # monotonic time the breaker stays open until, lifetime trips,
+        # and the reason it last tripped.
+        self.breaker_failures = 0
+        self.breaker_until = 0.0
+        self.breaker_trips = 0
+        self.breaker_reason = ""
+        #: Snapshots this session scored on the shed (approximate)
+        #: backend while the manager was degraded.
+        self.degraded_pushes = 0
 
     @property
     def resident(self) -> bool:
@@ -100,19 +151,54 @@ class SessionManager:
             scanned at startup so sessions survive a restart.
         workers: when > 1, eligible batch pushes are scored by the
             parallel engine with this many processes.
+        wal: write every accepted snapshot to a per-session
+            write-ahead log and replay it on adoption, so hard kills
+            (SIGKILL/OOM) lose nothing acknowledged (default on).
+        wal_compact_every: compact a session's WAL into its npz
+            checkpoint after this many logged snapshots.
+        request_deadline: seconds a push may wait for its session lock
+            before failing with 503 ``deadline_exceeded`` (``None``
+            waits indefinitely).
+        breaker_threshold: consecutive server-side push failures that
+            trip a session's circuit breaker.
+        breaker_cooldown: seconds a tripped breaker stays open
+            (doubles on consecutive trips, capped at 32x).
+        degrade_pressure: ingest-budget utilization at/above which an
+            acquisition counts as pressure.
+        degrade_after: consecutive pressured acquisitions before the
+            manager enters degraded mode (and, symmetrically, calm
+            acquisitions before it recovers).
     """
 
     def __init__(self, max_sessions: int = 64,
                  max_queue: int = 32,
                  checkpoint_dir: str | Path | None = None,
-                 workers: int = 1):
+                 workers: int = 1,
+                 wal: bool = True,
+                 wal_compact_every: int = 64,
+                 request_deadline: float | None = None,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown: float = 30.0,
+                 degrade_pressure: float = 0.85,
+                 degrade_after: int = 3):
         if max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+            )
         self._max_sessions = int(max_sessions)
         self._max_queue = int(max_queue)
         self._workers = max(int(workers), 1)
+        self._wal = bool(wal)
+        self._wal_compact_every = max(int(wal_compact_every), 1)
+        self._request_deadline = request_deadline
+        self._breaker_threshold = int(breaker_threshold)
+        self._breaker_cooldown = float(breaker_cooldown)
+        self._degrade_pressure = float(degrade_pressure)
+        self._degrade_after = max(int(degrade_after), 1)
         if checkpoint_dir is None:
             checkpoint_dir = tempfile.mkdtemp(prefix="repro-service-")
             _logger.info("checkpoint dir not given; using %s",
@@ -124,6 +210,13 @@ class SessionManager:
         self._clock = 0  # monotonic LRU counter, guarded by _table_lock
         self._in_flight = 0  # ingest budget in use, guarded by _table_lock
         self._draining = False
+        # Degraded-mode state, guarded by _table_lock: recent
+        # per-snapshot ingest latencies (the Retry-After estimator) and
+        # the pressure/calm streak counters.
+        self._latencies: deque[float] = deque(maxlen=32)
+        self._degraded = False
+        self._pressure_high = 0
+        self._pressure_low = 0
         self._load_existing()
 
     # -- public properties ---------------------------------------------------
@@ -143,6 +236,12 @@ class SessionManager:
         """Worker processes for eligible batch pushes (1 = serial)."""
         return self._workers
 
+    @property
+    def degraded(self) -> bool:
+        """Whether sustained pressure is shedding eligible sessions
+        onto the approximate backend."""
+        return self._degraded
+
     def begin_drain(self) -> None:
         """Stop accepting new sessions and pushes (in-flight finish)."""
         self._draining = True
@@ -156,6 +255,9 @@ class SessionManager:
         config = parse_session_config(document)
         session_id = uuid.uuid4().hex[:12]
         record = SessionRecord(session_id, config)
+        if self._wal:
+            record.wal = SessionWal(self._wal_path(session_id))
+            record.wal.append_create(session_id, config.to_document())
         with self._table_lock:
             record.last_active = self._tick()
             self._sessions[session_id] = record
@@ -171,27 +273,46 @@ class SessionManager:
             raise ShuttingDownError()
         documents = snapshot_documents(body)
         record = self._get(session_id)
+        self._check_breaker(record)
         self._acquire_ingest(len(documents))
+        started = time.monotonic()
         try:
-            with record.lock, trace("service.push", batch=len(documents)):
+            with self._session_lock(record), \
+                    trace("service.push", batch=len(documents)):
                 if record.finalized:
                     raise SessionStateError(
                         f"session {session_id} is finalized and no "
                         "longer accepts snapshots"
                     )
-                detector = self._require_resident(record)
-                quarantined_before = len(detector.health.quarantined)
-                snapshots = self._parse_batch(record, documents)
-                results = self._ingest(record, detector, snapshots)
-                record.pushes += len(documents)
+                try:
+                    detector = self._require_resident(record)
+                    quarantined_before = len(
+                        detector.health.quarantined
+                    )
+                    snapshots = self._parse_batch(record, documents)
+                    degraded = self._should_degrade(record, detector)
+                    results = self._ingest(record, detector, snapshots,
+                                           degraded=degraded)
+                    self._wal_append(record, documents, degraded)
+                    record.pushes += len(documents)
+                    self._note_success(record)
+                    self._maybe_compact(record)
+                except Exception as error:
+                    self._note_failure(record, error)
+                    raise
                 quarantined_after = len(detector.health.quarantined)
                 add_counter("service_snapshots_ingested_total",
                             len(documents))
-                return push_response(
+                response = push_response(
                     session_id, results, detector,
                     quarantined_before, quarantined_after,
                 )
+                if degraded:
+                    response["degraded"] = True
+                return response
         finally:
+            self._observe_latency(time.monotonic() - started,
+                                  len(documents))
             self._release_ingest(len(documents))
             self._touch(record)
             self._evict_over_limit()
@@ -213,6 +334,8 @@ class SessionManager:
                     report, include_scores=include_scores
                 )
                 document["session"] = session_id
+                if record.degraded_pushes:
+                    document["degraded_pushes"] = record.degraded_pushes
                 return document
         finally:
             self._touch(record)
@@ -243,6 +366,7 @@ class SessionManager:
             record.detector = None
             for path in self._session_paths(session_id):
                 path.unlink(missing_ok=True)
+            SessionWal(self._wal_path(session_id)).delete()
         add_counter("service_sessions_deleted_total")
         _logger.info("session %s deleted", session_id)
 
@@ -258,6 +382,7 @@ class SessionManager:
             "sessions": [self._info_document(r) for r in records],
             "resident": sum(r.resident for r in records),
             "draining": self._draining,
+            "degraded": self._degraded,
         }
 
     # -- drain & eviction ----------------------------------------------------
@@ -342,6 +467,13 @@ class SessionManager:
         }
         sidecar.write_text(json.dumps(sidecar_document, indent=1))
         record.has_checkpoint = True
+        if record.wal is not None:
+            # The checkpoint now holds everything through this push
+            # count; shrink the WAL to its watermark.
+            record.wal.compact(record.session_id,
+                               record.config.to_document(),
+                               record.pushes)
+            record.wal_pending = 0
         return not empty
 
     def _resurrect(self, record: SessionRecord) -> StreamingCadDetector:
@@ -360,6 +492,7 @@ class SessionManager:
         if record.universe is None and \
                 detector.latest_snapshot is not None:
             record.universe = detector.latest_snapshot.universe
+        self._replay_wal(record, detector)
         add_counter("service_resurrections_total")
         with self._table_lock:
             self._update_gauges()
@@ -368,31 +501,139 @@ class SessionManager:
         return detector
 
     def _load_existing(self) -> None:
-        """Adopt checkpoints left behind by a previous process."""
+        """Adopt checkpoints/WALs left behind by a previous process.
+
+        Corrupt artifacts (truncated npz, unparseable sidecar, torn
+        WAL header) are moved to ``<checkpoint-dir>/quarantine/`` with
+        a logged reason instead of crashing startup; a WAL that still
+        holds a session's full history can stand in for its damaged
+        checkpoint.
+        """
         for sidecar in sorted(self._checkpoint_dir.glob("*.json")):
+            npz = sidecar.with_suffix(".npz")
+            wal_path = sidecar.with_suffix(".wal")
             try:
                 document = json.loads(sidecar.read_text())
-            except (OSError, ValueError):
+                if not isinstance(document, dict):
+                    raise ValueError("sidecar is not a JSON object")
+            except (OSError, ValueError) as error:
+                self._quarantine(f"unreadable sidecar: {error}",
+                                 sidecar, npz)
                 continue
             if document.get("format") != SIDECAR_FORMAT:
-                continue
+                continue  # foreign file; leave it alone
             session_id = str(document.get("session", sidecar.stem))
             try:
                 config = parse_session_config(document.get("config"))
-            except Exception:
-                _logger.warning("ignoring sidecar %s: bad config",
-                                sidecar)
+            except Exception as error:
+                self._quarantine(f"bad config in sidecar: {error}",
+                                 sidecar, npz)
                 continue
+            pushes = int(document.get("pushes", 0))
+            has_checkpoint = True
+            if npz.exists() and not self._validate_session_npz(npz):
+                if self._wal_covers_history(wal_path):
+                    # The WAL still holds every push; rebuild from a
+                    # fresh detector by replaying it all.
+                    self._quarantine("corrupt checkpoint npz "
+                                     "(WAL replays full history)", npz)
+                    pushes = 0
+                    has_checkpoint = False
+                else:
+                    self._quarantine(
+                        "corrupt checkpoint npz and no WAL with full "
+                        "history to rebuild it", npz, sidecar, wal_path,
+                    )
+                    continue
             record = SessionRecord(session_id, config)
             record.detector = None  # resurrect lazily on first touch
             record.finalized = bool(document.get("finalized", False))
-            record.pushes = int(document.get("pushes", 0))
-            record.has_checkpoint = True
-            with self._table_lock:
-                record.last_active = self._tick()
-                self._sessions[session_id] = record
-                self._update_gauges()
+            record.pushes = pushes
+            record.has_checkpoint = has_checkpoint
+            if self._wal:
+                record.wal = SessionWal(wal_path)
+                if wal_path.exists():
+                    record.wal_pending = len(record.wal.read().entries)
+            self._adopt(record)
             _logger.info("adopted checkpointed session %s", session_id)
+        if self._wal:
+            self._adopt_orphan_wals()
+
+    def _adopt_orphan_wals(self) -> None:
+        """Adopt sessions whose only surviving artifact is their WAL
+        (killed before the first checkpoint was ever written)."""
+        for wal_path in sorted(self._checkpoint_dir.glob("*.wal")):
+            with self._table_lock:
+                known = wal_path.stem in self._sessions
+            if known:
+                continue
+            contents = SessionWal(wal_path).read()
+            if not contents.valid:
+                self._quarantine("WAL has no valid header", wal_path)
+                continue
+            if contents.compacted_through > 0:
+                self._quarantine(
+                    "WAL watermark references a checkpoint that is "
+                    "missing", wal_path,
+                )
+                continue
+            try:
+                config = parse_session_config(contents.config)
+            except Exception as error:
+                self._quarantine(f"bad config in WAL: {error}",
+                                 wal_path)
+                continue
+            session_id = contents.session_id or wal_path.stem
+            record = SessionRecord(session_id, config)
+            record.detector = None
+            record.has_checkpoint = False
+            record.wal = SessionWal(wal_path)
+            record.wal_pending = len(contents.entries)
+            self._adopt(record)
+            _logger.info("adopted session %s from orphan WAL",
+                         session_id)
+
+    def _adopt(self, record: SessionRecord) -> None:
+        with self._table_lock:
+            record.last_active = self._tick()
+            self._sessions[record.session_id] = record
+            self._update_gauges()
+
+    def _wal_covers_history(self, wal_path: Path) -> bool:
+        """Whether a WAL exists and holds the session's full history
+        (never compacted), so replay alone can rebuild the detector."""
+        if not self._wal or not wal_path.exists():
+            return False
+        contents = SessionWal(wal_path).read()
+        return contents.valid and contents.compacted_through == 0
+
+    def _validate_session_npz(self, path: Path) -> bool:
+        """Whether an npz checkpoint is structurally loadable."""
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                if "meta_json" not in archive:
+                    return False
+                meta = json.loads(str(archive["meta_json"]))
+            return meta.get("format") == CHECKPOINT_FORMAT
+        except Exception:
+            return False
+
+    def _quarantine(self, reason: str, *paths: Path) -> None:
+        """Move corrupt artifacts aside instead of crashing startup."""
+        quarantine_dir = self._checkpoint_dir / "quarantine"
+        for target in paths:
+            if not target.exists():
+                continue
+            quarantine_dir.mkdir(exist_ok=True)
+            destination = quarantine_dir / target.name
+            try:
+                shutil.move(str(target), str(destination))
+            except OSError as error:
+                _logger.error("could not quarantine %s: %s",
+                              target, error)
+                continue
+            add_counter("service_quarantined_files_total")
+            _logger.warning("quarantined %s: %s", target.name, reason)
 
     # -- ingest internals ----------------------------------------------------
 
@@ -421,17 +662,105 @@ class SessionManager:
 
     def _ingest(self, record: SessionRecord,
                 detector: StreamingCadDetector,
-                parsed: list[Any]) -> list[Any]:
-        """Feed parsed snapshots into the stream, parallel when safe."""
+                parsed: list[Any],
+                degraded: bool = False) -> list[Any]:
+        """Feed parsed snapshots into the stream, parallel when safe.
+
+        Under ``degraded`` the batch is shed onto the approximate
+        commute-time backend via a transient calculator override, and
+        scored serially (the override is process-local, so it would
+        not reach parallel workers).
+        """
+        if degraded:
+            calculator = detector.detector.calculator
+            calculator.method_override = "approx"
+            try:
+                results = self._ingest_serial(record, detector, parsed)
+            finally:
+                calculator.method_override = None
+            record.degraded_pushes += len(parsed)
+            add_counter("service_degraded_pushes_total", len(parsed))
+            return results
+        if record.config.sanitize is None:
+            batch: list[GraphSnapshot] = list(parsed)
+            if self._parallel_eligible(detector, batch):
+                return self._ingest_parallel(detector, batch)
+        return self._ingest_serial(record, detector, parsed)
+
+    def _ingest_serial(self, record: SessionRecord,
+                       detector: StreamingCadDetector,
+                       parsed: list[Any]) -> list[Any]:
         if record.config.sanitize is not None:
             return [
                 detector.push_raw(matrix, time=time, universe=resolved)
                 for matrix, resolved, time in parsed
             ]
-        batch: list[GraphSnapshot] = list(parsed)
-        if self._parallel_eligible(detector, batch):
-            return self._ingest_parallel(detector, batch)
-        return [detector.push(snapshot) for snapshot in batch]
+        return [detector.push(snapshot) for snapshot in parsed]
+
+    def _should_degrade(self, record: SessionRecord,
+                        detector: StreamingCadDetector) -> bool:
+        """Whether this push sheds to the approximate backend.
+
+        Only sessions that left method selection to the service
+        (``method == "auto"``) may be shed — an explicit method choice
+        is a correctness contract. Incremental detectors maintain
+        factorizations that cannot switch backends mid-stream.
+        """
+        return (self._degraded
+                and record.config.method == "auto"
+                and not detector.incremental)
+
+    def _replay_wal(self, record: SessionRecord,
+                    detector: StreamingCadDetector) -> None:
+        """Re-ingest WAL entries newer than the checkpointed state
+        (called during resurrection, session lock held)."""
+        wal = record.wal
+        if wal is None or not wal.exists():
+            return
+        contents = wal.read()
+        replayed = 0
+        with trace("service.wal_replay", session=record.session_id):
+            for seq, payload, degraded in contents.entries:
+                if seq <= record.pushes:
+                    continue
+                parsed = self._parse_batch(record, [payload])
+                self._ingest(record, detector, parsed,
+                             degraded=degraded)
+                record.pushes = seq
+                replayed += 1
+        if replayed:
+            add_counter("service_wal_replays_total")
+            add_counter("service_wal_replayed_snapshots_total",
+                        replayed)
+            _logger.info(
+                "session %s: replayed %d snapshot(s) from WAL",
+                record.session_id, replayed,
+            )
+
+    def _wal_append(self, record: SessionRecord,
+                    documents: list[dict[str, Any]],
+                    degraded: bool) -> None:
+        """Log the accepted batch (after ingest, before the push
+        counter advances, so seq numbers align with it)."""
+        wal = record.wal
+        if wal is None:
+            return
+        if not wal.exists():
+            # Sessions adopted from a sidecar written by a pre-WAL
+            # process get their log lazily on the first push.
+            wal.append_create(record.session_id,
+                              record.config.to_document())
+        wal.append_snapshots(documents, start_seq=record.pushes,
+                             degraded=degraded)
+        record.wal_pending += len(documents)
+
+    def _maybe_compact(self, record: SessionRecord) -> None:
+        """Fold the WAL into an npz checkpoint once it grows enough."""
+        if record.wal is None or \
+                record.wal_pending < self._wal_compact_every:
+            return
+        with trace("service.wal_compact", session=record.session_id):
+            self._checkpoint_record(record)
 
     def _parallel_eligible(self, detector: StreamingCadDetector,
                            batch: list[GraphSnapshot]) -> bool:
@@ -476,18 +805,147 @@ class SessionManager:
             if self._in_flight + count > self._max_queue:
                 add_counter("service_rejections_total",
                             reason="over_capacity")
+                self._note_pressure_locked(1.0)
                 raise CapacityError(
                     f"ingest budget exhausted ({self._in_flight} of "
                     f"{self._max_queue} snapshots in flight)",
-                    retry_after=1.0,
+                    retry_after=self._retry_after_locked(),
                 )
             self._in_flight += count
             set_gauge("service_ingest_in_flight", self._in_flight)
+            self._note_pressure_locked(
+                self._in_flight / self._max_queue
+            )
 
     def _release_ingest(self, count: int) -> None:
         with self._table_lock:
             self._in_flight = max(self._in_flight - count, 0)
             set_gauge("service_ingest_in_flight", self._in_flight)
+
+    def _retry_after_locked(self) -> float:
+        """Backpressure-derived ``Retry-After`` hint (lock held):
+        queue depth times the recent mean per-snapshot latency."""
+        if self._latencies:
+            mean = sum(self._latencies) / len(self._latencies)
+        else:
+            mean = 1.0
+        estimate = max(self._in_flight, 1) * mean
+        low, high = RETRY_AFTER_BOUNDS
+        return round(min(max(estimate, low), high), 3)
+
+    def _observe_latency(self, elapsed: float, count: int) -> None:
+        """Record a push's per-snapshot latency for the estimator."""
+        with self._table_lock:
+            self._latencies.append(
+                max(elapsed, 0.0) / max(count, 1)
+            )
+
+    def _note_pressure_locked(self, utilization: float) -> None:
+        """Track sustained budget pressure; flip degraded mode after
+        ``degrade_after`` consecutive observations (lock held)."""
+        if utilization >= self._degrade_pressure:
+            self._pressure_high += 1
+            self._pressure_low = 0
+            if not self._degraded and \
+                    self._pressure_high >= self._degrade_after:
+                self._degraded = True
+                set_gauge("service_degraded", 1)
+                add_counter("service_degraded_entries_total")
+                _logger.warning(
+                    "sustained ingest pressure (utilization %.2f); "
+                    "entering degraded mode", utilization,
+                )
+        elif utilization <= DEGRADE_RECOVER_UTILIZATION:
+            self._pressure_low += 1
+            self._pressure_high = 0
+            if self._degraded and \
+                    self._pressure_low >= self._degrade_after:
+                self._degraded = False
+                set_gauge("service_degraded", 0)
+                _logger.info(
+                    "ingest pressure relieved; leaving degraded mode"
+                )
+        else:
+            self._pressure_high = 0
+            self._pressure_low = 0
+
+    # -- failure isolation ---------------------------------------------------
+
+    @contextmanager
+    def _session_lock(self, record: SessionRecord):
+        """Acquire a session's lock, honoring the request deadline."""
+        if self._request_deadline is None:
+            acquired = record.lock.acquire()
+        else:
+            acquired = record.lock.acquire(
+                timeout=self._request_deadline
+            )
+        if not acquired:
+            add_counter("service_deadline_timeouts_total")
+            raise DeadlineError(
+                f"session {record.session_id} did not become "
+                f"available within {self._request_deadline:g}s",
+                retry_after=max(self._request_deadline, 1.0),
+            )
+        try:
+            yield
+        finally:
+            record.lock.release()
+
+    def _check_breaker(self, record: SessionRecord) -> None:
+        """Reject the push while the session's breaker is open."""
+        remaining = record.breaker_until - time.monotonic()
+        if remaining > 0:
+            raise CircuitOpenError(
+                f"session {record.session_id} circuit breaker is "
+                f"open ({record.breaker_reason})",
+                retry_after=max(remaining, 0.1),
+            )
+
+    def _note_success(self, record: SessionRecord) -> None:
+        """A successful push closes the breaker fully."""
+        record.breaker_failures = 0
+        record.breaker_until = 0.0
+
+    def _note_failure(self, record: SessionRecord,
+                      error: BaseException) -> None:
+        if not self._counts_as_failure(error):
+            return
+        # A failure while the breaker was half-open (cooldown elapsed,
+        # this push was the probe) re-trips immediately.
+        failed_probe = 0.0 < record.breaker_until <= time.monotonic()
+        record.breaker_failures += 1
+        if failed_probe or \
+                record.breaker_failures >= self._breaker_threshold:
+            self._trip_breaker(record, error)
+
+    @staticmethod
+    def _counts_as_failure(error: BaseException) -> bool:
+        """Only server-side faults count toward the breaker: client
+        errors (4xx) and flow-control rejections must not trip it."""
+        if isinstance(error, (ShuttingDownError, CircuitOpenError,
+                              DeadlineError, CapacityError)):
+            return False
+        if isinstance(error, ServiceError):
+            return error.status >= 500
+        if isinstance(error, (GraphConstructionError,
+                              SanitizationError, DetectionError)):
+            return False  # rendered as 400: the payload's fault
+        return True
+
+    def _trip_breaker(self, record: SessionRecord,
+                      error: BaseException) -> None:
+        cooldown = self._breaker_cooldown * \
+            2 ** min(record.breaker_trips, 5)
+        record.breaker_until = time.monotonic() + cooldown
+        record.breaker_trips += 1
+        record.breaker_reason = f"{type(error).__name__}: {error}"
+        record.breaker_failures = 0
+        add_counter("service_breaker_trips_total")
+        _logger.warning(
+            "session %s breaker tripped for %.1fs: %s",
+            record.session_id, cooldown, record.breaker_reason,
+        )
 
     # -- small helpers -------------------------------------------------------
 
@@ -503,10 +961,13 @@ class SessionManager:
         """The session's live detector, resurrecting it if evicted."""
         if record.detector is not None:
             return record.detector
-        if not record.has_checkpoint:
+        resumable = record.has_checkpoint or (
+            record.wal is not None and record.wal.exists()
+        )
+        if not resumable:
             raise CheckpointError(
                 f"session {record.session_id} lost its detector "
-                "without a checkpoint"
+                "without a checkpoint or WAL"
             )
         return self._resurrect(record)
 
@@ -521,6 +982,9 @@ class SessionManager:
     def _session_paths(self, session_id: str) -> tuple[Path, Path]:
         base = self._checkpoint_dir / session_id
         return base.with_suffix(".npz"), base.with_suffix(".json")
+
+    def _wal_path(self, session_id: str) -> Path:
+        return (self._checkpoint_dir / session_id).with_suffix(".wal")
 
     def _update_gauges(self) -> None:
         """Refresh session gauges (table lock held)."""
@@ -545,4 +1009,11 @@ class SessionManager:
                 detector.current_delta if detector is not None else None
             ),
             "has_checkpoint": record.has_checkpoint,
+            "wal": record.wal is not None,
+            "degraded_pushes": record.degraded_pushes,
+            "breaker": {
+                "open": record.breaker_until > time.monotonic(),
+                "trips": record.breaker_trips,
+                "reason": record.breaker_reason or None,
+            },
         }

@@ -1,0 +1,230 @@
+"""Per-session write-ahead log for the detection service.
+
+Eviction checkpoints (npz + JSON sidecar) are written when a session
+is evicted or the service drains — a *graceful* path. A hard kill
+(SIGKILL, OOM) between checkpoints used to lose every push since the
+last one. The WAL closes that gap:
+
+* every **accepted** snapshot payload is appended to
+  ``<checkpoint-dir>/<session>.wal`` as one JSON line (fsynced), right
+  after the detector ingested it;
+* on adoption/resurrection, entries newer than the checkpointed push
+  count are **replayed** through the ordinary parse/ingest path —
+  deterministic scoring makes the rebuilt detector state bit-for-bit
+  identical to the pre-crash one;
+* periodically (and on every graceful checkpoint) the WAL is
+  **compacted**: the npz checkpoint absorbs the replayed state and the
+  log is atomically rewritten to just its header + a ``compacted``
+  watermark.
+
+The format is torn-write tolerant: a crash can leave at most one
+partial trailing line, which :meth:`SessionWal.read` drops (the push
+it belonged to was never acknowledged, so at-least-once clients resend
+it). Anything else unparseable is surfaced as ``corrupt_lines`` for
+the caller to quarantine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: Format marker on the WAL's header line.
+WAL_FORMAT = "repro-session-wal"
+WAL_VERSION = 1
+
+
+@dataclass
+class WalContents:
+    """Decoded state of one session's WAL."""
+
+    session_id: str | None = None
+    config: dict[str, Any] | None = None
+    compacted_through: int = 0
+    #: ``(seq, payload, degraded)`` snapshot entries, ascending,
+    #: already filtered to ``seq > compacted_through``. ``degraded``
+    #: records whether the push was scored on the shed (approximate)
+    #: backend, so replay reproduces the exact pre-crash state.
+    entries: list[tuple[int, dict[str, Any], bool]] = field(
+        default_factory=list
+    )
+    #: Whether a partial trailing line was dropped (torn write).
+    truncated: bool = False
+    #: Unparseable non-trailing lines (corruption, not a torn tail).
+    corrupt_lines: int = 0
+
+    @property
+    def valid(self) -> bool:
+        """Whether the log carried a usable header."""
+        return self.session_id is not None
+
+
+class SessionWal:
+    """Append-only JSONL log of one session's accepted snapshots.
+
+    Args:
+        path: the ``.wal`` file; created on the first append.
+        fsync: fsync after every append (durability against power
+            loss); disable only in tests that don't care.
+    """
+
+    def __init__(self, path: str | Path, fsync: bool = True):
+        self._path = Path(path)
+        self._fsync = bool(fsync)
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def exists(self) -> bool:
+        return self._path.exists()
+
+    # -- writing -------------------------------------------------------------
+
+    def append_create(self, session_id: str,
+                      config_document: dict[str, Any]) -> None:
+        """Write the header line (once, at session creation)."""
+        self._append_lines([{
+            "wal": WAL_FORMAT,
+            "version": WAL_VERSION,
+            "kind": "create",
+            "session": session_id,
+            "config": config_document,
+        }])
+
+    def append_snapshots(self, documents: list[dict[str, Any]],
+                         start_seq: int,
+                         degraded: bool = False) -> int:
+        """Log accepted snapshot payloads; returns the last seq used.
+
+        ``start_seq`` is the session's push count *before* this batch,
+        so entries get sequence numbers ``start_seq+1 ..``, aligning
+        seq with the push counter persisted in checkpoint sidecars.
+        ``degraded`` marks entries scored on the shed (approximate)
+        backend so replay re-applies the same override.
+        """
+        lines = []
+        for offset, document in enumerate(documents):
+            line: dict[str, Any] = {
+                "kind": "snapshot", "seq": start_seq + offset + 1,
+                "payload": document,
+            }
+            if degraded:
+                line["degraded"] = True
+            lines.append(line)
+        self._append_lines(lines)
+        return start_seq + len(documents)
+
+    def compact(self, session_id: str,
+                config_document: dict[str, Any],
+                through_seq: int) -> None:
+        """Atomically shrink the log to header + watermark.
+
+        Called right after an npz checkpoint captured the detector
+        state through push ``through_seq`` — replay will skip
+        everything at or below the watermark.
+        """
+        temp = self._path.with_suffix(".wal.tmp")
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({
+                "wal": WAL_FORMAT,
+                "version": WAL_VERSION,
+                "kind": "create",
+                "session": session_id,
+                "config": config_document,
+            }) + "\n")
+            handle.write(json.dumps({
+                "kind": "compacted", "through": int(through_seq),
+            }) + "\n")
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        os.replace(temp, self._path)
+
+    def delete(self) -> None:
+        self._path.unlink(missing_ok=True)
+        self._path.with_suffix(".wal.tmp").unlink(missing_ok=True)
+
+    def _append_lines(self, documents: list[dict[str, Any]]) -> None:
+        with open(self._path, "a", encoding="utf-8") as handle:
+            for document in documents:
+                handle.write(json.dumps(document) + "\n")
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+
+    # -- reading -------------------------------------------------------------
+
+    def read(self) -> WalContents:
+        """Decode the log, tolerating a torn trailing line."""
+        contents = WalContents()
+        try:
+            raw = self._path.read_bytes()
+        except OSError:
+            return contents
+        lines = raw.split(b"\n")
+        # A complete log ends with a newline, leaving a final empty
+        # chunk; anything non-empty there is a torn trailing write.
+        if lines and lines[-1] != b"":
+            contents.truncated = True
+        body = [line for line in lines[:-1] if line.strip()]
+        tail = lines[-1] if contents.truncated else None
+        entries: dict[int, tuple[dict[str, Any], bool]] = {}
+        for position, line in enumerate(body):
+            try:
+                record = json.loads(line.decode("utf-8"))
+                if not isinstance(record, dict):
+                    raise ValueError("record is not an object")
+            except (ValueError, UnicodeDecodeError):
+                contents.corrupt_lines += 1
+                continue
+            kind = record.get("kind")
+            if kind == "create":
+                if record.get("wal") == WAL_FORMAT:
+                    contents.session_id = str(
+                        record.get("session", "")
+                    ) or None
+                    contents.config = record.get("config")
+                else:
+                    contents.corrupt_lines += 1
+            elif kind == "snapshot":
+                try:
+                    seq = int(record["seq"])
+                    payload = record["payload"]
+                    if not isinstance(payload, dict):
+                        raise TypeError
+                except (KeyError, TypeError, ValueError):
+                    contents.corrupt_lines += 1
+                    continue
+                entries[seq] = (payload, bool(record.get("degraded")))
+            elif kind == "compacted":
+                try:
+                    watermark = int(record["through"])
+                except (KeyError, TypeError, ValueError):
+                    contents.corrupt_lines += 1
+                    continue
+                contents.compacted_through = max(
+                    contents.compacted_through, watermark
+                )
+            else:
+                contents.corrupt_lines += 1
+        if tail is not None and tail.strip():
+            # Salvage the tail if it happens to parse (kill landed
+            # exactly between the payload and its newline).
+            try:
+                record = json.loads(tail.decode("utf-8"))
+                if record.get("kind") == "snapshot":
+                    entries[int(record["seq"])] = (
+                        record["payload"], bool(record.get("degraded"))
+                    )
+            except Exception:
+                pass
+        contents.entries = sorted(
+            (seq, payload, degraded)
+            for seq, (payload, degraded) in entries.items()
+            if seq > contents.compacted_through
+        )
+        return contents

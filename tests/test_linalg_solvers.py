@@ -217,3 +217,55 @@ def _project(b: np.ndarray, solver: LaplacianSolver) -> np.ndarray:
         mask = labels == c
         out[mask] -= out[mask].mean()
     return out
+
+
+class TestSolveManyEmptyComponents:
+    """A component can lose every edge after sanitization (a block of
+    NaN weights repaired to zeros): ``solve_many`` must treat the
+    survivors normally and leave the stripped component at zero rather
+    than crash or pollute other components."""
+
+    @pytest.mark.parametrize("method", ["direct", "cg"])
+    def test_fully_edgeless_graph(self, method):
+        solver = LaplacianSolver(np.zeros((5, 5)), method=method)
+        rhs = np.random.default_rng(14).standard_normal((5, 3))
+        stacked = solver.solve_many(rhs)
+        np.testing.assert_array_equal(stacked, 0.0)
+        np.testing.assert_array_equal(solver.solve(rhs[:, 0]), 0.0)
+
+    def test_zero_column_rhs(self, random_connected_graph):
+        solver = LaplacianSolver(random_connected_graph.adjacency,
+                                 method="direct")
+        n = random_connected_graph.num_nodes
+        stacked = solver.solve_many(np.zeros((n, 0)))
+        assert stacked.shape == (n, 0)
+
+    @pytest.mark.parametrize("method", ["direct", "cg"])
+    def test_component_emptied_by_sanitization(self, method):
+        from repro.graphs import sanitize_adjacency
+
+        # Two 4-node blocks; the second is entirely NaN and the repair
+        # policy zeroes it, leaving 4 isolated (edgeless) nodes.
+        adjacency = np.zeros((8, 8))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        adjacency[1, 2] = adjacency[2, 1] = 2.0
+        adjacency[2, 3] = adjacency[3, 2] = 1.5
+        adjacency[0, 3] = adjacency[3, 0] = 0.5
+        adjacency[4:, 4:] = np.nan
+        np.fill_diagonal(adjacency, 0.0)
+        repaired, report = sanitize_adjacency(adjacency,
+                                              policy="repair")
+        assert report.repaired
+        solver = LaplacianSolver(repaired, method=method)
+        rhs = np.random.default_rng(15).standard_normal((8, 3))
+        stacked = solver.solve_many(rhs)
+        np.testing.assert_array_equal(stacked[4:], 0.0)
+        # The healthy component solves exactly as it would alone.
+        alone = LaplacianSolver(adjacency[:4, :4], method=method)
+        np.testing.assert_allclose(
+            stacked[:4], alone.solve_many(rhs[:4]), atol=1e-8,
+        )
+        for j in range(3):
+            np.testing.assert_allclose(stacked[:, j],
+                                       solver.solve(rhs[:, j]),
+                                       atol=1e-10)

@@ -1,0 +1,161 @@
+"""The chaos harness itself (``repro.resilience.chaos``) and the
+chaos parity gate: a run disturbed by a seeded worker kill must merge
+bit-for-bit identical to an undisturbed serial baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CadDetector, DynamicGraph, ParallelCadDetector
+from repro.graphs import perturb_weights, random_sparse_graph
+from repro.resilience.chaos import (
+    CHAOS_EXIT_CODE,
+    ChaosSpec,
+    drop_file,
+    flip_bytes,
+    truncate_tail,
+)
+
+
+class TestChaosSpec:
+    def test_defaults_are_empty_and_single_attempt(self):
+        spec = ChaosSpec()
+        assert spec.empty
+        assert spec.attempts == 1
+
+    def test_lists_normalised_to_tuples(self):
+        spec = ChaosSpec(kill_transitions=[1, 2],
+                         hang_transitions=[3],
+                         slow_transitions=[4])
+        assert spec.kill_transitions == (1, 2)
+        assert spec.hang_transitions == (3,)
+        assert spec.slow_transitions == (4,)
+        assert not spec.empty
+
+    def test_invalid_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosSpec(attempts=0)
+
+    def test_fires_only_within_attempt_budget(self):
+        spec = ChaosSpec(kill_transitions=(0,), attempts=2)
+        assert spec.fires(0) and spec.fires(1)
+        assert not spec.fires(2)
+
+    def test_permanent_fault_fires_forever(self):
+        spec = ChaosSpec(kill_transitions=(0,), attempts=None)
+        assert all(spec.fires(attempt) for attempt in range(10))
+
+    def test_apply_is_noop_off_target_and_off_attempt(self):
+        # Would os._exit if it fired — surviving the call is the assert.
+        spec = ChaosSpec(kill_transitions=(3,))
+        spec.apply(transition=1, attempt=0)   # other transition
+        spec.apply(transition=3, attempt=1)   # retry is healed
+        ChaosSpec().apply(transition=3, attempt=0)  # empty spec
+
+    def test_slow_fault_sleeps_without_failing(self):
+        spec = ChaosSpec(slow_transitions=(0,), slow_seconds=0.0)
+        spec.apply(transition=0, attempt=0)
+
+    def test_exit_code_default(self):
+        assert ChaosSpec().exit_code == CHAOS_EXIT_CODE
+
+    def test_spec_pickles(self):
+        import pickle
+
+        spec = ChaosSpec(kill_transitions=(1,), attempts=None)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestFileChaos:
+    def test_truncate_tail(self, tmp_path):
+        path = tmp_path / "file.bin"
+        path.write_bytes(b"0123456789")
+        assert truncate_tail(path, 4) == 6
+        assert path.read_bytes() == b"012345"
+        assert truncate_tail(path, 100) == 0
+        assert path.read_bytes() == b""
+
+    def test_flip_bytes_is_deterministic(self, tmp_path):
+        original = bytes(range(64))
+        first = tmp_path / "a.bin"
+        second = tmp_path / "b.bin"
+        first.write_bytes(original)
+        second.write_bytes(original)
+        flip_bytes(first, count=8, seed=7)
+        flip_bytes(second, count=8, seed=7)
+        assert first.read_bytes() == second.read_bytes()
+        assert first.read_bytes() != original
+
+    def test_flip_bytes_tolerates_empty_file(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        flip_bytes(path)
+        assert path.read_bytes() == b""
+
+    def test_drop_file(self, tmp_path):
+        path = tmp_path / "checkpoint.npz"
+        path.write_bytes(b"x")
+        assert drop_file(path) is True
+        assert not path.exists()
+        assert drop_file(path) is False
+
+
+class TestChaosParityGate:
+    """The PR's acceptance gate: fixed chaos seed, kill one worker
+    mid-run, merged output bit-for-bit equal to the undisturbed serial
+    baseline (the SIGKILL+restart half of the gate lives in
+    ``tests/test_service_wal.py`` and ``scripts/chaos_smoke.py``)."""
+
+    CHAOS = ChaosSpec(kill_transitions=(1,))
+
+    @staticmethod
+    def sequence() -> DynamicGraph:
+        snapshot = random_sparse_graph(24, mean_degree=3.0, seed=11,
+                                       connected=True)
+        snapshots = [snapshot]
+        for step in range(4):
+            snapshots.append(perturb_weights(
+                snapshots[-1], relative_noise=0.15, seed=20 + step,
+            ))
+        return DynamicGraph(snapshots)
+
+    def test_kill_one_worker_is_bit_for_bit_vs_serial(self):
+        graph = self.sequence()
+        serial = CadDetector(seed=7, seed_mode="content").detect(
+            graph, anomalies_per_transition=3
+        )
+        undisturbed = ParallelCadDetector(
+            workers=2, shard_by="transition", chunk_size=1, seed=7,
+        ).detect(graph, anomalies_per_transition=3)
+        chaotic_detector = ParallelCadDetector(
+            workers=2, shard_by="transition", chunk_size=1, seed=7,
+            chaos=self.CHAOS,
+        )
+        chaotic = chaotic_detector.detect(graph,
+                                          anomalies_per_transition=3)
+        assert chaotic_detector.last_pool_retries >= 1
+        for report in (undisturbed, chaotic):
+            assert report.threshold == serial.threshold
+            for ours, theirs in zip(report.transitions,
+                                    serial.transitions):
+                assert ours.anomalous_edges == theirs.anomalous_edges
+                assert ours.anomalous_nodes == theirs.anomalous_nodes
+                assert np.array_equal(ours.scores.edge_scores,
+                                      theirs.scores.edge_scores)
+                assert np.array_equal(ours.scores.node_scores,
+                                      theirs.scores.node_scores)
+
+    def test_exact_backend_parity_under_chaos(self):
+        graph = self.sequence()
+        serial = CadDetector(method="exact").detect(
+            graph, anomalies_per_transition=3
+        )
+        chaotic = ParallelCadDetector(
+            workers=2, shard_by="transition", chunk_size=1,
+            method="exact", chaos=self.CHAOS,
+        ).detect(graph, anomalies_per_transition=3)
+        assert chaotic.threshold == serial.threshold
+        for ours, theirs in zip(chaotic.transitions, serial.transitions):
+            assert np.array_equal(ours.scores.edge_scores,
+                                  theirs.scores.edge_scores)
