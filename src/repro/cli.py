@@ -196,6 +196,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for eviction/drain checkpoints "
                        "(default: a fresh temporary directory); "
                        "existing session checkpoints in it are adopted")
+    serve.add_argument("--store", default=None,
+                       help="durable session store spec: local:<dir> "
+                       "(single replica, plain files) or shared:<dir> "
+                       "(multi-replica shared prefix with checksummed "
+                       "manifests); mutually exclusive with "
+                       "--checkpoint-dir")
+    serve.add_argument("--lease-ttl", type=float, default=None,
+                       help="enable per-session ownership leases with "
+                       "this TTL in seconds (required for multiple "
+                       "replicas on one shared store; a session whose "
+                       "lease lapses is adopted by any replica)")
+    serve.add_argument("--replica-id", default=None,
+                       help="stable replica identity recorded in lease "
+                       "records (default: a fresh replica-<hex>)")
     serve.add_argument("--workers", type=int, default=1,
                        help="score eligible snapshot batches with this "
                        "many worker processes (repro.parallel)")
@@ -364,12 +378,23 @@ def _cmd_serve(args) -> int:
         raise _UsageError(
             f"--breaker-threshold must be >= 1, got {args.breaker_threshold}"
         )
+    if args.store is not None and args.checkpoint_dir is not None:
+        raise _UsageError(
+            "--store and --checkpoint-dir are mutually exclusive"
+        )
+    if args.lease_ttl is not None and args.lease_ttl <= 0:
+        raise _UsageError(
+            f"--lease-ttl must be > 0, got {args.lease_ttl}"
+        )
     return run_server(
         host=args.host,
         port=args.port,
         max_sessions=args.max_sessions,
         max_queue=args.max_queue,
         checkpoint_dir=args.checkpoint_dir,
+        store=args.store,
+        replica_id=args.replica_id,
+        lease_ttl=args.lease_ttl,
         workers=args.workers,
         wal=not args.no_wal,
         request_deadline=args.request_deadline,

@@ -31,6 +31,7 @@ import numpy as np
 from ..exceptions import CheckpointError
 from ..graphs.dynamic import DynamicGraph
 from ..observability import trace
+from ..store import atomic_writer
 from .worker import PAYLOAD_ARRAYS
 
 #: Document format marker for forwards compatibility.
@@ -91,7 +92,11 @@ def write_parallel_checkpoint(path: str | Path,
         ) from exc
     arrays["meta_json"] = np.array(encoded)
     with trace("checkpoint.write", arrays=len(arrays)):
-        np.savez_compressed(Path(path), **arrays)
+        # Atomic (temp + fsync + rename): a kill mid-write leaves the
+        # previous resume point intact instead of a torn archive.
+        with atomic_writer(Path(path)) as temp:
+            with open(temp, "wb") as handle:
+                np.savez_compressed(handle, **arrays)
 
 
 def read_parallel_checkpoint(path: str | Path,

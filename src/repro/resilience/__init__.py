@@ -12,8 +12,9 @@ resilience layer:
   :class:`~repro.core.streaming.StreamingCadDetector`;
 * :mod:`~repro.resilience.faults` — deterministic fault injection used
   to prove every fallback edge actually fires;
-* :mod:`~repro.resilience.chaos` — process- and file-layer chaos
-  (kill/hang/slow a worker, truncate a WAL, drop a checkpoint) driving
+* :mod:`~repro.resilience.chaos` — process-, file-, and store-layer
+  chaos (kill/hang/slow a worker, truncate a WAL, drop a checkpoint,
+  partition the session store, stall lease renewals) driving
   deterministic self-healing scenarios in tests and CI.
 
 Snapshot sanitization itself lives next to the graph model in
@@ -23,6 +24,7 @@ Snapshot sanitization itself lives next to the graph model in
 from .chaos import (
     CHAOS_EXIT_CODE,
     ChaosSpec,
+    ChaosStore,
     drop_file,
     flip_bytes,
     truncate_tail,
@@ -40,6 +42,7 @@ __all__ = [
     "CHAOS_EXIT_CODE",
     "CORRUPTION_KINDS",
     "ChaosSpec",
+    "ChaosStore",
     "DEFAULT_POLICY",
     "FallbackPolicy",
     "FallbackSolver",

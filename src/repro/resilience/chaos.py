@@ -14,6 +14,15 @@ layer down, to the places production actually breaks:
 * file-level chaos — :func:`truncate_tail`, :func:`flip_bytes`, and
   :func:`drop_file` deterministically damage WALs and checkpoints the
   way crashes and bad disks do (torn writes, bit rot, lost files).
+* store/network chaos — :class:`ChaosStore` wraps any
+  :class:`~repro.store.SessionStore` and injects the distributed
+  failure modes: write latency, partitions (reads and/or writes under
+  a key prefix fail with
+  :class:`~repro.store.StoreUnavailableError`), and lease-renewal
+  stalls (only ``leases/`` writes fail — the replica keeps serving on
+  state it no longer owns until fencing rejects it). Faults flip on
+  and off at runtime, so a scenario scripts the exact partition
+  window it wants.
 
 Everything is seeded/explicit — the same spec over the same input
 produces the same failure sequence, so chaos scenarios are ordinary
@@ -24,11 +33,14 @@ deterministic tests (``tests/test_resilience_chaos.py``,
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
+
+from ..store import SessionStore, StoreUnavailableError
 
 #: Exit code chaos-killed workers die with (distinguishable from
 #: segfaults and OOM kills in supervisor logs).
@@ -145,3 +157,125 @@ def drop_file(path: str | Path) -> bool:
     existed = path.exists()
     path.unlink(missing_ok=True)
     return existed
+
+
+# -- store/network chaos ------------------------------------------------------
+
+
+#: The prefix lease records live under (see :mod:`repro.store.lease`);
+#: denying writes to it alone simulates a replica whose heartbeats
+#: stopped reaching the store while its data writes still do.
+LEASE_PREFIX = "leases/"
+
+
+class ChaosStore(SessionStore):
+    """A :class:`~repro.store.SessionStore` wrapper injecting
+    distributed-failure chaos.
+
+    Delegates every operation to ``inner``, first applying whatever
+    faults are armed:
+
+    * :attr:`write_latency` — sleep this long before any write
+      (slow remote store);
+    * :meth:`partition` — operations whose key matches a denied prefix
+      raise :class:`~repro.store.StoreUnavailableError`, for reads,
+      writes, or both; :meth:`heal` lifts every partition;
+    * :meth:`stall_leases` — deny only ``leases/`` writes: renewals
+      and releases fail while data reads/writes still flow, the
+      canonical "replica lost its lease but does not know yet"
+      scenario driving the fencing path.
+
+    Fault state is mutable at runtime and thread-safe, so a scenario
+    flips faults mid-stream. :attr:`denied_ops` counts rejections for
+    assertions.
+    """
+
+    scheme = "chaos"
+
+    def __init__(self, inner: SessionStore):
+        self.inner = inner
+        self.write_latency = 0.0
+        self._mutex = threading.Lock()
+        self._deny_writes: set[str] = set()
+        self._deny_reads: set[str] = set()
+        self.denied_ops = 0
+
+    @property
+    def root(self):
+        return self.inner.root
+
+    def describe(self) -> str:
+        return f"chaos({self.inner.describe()})"
+
+    # -- fault plan ----------------------------------------------------------
+
+    def partition(self, prefix: str = "", reads: bool = True,
+                  writes: bool = True) -> None:
+        """Start failing operations under ``prefix`` (default: all)."""
+        with self._mutex:
+            if reads:
+                self._deny_reads.add(prefix)
+            if writes:
+                self._deny_writes.add(prefix)
+
+    def stall_leases(self) -> None:
+        """Fail lease writes only (renewals stop; data still flows)."""
+        self.partition(LEASE_PREFIX, reads=False, writes=True)
+
+    def heal(self) -> None:
+        """Lift every partition (latency stays as configured)."""
+        with self._mutex:
+            self._deny_reads.clear()
+            self._deny_writes.clear()
+
+    def _check(self, key: str, write: bool) -> None:
+        if write and self.write_latency > 0:
+            time.sleep(self.write_latency)
+        with self._mutex:
+            denied = self._deny_writes if write else self._deny_reads
+            for prefix in denied:
+                if key.startswith(prefix):
+                    self.denied_ops += 1
+                    raise StoreUnavailableError(
+                        f"chaos partition: "
+                        f"{'write' if write else 'read'} of {key!r} "
+                        f"denied (prefix {prefix!r})"
+                    )
+
+    # -- SessionStore delegation ---------------------------------------------
+
+    def put(self, key, data, guard=None, token=None):
+        self._check(key, write=True)
+        return self.inner.put(key, data, guard=guard, token=token)
+
+    def get(self, key):
+        self._check(key, write=False)
+        return self.inner.get(key)
+
+    def list(self, prefix: str = ""):
+        self._check(prefix, write=False)
+        return self.inner.list(prefix)
+
+    def delete(self, key):
+        self._check(key, write=True)
+        return self.inner.delete(key)
+
+    def exists(self, key):
+        self._check(key, write=False)
+        return self.inner.exists(key)
+
+    def append(self, key, data, guard=None):
+        self._check(key, write=True)
+        return self.inner.append(key, data, guard=guard)
+
+    def move(self, key, destination):
+        self._check(key, write=True)
+        self._check(destination, write=True)
+        return self.inner.move(key, destination)
+
+    def cas(self, key, expected, new):
+        self._check(key, write=True)
+        return self.inner.cas(key, expected, new)
+
+    def _lock_dir(self):
+        return self.inner._lock_dir()

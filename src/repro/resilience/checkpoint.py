@@ -24,6 +24,7 @@ import numpy as np
 
 from ..exceptions import CheckpointError
 from ..observability import trace
+from ..store import atomic_writer
 
 #: Document format marker for forwards compatibility.
 FORMAT = "repro-streaming-checkpoint"
@@ -102,7 +103,11 @@ def write_checkpoint(state: dict[str, Any], path: str | Path) -> None:
         ) from exc
     arrays["meta_json"] = np.array(encoded)
     with trace("checkpoint.write", arrays=len(arrays)):
-        np.savez_compressed(Path(path), **arrays)
+        # Atomic (temp + fsync + rename): a crash mid-write leaves the
+        # previous checkpoint intact instead of a torn archive.
+        with atomic_writer(Path(path)) as temp:
+            with open(temp, "wb") as handle:
+                np.savez_compressed(handle, **arrays)
 
 
 def read_checkpoint(path: str | Path) -> dict[str, Any]:

@@ -39,9 +39,12 @@ from .errors import (
     CircuitOpenError,
     DeadlineError,
     NotFoundError,
+    NotOwnerError,
     ServiceError,
     SessionStateError,
     ShuttingDownError,
+    StoreUnavailableServiceError,
+    bounded_retry_after,
 )
 from .protocol import SessionConfig, parse_session_config
 from .server import (
@@ -61,6 +64,7 @@ __all__ = [
     "DetectionHTTPServer",
     "DetectionRequestHandler",
     "NotFoundError",
+    "NotOwnerError",
     "ServiceError",
     "SessionConfig",
     "SessionManager",
@@ -68,7 +72,9 @@ __all__ = [
     "SessionStateError",
     "SessionWal",
     "ShuttingDownError",
+    "StoreUnavailableServiceError",
     "WalContents",
+    "bounded_retry_after",
     "make_server",
     "parse_session_config",
     "run_server",

@@ -11,7 +11,38 @@ startup failures.
 
 from __future__ import annotations
 
+import random
+
 from ..exceptions import ReproError
+
+#: Hard bounds every ``Retry-After`` header stays within, jitter
+#: included: clients can rely on the cap, operators on the floor.
+RETRY_AFTER_FLOOR = 0.1
+RETRY_AFTER_CAP = 120.0
+
+#: Maximum multiplicative jitter applied to retry hints (25%).
+RETRY_AFTER_JITTER = 0.25
+
+#: Module RNG for retry jitter — reseedable in tests; never reaches
+#: scoring, so determinism of detection results is unaffected.
+_retry_rng = random.Random()
+
+
+def bounded_retry_after(base: float,
+                        floor: float = RETRY_AFTER_FLOOR,
+                        cap: float = RETRY_AFTER_CAP,
+                        jitter: float = RETRY_AFTER_JITTER) -> float:
+    """A ``Retry-After`` value with bounded jitter and a hard cap.
+
+    ``base`` is scaled by a uniform factor in ``[1, 1 + jitter)`` —
+    synchronized clients (or a failed-over replica's entire reconnect
+    stampede) spread out instead of retrying in lockstep — then
+    clamped to ``[floor, cap]``, so the header never promises an
+    unbounded wait no matter how large the underlying estimate or
+    breaker cooldown is.
+    """
+    value = float(base) * (1.0 + jitter * _retry_rng.random())
+    return round(min(max(value, floor), cap), 3)
 
 
 class ServiceError(ReproError):
@@ -84,6 +115,37 @@ class CircuitOpenError(ServiceError):
 
     status = 503
     code = "circuit_open"
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class NotOwnerError(ServiceError):
+    """This replica does not hold the session's lease (503).
+
+    Another replica owns the session (its lease is unexpired), or
+    this replica's writes were fenced mid-request because ownership
+    moved. ``retry_after`` reflects the remaining lease time — once it
+    elapses the session is adoptable and the retry will succeed here
+    or on the new owner.
+    """
+
+    status = 503
+    code = "not_session_owner"
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class StoreUnavailableServiceError(ServiceError):
+    """The durable store is unreachable (503) — a partition between
+    this replica and shared storage. Retryable: acknowledged state is
+    safe, the failed request was not acknowledged."""
+
+    status = 503
+    code = "store_unavailable"
 
     def __init__(self, message: str, retry_after: float = 1.0):
         super().__init__(message)

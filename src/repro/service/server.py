@@ -54,7 +54,14 @@ from ..observability import (
     get_logger,
     render_prometheus,
 )
-from .errors import BadRequestError, NotFoundError, ServiceError
+from ..store import SessionStore, StoreUnavailableError
+from .errors import (
+    BadRequestError,
+    NotFoundError,
+    ServiceError,
+    StoreUnavailableServiceError,
+    bounded_retry_after,
+)
 from .sessions import SessionManager
 
 _logger = get_logger("service.server")
@@ -72,6 +79,12 @@ def _error_for(exc: Exception) -> ServiceError:
     if isinstance(exc, (DetectionError, GraphConstructionError,
                         SanitizationError)):
         return BadRequestError(str(exc))
+    if isinstance(exc, StoreUnavailableError):
+        # Partition between this replica and the durable store: the
+        # request was not acknowledged, so the client can retry safely.
+        return StoreUnavailableServiceError(
+            str(exc), retry_after=bounded_retry_after(1.0)
+        )
     if isinstance(exc, (CheckpointError, ReproError)):
         error = ServiceError(str(exc))
         return error
@@ -272,6 +285,9 @@ def make_server(host: str = "127.0.0.1",
                 max_sessions: int = 64,
                 max_queue: int = 32,
                 checkpoint_dir: str | None = None,
+                store: SessionStore | str | None = None,
+                replica_id: str | None = None,
+                lease_ttl: float | None = None,
                 workers: int = 1,
                 registry: MetricsRegistry | None = None,
                 wal: bool = True,
@@ -292,7 +308,9 @@ def make_server(host: str = "127.0.0.1",
     enable(registry)
     manager = SessionManager(
         max_sessions=max_sessions, max_queue=max_queue,
-        checkpoint_dir=checkpoint_dir, workers=workers,
+        checkpoint_dir=checkpoint_dir, store=store,
+        replica_id=replica_id, lease_ttl=lease_ttl,
+        workers=workers,
         wal=wal, request_deadline=request_deadline,
         breaker_threshold=breaker_threshold,
         breaker_cooldown=breaker_cooldown,
@@ -305,6 +323,9 @@ def run_server(host: str = "127.0.0.1",
                max_sessions: int = 64,
                max_queue: int = 32,
                checkpoint_dir: str | None = None,
+               store: SessionStore | str | None = None,
+               replica_id: str | None = None,
+               lease_ttl: float | None = None,
                workers: int = 1,
                install_signal_handlers: bool = True,
                wal: bool = True,
@@ -325,6 +346,7 @@ def run_server(host: str = "127.0.0.1",
     server = make_server(
         host=host, port=port, max_sessions=max_sessions,
         max_queue=max_queue, checkpoint_dir=checkpoint_dir,
+        store=store, replica_id=replica_id, lease_ttl=lease_ttl,
         workers=workers, wal=wal, request_deadline=request_deadline,
         breaker_threshold=breaker_threshold,
         breaker_cooldown=breaker_cooldown,
@@ -344,8 +366,10 @@ def run_server(host: str = "127.0.0.1",
 
     _logger.info(
         "serving on %s:%d (max_sessions=%d max_queue=%d workers=%d "
-        "checkpoints=%s)", host, server.port, max_sessions, max_queue,
-        workers, manager.checkpoint_dir,
+        "store=%s replica=%s leases=%s)", host, server.port,
+        max_sessions, max_queue, workers,
+        manager.store.describe(), manager.replica_id,
+        f"{lease_ttl:g}s" if lease_ttl else "off",
     )
     print(f"serving on http://{host}:{server.port} "
           f"(checkpoints: {manager.checkpoint_dir})", flush=True)

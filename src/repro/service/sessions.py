@@ -10,23 +10,34 @@ A :class:`SessionManager` owns many concurrent
   :class:`~repro.service.errors.CapacityError` (HTTP 429 +
   ``Retry-After``) instead of queueing unboundedly;
 * **LRU eviction** — at most ``max_sessions`` detectors stay resident;
-  the least-recently-used idle session is checkpointed to disk (the
-  streaming npz checkpoint plus a JSON sidecar with its configuration)
-  and transparently resurrected on its next request;
-* **drain** — :meth:`drain` checkpoints every resident session so a
-  SIGTERM leaves nothing but resumable state behind;
+  the least-recently-used idle session is checkpointed to the store
+  (the streaming npz checkpoint plus a JSON sidecar with its
+  configuration) and transparently resurrected on its next request;
+* **drain** — :meth:`drain` checkpoints every resident session and
+  releases its leases so a SIGTERM leaves nothing but resumable,
+  immediately adoptable state behind;
 * **write-ahead logging** — every accepted snapshot is appended to a
   per-session WAL (:mod:`repro.service.wal`) and replayed on adoption,
   so even a SIGKILL/OOM between checkpoints loses nothing that was
   acknowledged;
+* **pluggable durable storage** — all of the above goes through a
+  :class:`~repro.store.SessionStore`: a local directory
+  (byte-compatible with the pre-store layout) or a shared
+  multi-replica prefix (:class:`~repro.store.SharedStore`);
+* **replica-safe ownership** — with ``lease_ttl`` set, every session
+  is protected by a TTL lease with a monotonic fencing token
+  (:mod:`repro.store.lease`): a heartbeat renews held leases, any
+  replica adopts a session whose lease expired or was released, and
+  every WAL append / checkpoint write is guarded so a stale owner's
+  writes are rejected instead of corrupting the new owner's state;
 * **failure isolation** — per-session circuit breakers trip
   persistently failing sessions to 503-with-reason, request deadlines
   bound how long a push may wait on a wedged session, and sustained
   queue pressure flips the manager into a *degraded mode* that sheds
   eligible sessions onto the approximate commute-time backend;
 * **quarantine** — corrupt checkpoints/WALs found at startup are moved
-  to ``<checkpoint-dir>/quarantine/`` with a logged reason instead of
-  crashing adoption.
+  under the store's ``quarantine/`` prefix with a logged reason
+  instead of crashing adoption.
 
 Batch pushes can be routed through the parallel engine
 (:class:`~repro.parallel.ParallelCadDetector`, ``workers > 1``) when
@@ -36,8 +47,8 @@ anything else falls back to serial pushes.
 
 from __future__ import annotations
 
+import io
 import json
-import shutil
 import tempfile
 import threading
 import time
@@ -66,14 +77,26 @@ from ..pipeline.serialize import (
     snapshot_from_payload,
 )
 from ..resilience.checkpoint import FORMAT as CHECKPOINT_FORMAT
+from ..store import (
+    FencedWriteError,
+    Lease,
+    LeaseManager,
+    LocalDirStore,
+    SessionStore,
+    StoreError,
+    StoreUnavailableError,
+    resolve_store,
+)
 from .errors import (
     CapacityError,
     CircuitOpenError,
     DeadlineError,
     NotFoundError,
+    NotOwnerError,
     ServiceError,
     SessionStateError,
     ShuttingDownError,
+    bounded_retry_after,
 )
 from .protocol import (
     SessionConfig,
@@ -93,8 +116,12 @@ SIDECAR_VERSION = 1
 #: degraded-mode hysteresis floor; the ceiling is configurable).
 DEGRADE_RECOVER_UTILIZATION = 0.25
 
-#: Clamp bounds for the backpressure-derived ``Retry-After`` estimate.
-RETRY_AFTER_BOUNDS = (0.1, 120.0)
+#: Attempts per durable-store write before a transient
+#: :class:`~repro.store.StoreUnavailableError` escalates to the caller.
+STORE_WRITE_ATTEMPTS = 3
+
+#: Base backoff between store write retries (doubles per attempt).
+STORE_RETRY_BACKOFF = 0.05
 
 
 class SessionRecord:
@@ -104,7 +131,7 @@ class SessionRecord:
         "session_id", "config", "lock", "detector", "universe",
         "last_active", "finalized", "pushes", "has_checkpoint",
         "wal", "wal_pending", "breaker_failures", "breaker_until",
-        "breaker_trips", "breaker_reason", "degraded_pushes",
+        "breaker_trips", "breaker_reason", "degraded_pushes", "lease",
     )
 
     def __init__(self, session_id: str, config: SessionConfig):
@@ -132,6 +159,9 @@ class SessionRecord:
         #: Snapshots this session scored on the shed (approximate)
         #: backend while the manager was degraded.
         self.degraded_pushes = 0
+        #: Held ownership lease (None when leasing is disabled or
+        #: ownership was released/lost).
+        self.lease: Lease | None = None
 
     @property
     def resident(self) -> bool:
@@ -144,11 +174,24 @@ class SessionManager:
 
     Args:
         max_sessions: resident-detector ceiling; the LRU idle session
-            is checkpointed to disk when a new one would exceed it.
+            is checkpointed to the store when a new one would exceed it.
         max_queue: global bound on snapshots being ingested at once
             (the backpressure budget).
-        checkpoint_dir: where eviction/drain checkpoints live; also
-            scanned at startup so sessions survive a restart.
+        checkpoint_dir: where eviction/drain checkpoints live when no
+            ``store`` is given (wrapped in a
+            :class:`~repro.store.LocalDirStore`, byte-compatible with
+            the pre-store layout); also scanned at startup so sessions
+            survive a restart.
+        store: durable backend for checkpoints, sidecars, WALs, and
+            lease records — a :class:`~repro.store.SessionStore` or a
+            ``local:<dir>`` / ``shared:<dir>`` spec string. Mutually
+            exclusive with ``checkpoint_dir``.
+        replica_id: this replica's stable identity for lease records
+            (default: a fresh ``replica-<hex>`` per process).
+        lease_ttl: enable per-session ownership leases with this TTL
+            in seconds. Required for multi-replica deployments on a
+            shared store; ``None`` (default) keeps the single-writer
+            behavior with no lease overhead.
         workers: when > 1, eligible batch pushes are scored by the
             parallel engine with this many processes.
         wal: write every accepted snapshot to a per-session
@@ -173,6 +216,9 @@ class SessionManager:
     def __init__(self, max_sessions: int = 64,
                  max_queue: int = 32,
                  checkpoint_dir: str | Path | None = None,
+                 store: SessionStore | str | None = None,
+                 replica_id: str | None = None,
+                 lease_ttl: float | None = None,
                  workers: int = 1,
                  wal: bool = True,
                  wal_compact_every: int = 64,
@@ -199,14 +245,30 @@ class SessionManager:
         self._breaker_cooldown = float(breaker_cooldown)
         self._degrade_pressure = float(degrade_pressure)
         self._degrade_after = max(int(degrade_after), 1)
-        if checkpoint_dir is None:
-            checkpoint_dir = tempfile.mkdtemp(prefix="repro-service-")
-            _logger.info("checkpoint dir not given; using %s",
-                         checkpoint_dir)
-        self._checkpoint_dir = Path(checkpoint_dir)
-        self._checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        if store is not None and checkpoint_dir is not None:
+            raise ValueError(
+                "pass either store= or checkpoint_dir=, not both"
+            )
+        if store is not None:
+            self._store = resolve_store(store)
+        else:
+            if checkpoint_dir is None:
+                checkpoint_dir = tempfile.mkdtemp(prefix="repro-service-")
+                _logger.info("checkpoint dir not given; using %s",
+                             checkpoint_dir)
+            self._store = LocalDirStore(checkpoint_dir)
+        self._replica_id = replica_id or f"replica-{uuid.uuid4().hex[:8]}"
+        self._leases: LeaseManager | None = None
+        if lease_ttl is not None:
+            self._leases = LeaseManager(self._store, self._replica_id,
+                                        float(lease_ttl))
         self._sessions: dict[str, SessionRecord] = {}
         self._table_lock = threading.Lock()
+        # Serializes store-adoption probes so two concurrent requests
+        # for the same unknown session don't both acquire its lease
+        # (the second acquisition would bump the token and fence the
+        # first's writes for nothing).
+        self._discover_lock = threading.Lock()
         self._clock = 0  # monotonic LRU counter, guarded by _table_lock
         self._in_flight = 0  # ingest budget in use, guarded by _table_lock
         self._draining = False
@@ -218,13 +280,33 @@ class SessionManager:
         self._pressure_high = 0
         self._pressure_low = 0
         self._load_existing()
+        # The lease heartbeat starts only after startup adoption, so
+        # it never races _load_existing's acquisitions.
+        self._heartbeat_stop = threading.Event()
+        self._heartbeat: threading.Thread | None = None
+        if self._leases is not None:
+            self._heartbeat = threading.Thread(
+                target=self._heartbeat_loop, daemon=True,
+                name="lease-heartbeat",
+            )
+            self._heartbeat.start()
 
     # -- public properties ---------------------------------------------------
 
     @property
     def checkpoint_dir(self) -> Path:
-        """Directory holding eviction/drain checkpoints."""
-        return self._checkpoint_dir
+        """Root of the durable store (eviction/drain checkpoints)."""
+        return Path(self._store.root)
+
+    @property
+    def store(self) -> SessionStore:
+        """The durable store behind this manager."""
+        return self._store
+
+    @property
+    def replica_id(self) -> str:
+        """This replica's identity in lease records."""
+        return self._replica_id
 
     @property
     def draining(self) -> bool:
@@ -255,13 +337,23 @@ class SessionManager:
         config = parse_session_config(document)
         session_id = uuid.uuid4().hex[:12]
         record = SessionRecord(session_id, config)
+        if self._leases is not None:
+            lease = self._leases.acquire(session_id)
+            if lease is None:
+                raise ServiceError(
+                    f"could not acquire the lease for new session "
+                    f"{session_id}"
+                )
+            record.lease = lease
         if self._wal:
-            record.wal = SessionWal(self._wal_path(session_id))
-            record.wal.append_create(session_id, config.to_document())
-        with self._table_lock:
-            record.last_active = self._tick()
-            self._sessions[session_id] = record
-            self._update_gauges()
+            record.wal = self._make_wal(session_id)
+            self._with_store_retries(
+                lambda: record.wal.append_create(
+                    session_id, config.to_document(),
+                    guard=self._guard_for(record),
+                )
+            )
+        self._adopt(record)
         self._evict_over_limit()
         add_counter("service_sessions_created_total")
         _logger.info("session %s created", session_id)
@@ -297,6 +389,8 @@ class SessionManager:
                     record.pushes += len(documents)
                     self._note_success(record)
                     self._maybe_compact(record)
+                except FencedWriteError as error:
+                    raise self._fenced(record, error) from error
                 except Exception as error:
                     self._note_failure(record, error)
                     raise
@@ -356,7 +450,7 @@ class SessionManager:
         return document
 
     def delete(self, session_id: str) -> None:
-        """Drop a session and its on-disk checkpoint."""
+        """Drop a session, its stored state, and its lease."""
         with self._table_lock:
             record = self._sessions.pop(session_id, None)
             self._update_gauges()
@@ -364,9 +458,13 @@ class SessionManager:
             raise NotFoundError(f"no session {session_id!r}")
         with record.lock:
             record.detector = None
-            for path in self._session_paths(session_id):
-                path.unlink(missing_ok=True)
-            SessionWal(self._wal_path(session_id)).delete()
+            npz_key, sidecar_key = self._session_keys(session_id)
+            self._store.delete(npz_key)
+            self._store.delete(sidecar_key)
+            self._make_wal(session_id).delete()
+            if self._leases is not None:
+                self._leases.forget(session_id)
+                record.lease = None
         add_counter("service_sessions_deleted_total")
         _logger.info("session %s deleted", session_id)
 
@@ -383,18 +481,23 @@ class SessionManager:
             "resident": sum(r.resident for r in records),
             "draining": self._draining,
             "degraded": self._degraded,
+            "replica": self._replica_id,
+            "store": self._store.describe(),
         }
 
     # -- drain & eviction ----------------------------------------------------
 
     def drain(self) -> int:
-        """Checkpoint every resident session to disk; return how many.
+        """Checkpoint every resident session to the store; return how
+        many. Held leases are released afterwards so another replica
+        adopts the sessions without waiting out the TTL.
 
         Called after the HTTP server stopped accepting connections and
         joined its in-flight handlers, so session locks are only held
         against stragglers — we still take them for safety.
         """
         self._draining = True
+        self._stop_heartbeat()
         with self._table_lock:
             records = list(self._sessions.values())
         drained = 0
@@ -402,13 +505,36 @@ class SessionManager:
             for record in records:
                 with record.lock:
                     if record.detector is None:
+                        self._release_lease(record)
                         continue
-                    if self._checkpoint_record(record):
-                        drained += 1
+                    try:
+                        if self._checkpoint_record(record):
+                            drained += 1
+                    except FencedWriteError as error:
+                        _logger.warning(
+                            "session %s fenced during drain: %s",
+                            record.session_id, error,
+                        )
+                        add_counter("service_fenced_writes_total")
                     record.detector = None
+                    self._release_lease(record)
         _logger.info("drained %d session(s) to %s", drained,
-                     self._checkpoint_dir)
+                     self._store.describe())
         return drained
+
+    def abandon(self) -> None:
+        """Chaos/test hook: die without cleanup.
+
+        Stops lease heartbeats and forgets all in-memory state without
+        checkpointing or releasing anything — exactly what a SIGKILLed
+        replica leaves behind: unreleased leases (adoptable after the
+        TTL) and a WAL holding every acknowledged push.
+        """
+        self._stop_heartbeat()
+        self._draining = True
+        with self._table_lock:
+            self._sessions.clear()
+            self._update_gauges()
 
     def _evict_over_limit(self) -> None:
         """Evict LRU idle sessions until the resident count fits."""
@@ -442,20 +568,41 @@ class SessionManager:
         if record.detector is None:
             return
         with trace("service.evict", session=record.session_id):
-            self._checkpoint_record(record)
+            try:
+                self._checkpoint_record(record)
+            except FencedWriteError as error:
+                # Ownership moved mid-eviction; the new owner has the
+                # authoritative state — just drop ours.
+                _logger.warning("session %s fenced during eviction: %s",
+                                record.session_id, error)
+                add_counter("service_fenced_writes_total")
             record.detector = None
+            # An evicted session needs no protection from us; release
+            # the lease so any replica (us included) can pick it up.
+            self._release_lease(record)
         add_counter("service_evictions_total")
         with self._table_lock:
             self._update_gauges()
-        _logger.info("session %s evicted to disk", record.session_id)
+        _logger.info("session %s evicted to the store",
+                     record.session_id)
 
     def _checkpoint_record(self, record: SessionRecord) -> bool:
         """Write npz + sidecar for one session (lock held)."""
-        npz, sidecar = self._session_paths(record.session_id)
+        npz_key, sidecar_key = self._session_keys(record.session_id)
         detector = record.detector
         empty = detector is None or detector.latest_snapshot is None
+        token = self._token_for(record)
         if not empty:
-            detector.checkpoint(npz)
+            with tempfile.TemporaryDirectory(
+                    prefix="repro-ckpt-") as temp:
+                local = Path(temp) / "checkpoint.npz"
+                detector.checkpoint(local)
+                data = local.read_bytes()
+            self._with_store_retries(
+                lambda: self._store.put(npz_key, data,
+                                        guard=self._guard_for(record),
+                                        token=token)
+            )
         sidecar_document = {
             "format": SIDECAR_FORMAT,
             "version": SIDECAR_VERSION,
@@ -464,26 +611,43 @@ class SessionManager:
             "finalized": record.finalized,
             "pushes": record.pushes,
             "empty": empty,
+            "replica": self._replica_id,
         }
-        sidecar.write_text(json.dumps(sidecar_document, indent=1))
+        if token is not None:
+            sidecar_document["token"] = int(token)
+        sidecar_bytes = json.dumps(sidecar_document, indent=1).encode()
+        self._with_store_retries(
+            lambda: self._store.put(sidecar_key, sidecar_bytes,
+                                    guard=self._guard_for(record),
+                                    token=token)
+        )
         record.has_checkpoint = True
         if record.wal is not None:
             # The checkpoint now holds everything through this push
             # count; shrink the WAL to its watermark.
-            record.wal.compact(record.session_id,
-                               record.config.to_document(),
-                               record.pushes)
+            self._with_store_retries(
+                lambda: record.wal.compact(
+                    record.session_id, record.config.to_document(),
+                    record.pushes, token=token,
+                    guard=self._guard_for(record),
+                )
+            )
             record.wal_pending = 0
         return not empty
 
     def _resurrect(self, record: SessionRecord) -> StreamingCadDetector:
-        """Rebuild an evicted session's detector from disk (lock held)."""
-        npz, _ = self._session_paths(record.session_id)
+        """Rebuild an evicted session's detector from the store
+        (lock held)."""
+        self._ensure_owner(record)
+        self._refresh_from_sidecar(record)
+        npz_key, _ = self._session_keys(record.session_id)
         with trace("service.resurrect", session=record.session_id):
-            if npz.exists():
-                detector = StreamingCadDetector.restore(
-                    npz, **record.config.cad_kwargs()
-                )
+            if self._store.exists(npz_key):
+                with self._store.local_copy(npz_key,
+                                            suffix=".npz") as local:
+                    detector = StreamingCadDetector.restore(
+                        local, **record.config.cad_kwargs()
+                    )
             else:  # evicted before its first snapshot
                 detector = StreamingCadDetector(
                     **record.config.detector_kwargs()
@@ -497,101 +661,180 @@ class SessionManager:
         with self._table_lock:
             self._update_gauges()
         _logger.info("session %s resurrected from %s",
-                     record.session_id, self._checkpoint_dir)
+                     record.session_id, self._store.describe())
         return detector
 
+    def _refresh_from_sidecar(self, record: SessionRecord) -> None:
+        """Sync a non-resident record with its stored sidecar.
+
+        Under leases another replica may have advanced the session
+        since we last saw it; the sidecar's push counter and finalized
+        flag are authoritative for WAL replay. Single-writer mode
+        skips this (the in-memory record is already exact), as does a
+        session recovering from a quarantined checkpoint, whose reset
+        push counter deliberately disagrees with the sidecar so the
+        WAL replays the full history.
+        """
+        if self._leases is None or not record.has_checkpoint:
+            return
+        _, sidecar_key = self._session_keys(record.session_id)
+        try:
+            document = json.loads(self._store.get(sidecar_key))
+        except (StoreError, ValueError):
+            return
+        if not isinstance(document, dict) or \
+                document.get("format") != SIDECAR_FORMAT:
+            return
+        record.pushes = int(document.get("pushes", record.pushes))
+        record.finalized = bool(
+            document.get("finalized", record.finalized)
+        )
+        record.has_checkpoint = True
+
+    # -- startup adoption ----------------------------------------------------
+
     def _load_existing(self) -> None:
-        """Adopt checkpoints/WALs left behind by a previous process.
+        """Adopt sessions a previous (or sibling) process left in the
+        store.
 
         Corrupt artifacts (truncated npz, unparseable sidecar, torn
-        WAL header) are moved to ``<checkpoint-dir>/quarantine/`` with
-        a logged reason instead of crashing startup; a WAL that still
-        holds a session's full history can stand in for its damaged
-        checkpoint.
+        WAL header) are moved under the store's ``quarantine/`` prefix
+        with a logged reason instead of crashing startup; a WAL that
+        still holds a session's full history can stand in for its
+        damaged checkpoint. Under leases, sessions owned by a live
+        replica are skipped here and adopted on demand once their
+        lease lapses.
         """
-        for sidecar in sorted(self._checkpoint_dir.glob("*.json")):
-            npz = sidecar.with_suffix(".npz")
-            wal_path = sidecar.with_suffix(".wal")
-            try:
-                document = json.loads(sidecar.read_text())
-                if not isinstance(document, dict):
-                    raise ValueError("sidecar is not a JSON object")
-            except (OSError, ValueError) as error:
-                self._quarantine(f"unreadable sidecar: {error}",
-                                 sidecar, npz)
-                continue
-            if document.get("format") != SIDECAR_FORMAT:
-                continue  # foreign file; leave it alone
-            session_id = str(document.get("session", sidecar.stem))
-            try:
-                config = parse_session_config(document.get("config"))
-            except Exception as error:
-                self._quarantine(f"bad config in sidecar: {error}",
-                                 sidecar, npz)
-                continue
-            pushes = int(document.get("pushes", 0))
-            has_checkpoint = True
-            if npz.exists() and not self._validate_session_npz(npz):
-                if self._wal_covers_history(wal_path):
-                    # The WAL still holds every push; rebuild from a
-                    # fresh detector by replaying it all.
-                    self._quarantine("corrupt checkpoint npz "
-                                     "(WAL replays full history)", npz)
-                    pushes = 0
-                    has_checkpoint = False
-                else:
-                    self._quarantine(
-                        "corrupt checkpoint npz and no WAL with full "
-                        "history to rebuild it", npz, sidecar, wal_path,
+        candidates: set[str] = set()
+        try:
+            keys = self._store.list()
+        except StoreError as error:
+            _logger.error("cannot list the session store: %s", error)
+            return
+        for key in keys:
+            if "/" in key:
+                continue  # leases/, quarantine/, foreign prefixes
+            stem, _, suffix = key.rpartition(".")
+            if suffix in ("json", "wal") and stem:
+                candidates.add(stem)
+        for session_id in sorted(candidates):
+            with self._table_lock:
+                if session_id in self._sessions:
+                    continue
+            lease = None
+            if self._leases is not None:
+                lease = self._acquire_with_adoption(session_id,
+                                                    startup=True)
+                if lease is None:
+                    _logger.info(
+                        "session %s is leased to another replica; "
+                        "deferring adoption", session_id,
                     )
                     continue
-            record = SessionRecord(session_id, config)
-            record.detector = None  # resurrect lazily on first touch
-            record.finalized = bool(document.get("finalized", False))
-            record.pushes = pushes
-            record.has_checkpoint = has_checkpoint
-            if self._wal:
-                record.wal = SessionWal(wal_path)
-                if wal_path.exists():
-                    record.wal_pending = len(record.wal.read().entries)
+            record = self._record_from_store(session_id)
+            if record is None:
+                if lease is not None:
+                    self._leases.release(lease)
+                continue
+            record.lease = lease
             self._adopt(record)
-            _logger.info("adopted checkpointed session %s", session_id)
-        if self._wal:
-            self._adopt_orphan_wals()
+            _logger.info("adopted stored session %s", session_id)
 
-    def _adopt_orphan_wals(self) -> None:
-        """Adopt sessions whose only surviving artifact is their WAL
-        (killed before the first checkpoint was ever written)."""
-        for wal_path in sorted(self._checkpoint_dir.glob("*.wal")):
-            with self._table_lock:
-                known = wal_path.stem in self._sessions
-            if known:
-                continue
-            contents = SessionWal(wal_path).read()
-            if not contents.valid:
-                self._quarantine("WAL has no valid header", wal_path)
-                continue
-            if contents.compacted_through > 0:
+    def _record_from_store(self,
+                           session_id: str) -> SessionRecord | None:
+        """Build a lazy (non-resident) record from stored artifacts,
+        quarantining anything unusable. ``None`` when the session has
+        no adoptable state."""
+        npz_key, sidecar_key = self._session_keys(session_id)
+        wal_key = self._wal_key(session_id)
+        if self._store.exists(sidecar_key):
+            record = self._record_from_sidecar(
+                session_id, npz_key, sidecar_key, wal_key
+            )
+            if record is not None:
+                return record
+            # fall through: the WAL may still rescue the session
+        if self._wal and self._store.exists(wal_key):
+            return self._record_from_orphan_wal(session_id, wal_key)
+        return None
+
+    def _record_from_sidecar(self, session_id: str, npz_key: str,
+                             sidecar_key: str,
+                             wal_key: str) -> SessionRecord | None:
+        try:
+            document = json.loads(self._store.get(sidecar_key))
+            if not isinstance(document, dict):
+                raise ValueError("sidecar is not a JSON object")
+        except (StoreError, ValueError) as error:
+            self._quarantine(f"unreadable sidecar: {error}",
+                             sidecar_key, npz_key)
+            return None
+        if document.get("format") != SIDECAR_FORMAT:
+            return None  # foreign file; leave it alone
+        try:
+            config = parse_session_config(document.get("config"))
+        except Exception as error:
+            self._quarantine(f"bad config in sidecar: {error}",
+                             sidecar_key, npz_key)
+            return None
+        pushes = int(document.get("pushes", 0))
+        has_checkpoint = True
+        if self._store.exists(npz_key) and \
+                not self._validate_session_npz(npz_key):
+            if self._wal_covers_history(session_id):
+                # The WAL still holds every push; rebuild from a
+                # fresh detector by replaying it all.
+                self._quarantine("corrupt checkpoint npz "
+                                 "(WAL replays full history)", npz_key)
+                pushes = 0
+                has_checkpoint = False
+            else:
                 self._quarantine(
-                    "WAL watermark references a checkpoint that is "
-                    "missing", wal_path,
+                    "corrupt checkpoint npz and no WAL with full "
+                    "history to rebuild it", npz_key, sidecar_key,
+                    wal_key,
                 )
-                continue
-            try:
-                config = parse_session_config(contents.config)
-            except Exception as error:
-                self._quarantine(f"bad config in WAL: {error}",
-                                 wal_path)
-                continue
-            session_id = contents.session_id or wal_path.stem
-            record = SessionRecord(session_id, config)
-            record.detector = None
-            record.has_checkpoint = False
-            record.wal = SessionWal(wal_path)
-            record.wal_pending = len(contents.entries)
-            self._adopt(record)
-            _logger.info("adopted session %s from orphan WAL",
-                         session_id)
+                return None
+        record = SessionRecord(session_id, config)
+        record.detector = None  # resurrect lazily on first touch
+        record.finalized = bool(document.get("finalized", False))
+        record.pushes = pushes
+        record.has_checkpoint = has_checkpoint
+        if self._wal:
+            record.wal = self._make_wal(session_id)
+            if record.wal.exists():
+                record.wal_pending = len(record.wal.read().entries)
+        return record
+
+    def _record_from_orphan_wal(self, session_id: str,
+                                wal_key: str) -> SessionRecord | None:
+        """Adopt a session whose only surviving artifact is its WAL
+        (killed before the first checkpoint was ever written)."""
+        wal = self._make_wal(session_id)
+        contents = wal.read()
+        if not contents.valid:
+            self._quarantine("WAL has no valid header", wal_key)
+            return None
+        if contents.compacted_through > 0:
+            self._quarantine(
+                "WAL watermark references a checkpoint that is "
+                "missing", wal_key,
+            )
+            return None
+        try:
+            config = parse_session_config(contents.config)
+        except Exception as error:
+            self._quarantine(f"bad config in WAL: {error}", wal_key)
+            return None
+        record = SessionRecord(contents.session_id or session_id,
+                               config)
+        record.detector = None
+        record.has_checkpoint = False
+        record.wal = wal
+        record.wal_pending = len(contents.entries)
+        _logger.info("adopted session %s from orphan WAL",
+                     record.session_id)
+        return record
 
     def _adopt(self, record: SessionRecord) -> None:
         with self._table_lock:
@@ -599,18 +842,23 @@ class SessionManager:
             self._sessions[record.session_id] = record
             self._update_gauges()
 
-    def _wal_covers_history(self, wal_path: Path) -> bool:
+    def _wal_covers_history(self, session_id: str) -> bool:
         """Whether a WAL exists and holds the session's full history
         (never compacted), so replay alone can rebuild the detector."""
-        if not self._wal or not wal_path.exists():
+        if not self._wal:
             return False
-        contents = SessionWal(wal_path).read()
+        wal = self._make_wal(session_id)
+        if not wal.exists():
+            return False
+        contents = wal.read()
         return contents.valid and contents.compacted_through == 0
 
-    def _validate_session_npz(self, path: Path) -> bool:
+    def _validate_session_npz(self, npz_key: str) -> bool:
         """Whether an npz checkpoint is structurally loadable."""
         try:
-            with np.load(path, allow_pickle=False) as archive:
+            data = self._store.get(npz_key)
+            with np.load(io.BytesIO(data),
+                         allow_pickle=False) as archive:
                 if "meta_json" not in archive:
                     return False
                 meta = json.loads(str(archive["meta_json"]))
@@ -618,22 +866,152 @@ class SessionManager:
         except Exception:
             return False
 
-    def _quarantine(self, reason: str, *paths: Path) -> None:
+    def _quarantine(self, reason: str, *keys: str) -> None:
         """Move corrupt artifacts aside instead of crashing startup."""
-        quarantine_dir = self._checkpoint_dir / "quarantine"
-        for target in paths:
-            if not target.exists():
+        for key in keys:
+            if not self._store.exists(key):
                 continue
-            quarantine_dir.mkdir(exist_ok=True)
-            destination = quarantine_dir / target.name
             try:
-                shutil.move(str(target), str(destination))
-            except OSError as error:
+                self._store.move(key, f"quarantine/{key}")
+            except StoreError as error:
                 _logger.error("could not quarantine %s: %s",
-                              target, error)
+                              key, error)
                 continue
             add_counter("service_quarantined_files_total")
-            _logger.warning("quarantined %s: %s", target.name, reason)
+            _logger.warning("quarantined %s: %s", key, reason)
+
+    # -- ownership -----------------------------------------------------------
+
+    def _acquire_with_adoption(self, session_id: str,
+                               startup: bool = False) -> Lease | None:
+        """Acquire a session's lease, counting cross-replica
+        failover adoptions."""
+        assert self._leases is not None
+        previous = self._leases.peek(session_id)
+        lease = self._leases.acquire(session_id)
+        if lease is not None and previous is not None and \
+                previous.owner != self._replica_id:
+            add_counter("service_failover_adoptions_total")
+            _logger.warning(
+                "adopted session %s from replica %s (%s, token %d)",
+                session_id, previous.owner,
+                "startup" if startup else "failover", lease.token,
+            )
+        return lease
+
+    def _ensure_owner(self, record: SessionRecord) -> None:
+        """Hold (or take) the session's lease before touching state."""
+        if self._leases is None or record.lease is not None:
+            return
+        lease = self._acquire_with_adoption(record.session_id)
+        if lease is None:
+            raise self._not_owner(record.session_id)
+        record.lease = lease
+
+    def _not_owner(self, session_id: str) -> NotOwnerError:
+        holder = None
+        if self._leases is not None:
+            holder = self._leases.peek(session_id)
+        if holder is not None:
+            return NotOwnerError(
+                f"session {session_id} is leased to {holder.owner} "
+                f"(token {holder.token})",
+                retry_after=bounded_retry_after(
+                    max(holder.remaining(), 0.5)
+                ),
+            )
+        return NotOwnerError(
+            f"session {session_id} could not be leased (contention)",
+            retry_after=bounded_retry_after(0.5),
+        )
+
+    def _fenced(self, record: SessionRecord,
+                error: FencedWriteError) -> NotOwnerError:
+        """Ownership moved mid-request: drop our stale state and
+        translate the rejection for the client."""
+        add_counter("service_fenced_writes_total")
+        _logger.warning("session %s: write fenced (%s); dropping "
+                        "local state", record.session_id, error)
+        record.lease = None
+        record.detector = None
+        with self._table_lock:
+            self._sessions.pop(record.session_id, None)
+            self._update_gauges()
+        return NotOwnerError(
+            f"session {record.session_id} moved to another replica: "
+            f"{error}",
+            retry_after=bounded_retry_after(1.0),
+        )
+
+    def _guard_for(self, record: SessionRecord):
+        """The fencing guard stamped onto every store write."""
+        if self._leases is None:
+            return None
+        lease = record.lease
+        if lease is None:
+            session_id = record.session_id
+
+            def rejected() -> None:
+                raise FencedWriteError(
+                    f"replica {self._replica_id} holds no lease on "
+                    f"session {session_id}"
+                )
+
+            return rejected
+        return self._leases.guard(record.session_id, lease.token)
+
+    def _token_for(self, record: SessionRecord) -> int | None:
+        return None if record.lease is None else record.lease.token
+
+    def _release_lease(self, record: SessionRecord) -> None:
+        if self._leases is None or record.lease is None:
+            return
+        self._leases.release(record.lease)
+        record.lease = None
+
+    def _lost_lease(self, record: SessionRecord) -> None:
+        """Heartbeat found our lease gone: another replica owns the
+        session now. Drop it from the table; an in-flight push (if
+        any) is fenced at its next store write."""
+        add_counter("service_lease_expiries_total")
+        _logger.warning(
+            "lost the lease on session %s; dropping local state",
+            record.session_id,
+        )
+        record.lease = None
+        with self._table_lock:
+            self._sessions.pop(record.session_id, None)
+            self._update_gauges()
+
+    def _heartbeat_loop(self) -> None:
+        assert self._leases is not None
+        interval = max(self._leases.ttl / 3.0, 0.05)
+        while not self._heartbeat_stop.wait(interval):
+            self._renew_leases()
+
+    def _renew_leases(self) -> None:
+        with self._table_lock:
+            records = list(self._sessions.values())
+        for record in records:
+            lease = record.lease
+            if lease is None:
+                continue
+            try:
+                renewed = self._leases.renew(lease)
+            except StoreError:
+                # Partitioned from the store: keep local state; write
+                # guards fence us if ownership moves meanwhile.
+                continue
+            if renewed is None:
+                self._lost_lease(record)
+            else:
+                record.lease = renewed
+
+    def _stop_heartbeat(self) -> None:
+        self._heartbeat_stop.set()
+        if self._heartbeat is not None:
+            self._heartbeat.join(timeout=2.0)
+            self._heartbeat = None
 
     # -- ingest internals ----------------------------------------------------
 
@@ -748,10 +1126,19 @@ class SessionManager:
         if not wal.exists():
             # Sessions adopted from a sidecar written by a pre-WAL
             # process get their log lazily on the first push.
-            wal.append_create(record.session_id,
-                              record.config.to_document())
-        wal.append_snapshots(documents, start_seq=record.pushes,
-                             degraded=degraded)
+            self._with_store_retries(
+                lambda: wal.append_create(
+                    record.session_id, record.config.to_document(),
+                    guard=self._guard_for(record),
+                )
+            )
+        self._with_store_retries(
+            lambda: wal.append_snapshots(
+                documents, start_seq=record.pushes, degraded=degraded,
+                token=self._token_for(record),
+                guard=self._guard_for(record),
+            )
+        )
         record.wal_pending += len(documents)
 
     def _maybe_compact(self, record: SessionRecord) -> None:
@@ -761,6 +1148,22 @@ class SessionManager:
             return
         with trace("service.wal_compact", session=record.session_id):
             self._checkpoint_record(record)
+
+    def _with_store_retries(self, operation):
+        """Run a store write, absorbing transient unavailability.
+
+        WAL appends are safe to retry: entries are keyed by sequence
+        number and replay deduplicates, so an append that half-landed
+        before a partition surfaces as at most one duplicate line.
+        """
+        for attempt in range(STORE_WRITE_ATTEMPTS):
+            try:
+                return operation()
+            except StoreUnavailableError:
+                if attempt == STORE_WRITE_ATTEMPTS - 1:
+                    raise
+                add_counter("store_write_retries_total")
+                time.sleep(STORE_RETRY_BACKOFF * (2 ** attempt))
 
     def _parallel_eligible(self, detector: StreamingCadDetector,
                            batch: list[GraphSnapshot]) -> bool:
@@ -799,7 +1202,7 @@ class SessionManager:
             raise CapacityError(
                 f"batch of {count} snapshots exceeds the ingest budget "
                 f"of {self._max_queue}; split the batch",
-                retry_after=1.0,
+                retry_after=bounded_retry_after(1.0),
             )
         with self._table_lock:
             if self._in_flight + count > self._max_queue:
@@ -809,7 +1212,9 @@ class SessionManager:
                 raise CapacityError(
                     f"ingest budget exhausted ({self._in_flight} of "
                     f"{self._max_queue} snapshots in flight)",
-                    retry_after=self._retry_after_locked(),
+                    retry_after=bounded_retry_after(
+                        self._retry_after_locked()
+                    ),
                 )
             self._in_flight += count
             set_gauge("service_ingest_in_flight", self._in_flight)
@@ -823,15 +1228,16 @@ class SessionManager:
             set_gauge("service_ingest_in_flight", self._in_flight)
 
     def _retry_after_locked(self) -> float:
-        """Backpressure-derived ``Retry-After`` hint (lock held):
-        queue depth times the recent mean per-snapshot latency."""
+        """Backpressure-derived ``Retry-After`` estimate (lock held):
+        queue depth times the recent mean per-snapshot latency.
+        Jitter and the hard [floor, cap] clamp are applied by
+        :func:`~repro.service.errors.bounded_retry_after` at the
+        raise site."""
         if self._latencies:
             mean = sum(self._latencies) / len(self._latencies)
         else:
             mean = 1.0
-        estimate = max(self._in_flight, 1) * mean
-        low, high = RETRY_AFTER_BOUNDS
-        return round(min(max(estimate, low), high), 3)
+        return max(self._in_flight, 1) * mean
 
     def _observe_latency(self, elapsed: float, count: int) -> None:
         """Record a push's per-snapshot latency for the estimator."""
@@ -899,7 +1305,7 @@ class SessionManager:
             raise CircuitOpenError(
                 f"session {record.session_id} circuit breaker is "
                 f"open ({record.breaker_reason})",
-                retry_after=max(remaining, 0.1),
+                retry_after=bounded_retry_after(max(remaining, 0.1)),
             )
 
     def _note_success(self, record: SessionRecord) -> None:
@@ -922,10 +1328,15 @@ class SessionManager:
     @staticmethod
     def _counts_as_failure(error: BaseException) -> bool:
         """Only server-side faults count toward the breaker: client
-        errors (4xx) and flow-control rejections must not trip it."""
+        errors (4xx), flow-control rejections, and infrastructure
+        transients (partitions, ownership moves) must not trip it."""
         if isinstance(error, (ShuttingDownError, CircuitOpenError,
-                              DeadlineError, CapacityError)):
+                              DeadlineError, CapacityError,
+                              NotOwnerError)):
             return False
+        if isinstance(error, (FencedWriteError,
+                              StoreUnavailableError)):
+            return False  # infrastructure, not the session's fault
         if isinstance(error, ServiceError):
             return error.status >= 500
         if isinstance(error, (GraphConstructionError,
@@ -953,13 +1364,59 @@ class SessionManager:
         with self._table_lock:
             record = self._sessions.get(session_id)
         if record is None:
+            record = self._discover(session_id)
+        if record is None:
             raise NotFoundError(f"no session {session_id!r}")
+        return record
+
+    def _discover(self, session_id: str) -> SessionRecord | None:
+        """Adopt a session another replica left in the store.
+
+        Raises:
+            NotOwnerError: the session exists but its lease is held by
+                a live replica; the client should retry (here or
+                there) after the remaining TTL.
+        """
+        if not session_id or "/" in session_id:
+            return None
+        _, sidecar_key = self._session_keys(session_id)
+        wal_key = self._wal_key(session_id)
+        try:
+            present = self._store.exists(sidecar_key) or \
+                self._store.exists(wal_key)
+        except StoreError:
+            return None
+        if not present:
+            return None
+        lease = None
+        if self._leases is not None:
+            lease = self._acquire_with_adoption(session_id)
+            if lease is None:
+                raise self._not_owner(session_id)
+        record = self._record_from_store(session_id)
+        if record is None:
+            if lease is not None:
+                self._leases.release(lease)
+            return None
+        record.lease = lease
+        # Another request may have discovered it concurrently; the
+        # first registration wins.
+        with self._table_lock:
+            existing = self._sessions.get(session_id)
+            if existing is not None:
+                return existing
+            record.last_active = self._tick()
+            self._sessions[session_id] = record
+            self._update_gauges()
+        _logger.info("discovered session %s in %s", session_id,
+                     self._store.describe())
         return record
 
     def _require_resident(self, record: SessionRecord,
                           ) -> StreamingCadDetector:
         """The session's live detector, resurrecting it if evicted."""
         if record.detector is not None:
+            self._ensure_owner(record)
             return record.detector
         resumable = record.has_checkpoint or (
             record.wal is not None and record.wal.exists()
@@ -969,7 +1426,8 @@ class SessionManager:
                 f"session {record.session_id} lost its detector "
                 "without a checkpoint or WAL"
             )
-        return self._resurrect(record)
+        self._resurrect(record)
+        return record.detector
 
     def _touch(self, record: SessionRecord) -> None:
         with self._table_lock:
@@ -979,12 +1437,15 @@ class SessionManager:
         self._clock += 1
         return self._clock
 
-    def _session_paths(self, session_id: str) -> tuple[Path, Path]:
-        base = self._checkpoint_dir / session_id
-        return base.with_suffix(".npz"), base.with_suffix(".json")
+    def _session_keys(self, session_id: str) -> tuple[str, str]:
+        return f"{session_id}.npz", f"{session_id}.json"
 
-    def _wal_path(self, session_id: str) -> Path:
-        return (self._checkpoint_dir / session_id).with_suffix(".wal")
+    def _wal_key(self, session_id: str) -> str:
+        return f"{session_id}.wal"
+
+    def _make_wal(self, session_id: str) -> SessionWal:
+        return SessionWal(store=self._store,
+                          key=self._wal_key(session_id))
 
     def _update_gauges(self) -> None:
         """Refresh session gauges (table lock held)."""
@@ -996,7 +1457,7 @@ class SessionManager:
 
     def _info_document(self, record: SessionRecord) -> dict[str, Any]:
         detector = record.detector
-        return {
+        document = {
             "session": record.session_id,
             "config": record.config.to_document(),
             "resident": record.resident,
@@ -1017,3 +1478,14 @@ class SessionManager:
                 "reason": record.breaker_reason or None,
             },
         }
+        if self._leases is not None:
+            lease = record.lease
+            document["lease"] = {
+                "owner": self._replica_id if lease is not None else None,
+                "token": lease.token if lease is not None else None,
+                "expires_in": (
+                    round(lease.remaining(), 3)
+                    if lease is not None else None
+                ),
+            }
+        return document

@@ -22,6 +22,14 @@ partial trailing line, which :meth:`SessionWal.read` drops (the push
 it belonged to was never acknowledged, so at-least-once clients resend
 it). Anything else unparseable is surfaced as ``corrupt_lines`` for
 the caller to quarantine.
+
+The log lives either in a plain file (the legacy single-host layout)
+or behind a :class:`~repro.store.SessionStore` key, so shared-store
+deployments append through the same durable-write path as checkpoints.
+Under session leases every appended record is stamped with the
+writer's **fencing token** and every write takes a *guard* (a lease
+verification run just before the bytes land), so a replica that lost
+its lease cannot extend the new owner's log.
 """
 
 from __future__ import annotations
@@ -31,6 +39,8 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
+
+from ..store import SessionStore, StoreKeyError
 
 #: Format marker on the WAL's header line.
 WAL_FORMAT = "repro-session-wal"
@@ -66,26 +76,48 @@ class SessionWal:
     """Append-only JSONL log of one session's accepted snapshots.
 
     Args:
-        path: the ``.wal`` file; created on the first append.
+        path: the ``.wal`` file (legacy direct-file mode); created on
+            the first append. Mutually exclusive with ``store``.
         fsync: fsync after every append (durability against power
             loss); disable only in tests that don't care.
+        store: when given, the log lives behind this store's durable
+            append path at ``key`` instead of a local file.
+        key: the store key of the log (required with ``store``).
     """
 
-    def __init__(self, path: str | Path, fsync: bool = True):
-        self._path = Path(path)
+    def __init__(self, path: str | Path | None = None,
+                 fsync: bool = True, *,
+                 store: SessionStore | None = None,
+                 key: str | None = None):
+        if (path is None) == (store is None):
+            raise ValueError(
+                "SessionWal needs exactly one of path= or store=/key="
+            )
+        if store is not None and not key:
+            raise ValueError("store-backed SessionWal requires key=")
+        self._path = None if path is None else Path(path)
+        self._store = store
+        self._key = key
         self._fsync = bool(fsync)
 
     @property
-    def path(self) -> Path:
+    def path(self) -> Path | None:
         return self._path
 
+    @property
+    def key(self) -> str | None:
+        return self._key
+
     def exists(self) -> bool:
+        if self._store is not None:
+            return self._store.exists(self._key)
         return self._path.exists()
 
     # -- writing -------------------------------------------------------------
 
     def append_create(self, session_id: str,
-                      config_document: dict[str, Any]) -> None:
+                      config_document: dict[str, Any],
+                      guard=None) -> None:
         """Write the header line (once, at session creation)."""
         self._append_lines([{
             "wal": WAL_FORMAT,
@@ -93,18 +125,23 @@ class SessionWal:
             "kind": "create",
             "session": session_id,
             "config": config_document,
-        }])
+        }], guard=guard)
 
     def append_snapshots(self, documents: list[dict[str, Any]],
                          start_seq: int,
-                         degraded: bool = False) -> int:
+                         degraded: bool = False,
+                         token: int | None = None,
+                         guard=None) -> int:
         """Log accepted snapshot payloads; returns the last seq used.
 
         ``start_seq`` is the session's push count *before* this batch,
         so entries get sequence numbers ``start_seq+1 ..``, aligning
         seq with the push counter persisted in checkpoint sidecars.
         ``degraded`` marks entries scored on the shed (approximate)
-        backend so replay re-applies the same override.
+        backend so replay re-applies the same override. ``token``
+        stamps the writer's fencing token into each record, and
+        ``guard`` (lease verification) runs just before the append
+        lands — see :mod:`repro.store.lease`.
         """
         lines = []
         for offset, document in enumerate(documents):
@@ -114,44 +151,69 @@ class SessionWal:
             }
             if degraded:
                 line["degraded"] = True
+            if token is not None:
+                line["token"] = int(token)
             lines.append(line)
-        self._append_lines(lines)
+        self._append_lines(lines, guard=guard)
         return start_seq + len(documents)
 
     def compact(self, session_id: str,
                 config_document: dict[str, Any],
-                through_seq: int) -> None:
+                through_seq: int,
+                token: int | None = None,
+                guard=None) -> None:
         """Atomically shrink the log to header + watermark.
 
         Called right after an npz checkpoint captured the detector
         state through push ``through_seq`` — replay will skip
         everything at or below the watermark.
         """
+        rewritten = json.dumps({
+            "wal": WAL_FORMAT,
+            "version": WAL_VERSION,
+            "kind": "create",
+            "session": session_id,
+            "config": config_document,
+        }) + "\n"
+        watermark: dict[str, Any] = {
+            "kind": "compacted", "through": int(through_seq),
+        }
+        if token is not None:
+            watermark["token"] = int(token)
+        rewritten += json.dumps(watermark) + "\n"
+        if self._store is not None:
+            self._store.put(self._key, rewritten.encode(), guard=guard,
+                            token=token)
+            return
         temp = self._path.with_suffix(".wal.tmp")
         with open(temp, "w", encoding="utf-8") as handle:
-            handle.write(json.dumps({
-                "wal": WAL_FORMAT,
-                "version": WAL_VERSION,
-                "kind": "create",
-                "session": session_id,
-                "config": config_document,
-            }) + "\n")
-            handle.write(json.dumps({
-                "kind": "compacted", "through": int(through_seq),
-            }) + "\n")
+            handle.write(rewritten)
             handle.flush()
             if self._fsync:
                 os.fsync(handle.fileno())
+        if guard is not None:
+            guard()
         os.replace(temp, self._path)
 
     def delete(self) -> None:
+        if self._store is not None:
+            self._store.delete(self._key)
+            return
         self._path.unlink(missing_ok=True)
         self._path.with_suffix(".wal.tmp").unlink(missing_ok=True)
 
-    def _append_lines(self, documents: list[dict[str, Any]]) -> None:
+    def _append_lines(self, documents: list[dict[str, Any]],
+                      guard=None) -> None:
+        data = "".join(
+            json.dumps(document) + "\n" for document in documents
+        )
+        if self._store is not None:
+            self._store.append(self._key, data.encode(), guard=guard)
+            return
         with open(self._path, "a", encoding="utf-8") as handle:
-            for document in documents:
-                handle.write(json.dumps(document) + "\n")
+            if guard is not None:
+                guard()
+            handle.write(data)
             handle.flush()
             if self._fsync:
                 os.fsync(handle.fileno())
@@ -161,10 +223,16 @@ class SessionWal:
     def read(self) -> WalContents:
         """Decode the log, tolerating a torn trailing line."""
         contents = WalContents()
-        try:
-            raw = self._path.read_bytes()
-        except OSError:
-            return contents
+        if self._store is not None:
+            try:
+                raw = self._store.get(self._key)
+            except StoreKeyError:
+                return contents
+        else:
+            try:
+                raw = self._path.read_bytes()
+            except OSError:
+                return contents
         lines = raw.split(b"\n")
         # A complete log ends with a newline, leaving a final empty
         # chunk; anything non-empty there is a torn trailing write.

@@ -1,0 +1,288 @@
+"""Session ownership: TTL leases with monotonic fencing tokens.
+
+Exactly one replica may mutate a session at a time. Ownership is a
+*lease record* in the store (``leases/<session>.json``), updated only
+through compare-and-swap, carrying:
+
+* ``owner`` — the holding replica's id;
+* ``token`` — a **monotonic fencing token**, incremented on every
+  acquisition (never on renewal). Every WAL append and checkpoint
+  write is stamped with the writer's token, and the write guard
+  (:meth:`LeaseManager.verify`) rejects any write whose token no
+  longer matches the current record — a replica that lost its lease
+  mid-write cannot clobber the new owner, no matter how delayed its
+  writes are;
+* ``expires_at`` — wall-clock expiry. The holder renews at a fraction
+  of the TTL; when renewal stops (crash, partition), any replica may
+  adopt the session once the TTL elapses.
+
+A *released* record (graceful drain) keeps its token but expires
+immediately, so failover after a clean shutdown needs no TTL wait.
+Expiry uses wall-clock time across replicas; the deployment assumption
+(NTP-synchronised clocks, TTL well above the skew) is documented in
+``docs/distribution.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+
+from ..observability import add_counter, get_logger
+from .base import FencedWriteError, SessionStore, StoreCorruptError, StoreKeyError
+
+_logger = get_logger("store.lease")
+
+#: Format marker on lease records.
+LEASE_FORMAT = "repro-session-lease"
+LEASE_VERSION = 1
+
+#: CAS attempts before an acquisition reports contention.
+_CAS_ATTEMPTS = 5
+
+
+def lease_key(session_id: str) -> str:
+    """Store key of one session's lease record."""
+    return f"leases/{session_id}.json"
+
+
+@dataclass(frozen=True)
+class LeaseRecord:
+    """Decoded lease record as stored."""
+
+    session_id: str
+    owner: str
+    token: int
+    expires_at: float
+    acquired_at: float
+    released: bool = False
+
+    def expired(self, now: float | None = None) -> bool:
+        """Whether the lease no longer protects its session."""
+        if self.released:
+            return True
+        return (time.time() if now is None else now) >= self.expires_at
+
+    def remaining(self, now: float | None = None) -> float:
+        """Seconds of protection left (0 when expired/released)."""
+        if self.released:
+            return 0.0
+        now = time.time() if now is None else now
+        return max(self.expires_at - now, 0.0)
+
+    def to_bytes(self) -> bytes:
+        return json.dumps({
+            "format": LEASE_FORMAT,
+            "version": LEASE_VERSION,
+            "session": self.session_id,
+            "owner": self.owner,
+            "token": self.token,
+            "expires_at": self.expires_at,
+            "acquired_at": self.acquired_at,
+            "released": self.released,
+        }, sort_keys=True).encode()
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "LeaseRecord | None":
+        """Decode a record; ``None`` on anything unparseable (an
+        unreadable lease record protects nobody)."""
+        try:
+            document = json.loads(raw)
+            if document.get("format") != LEASE_FORMAT:
+                return None
+            return cls(
+                session_id=str(document["session"]),
+                owner=str(document["owner"]),
+                token=int(document["token"]),
+                expires_at=float(document["expires_at"]),
+                acquired_at=float(document["acquired_at"]),
+                released=bool(document.get("released", False)),
+            )
+        except (ValueError, KeyError, TypeError):
+            return None
+
+
+@dataclass(frozen=True)
+class Lease:
+    """A held lease: the handle the session layer keeps per session."""
+
+    session_id: str
+    token: int
+    expires_at: float
+
+    def remaining(self) -> float:
+        return max(self.expires_at - time.time(), 0.0)
+
+
+class LeaseManager:
+    """Acquire/renew/release session leases for one replica.
+
+    Args:
+        store: the shared store holding lease records.
+        replica_id: this replica's stable identity.
+        ttl: lease duration in seconds; the heartbeat should renew at
+            ``ttl / 3`` or faster.
+    """
+
+    def __init__(self, store: SessionStore, replica_id: str,
+                 ttl: float):
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be > 0, got {ttl}")
+        self._store = store
+        self._replica_id = str(replica_id)
+        self._ttl = float(ttl)
+
+    @property
+    def replica_id(self) -> str:
+        return self._replica_id
+
+    @property
+    def ttl(self) -> float:
+        return self._ttl
+
+    # -- record access -------------------------------------------------------
+
+    def peek(self, session_id: str) -> LeaseRecord | None:
+        """The current lease record, or ``None`` when absent/torn."""
+        try:
+            raw = self._store.get(lease_key(session_id))
+        except (StoreKeyError, StoreCorruptError):
+            return None
+        return LeaseRecord.from_bytes(raw)
+
+    # -- protocol ------------------------------------------------------------
+
+    def acquire(self, session_id: str) -> Lease | None:
+        """Try to take ownership of a session.
+
+        Succeeds when the lease is free, expired, released, or already
+        ours (re-acquisition bumps the token — the previous handle's
+        stamps go stale, which is exactly what fencing wants after an
+        eviction/resurrection cycle). Returns ``None`` while another
+        replica's unexpired lease stands, or under unresolved CAS
+        contention.
+        """
+        key = lease_key(session_id)
+        for _ in range(_CAS_ATTEMPTS):
+            try:
+                current_raw: bytes | None = self._store.get(key)
+            except (StoreKeyError, StoreCorruptError):
+                current_raw = None
+            current = None if current_raw is None else \
+                LeaseRecord.from_bytes(current_raw)
+            takeover = False
+            if current is not None:
+                if not current.expired() and \
+                        current.owner != self._replica_id:
+                    return None
+                if current.owner != self._replica_id and \
+                        not current.released:
+                    # Another replica's lease ran out un-released: the
+                    # canonical failover trigger.
+                    add_counter("service_lease_expiries_total")
+                    takeover = True
+            now = time.time()
+            record = LeaseRecord(
+                session_id=session_id,
+                owner=self._replica_id,
+                token=(current.token if current is not None else 0) + 1,
+                expires_at=now + self._ttl,
+                acquired_at=now,
+                released=False,
+            )
+            if self._store.cas(key, current_raw, record.to_bytes()):
+                add_counter("service_lease_acquires_total")
+                if takeover:
+                    _logger.warning(
+                        "adopted expired lease of session %s from %s "
+                        "(token %d)", session_id, current.owner,
+                        record.token,
+                    )
+                return Lease(session_id, record.token,
+                             record.expires_at)
+        return None
+
+    def renew(self, lease: Lease) -> Lease | None:
+        """Extend a held lease; ``None`` means ownership was lost."""
+        key = lease_key(lease.session_id)
+        for _ in range(_CAS_ATTEMPTS):
+            try:
+                current_raw = self._store.get(key)
+            except (StoreKeyError, StoreCorruptError):
+                return None
+            current = LeaseRecord.from_bytes(current_raw)
+            if current is None or current.owner != self._replica_id \
+                    or current.token != lease.token:
+                add_counter("service_lease_expiries_total")
+                return None
+            now = time.time()
+            record = LeaseRecord(
+                session_id=lease.session_id,
+                owner=self._replica_id,
+                token=lease.token,
+                expires_at=now + self._ttl,
+                acquired_at=current.acquired_at,
+                released=False,
+            )
+            if self._store.cas(key, current_raw, record.to_bytes()):
+                add_counter("service_lease_renewals_total")
+                return Lease(lease.session_id, lease.token,
+                             record.expires_at)
+        return None
+
+    def release(self, lease: Lease) -> bool:
+        """Give the lease up gracefully (drain): the record keeps its
+        token — monotonicity survives — but expires immediately, so
+        another replica adopts without waiting out the TTL."""
+        key = lease_key(lease.session_id)
+        for _ in range(_CAS_ATTEMPTS):
+            try:
+                current_raw = self._store.get(key)
+            except (StoreKeyError, StoreCorruptError):
+                return False
+            current = LeaseRecord.from_bytes(current_raw)
+            if current is None or current.owner != self._replica_id \
+                    or current.token != lease.token:
+                return False
+            record = LeaseRecord(
+                session_id=lease.session_id,
+                owner=self._replica_id,
+                token=lease.token,
+                expires_at=0.0,
+                acquired_at=current.acquired_at,
+                released=True,
+            )
+            if self._store.cas(key, current_raw, record.to_bytes()):
+                return True
+        return False
+
+    def forget(self, session_id: str) -> None:
+        """Delete the lease record outright (session deletion)."""
+        self._store.delete(lease_key(session_id))
+
+    # -- fencing -------------------------------------------------------------
+
+    def verify(self, session_id: str, token: int) -> None:
+        """Write guard: raise unless ``token`` still owns the session.
+
+        A missing record, a different owner, or a different token all
+        mean a newer acquisition happened — the caller's writes must
+        not land. (An expired-but-unclaimed record still owned by us
+        passes: nobody else took over, so the write is harmless and
+        the next heartbeat re-extends; rejecting on expiry alone would
+        turn clock skew into spurious write failures.)
+        """
+        record = self.peek(session_id)
+        if record is None or record.owner != self._replica_id or \
+                record.token != int(token):
+            holder = "nobody" if record is None else \
+                f"{record.owner} (token {record.token})"
+            raise FencedWriteError(
+                f"stale fencing token {token} for session "
+                f"{session_id}: lease now held by {holder}"
+            )
+
+    def guard(self, session_id: str, token: int):
+        """The ``guard`` callable store writes take."""
+        return lambda: self.verify(session_id, token)

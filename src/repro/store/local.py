@@ -1,0 +1,127 @@
+"""Local-directory store: today's checkpoint layout behind the
+:class:`~repro.store.base.SessionStore` interface.
+
+Keys map one-to-one onto files under the root directory
+(``abc.npz`` -> ``<root>/abc.npz``), so a directory written by a
+pre-store version of the service is adopted unchanged, and everything
+this store writes remains readable by path-based tooling. Writes are
+atomic (temp + fsync + rename in the destination directory) and
+appends are fsynced, matching the durability the WAL and checkpoint
+formats assume.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from .base import (
+    SessionStore,
+    StoreError,
+    StoreKeyError,
+    atomic_writer,
+    check_key,
+    fsync_dir,
+    fsync_file,
+)
+
+#: Directory (under the root) holding CAS lock files; skipped by
+#: :meth:`LocalDirStore.list` along with in-flight temp files.
+LOCKS_DIR = ".locks"
+
+
+class LocalDirStore(SessionStore):
+    """One directory, one file per key — byte-compatible with the
+    pre-store checkpoint layout.
+
+    Args:
+        root: directory holding every object (created if missing).
+        fsync: fsync data and directories on write (disable only in
+            tests that don't care about durability).
+    """
+
+    scheme = "local"
+
+    def __init__(self, root: str | Path, fsync: bool = True):
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._fsync = bool(fsync)
+
+    @property
+    def root(self) -> Path:
+        """The backing directory."""
+        return self._root
+
+    def describe(self) -> str:
+        return f"{self.scheme}:{self._root}"
+
+    def _path(self, key: str) -> Path:
+        return self._root / check_key(key)
+
+    def _lock_dir(self) -> Path:
+        return self._root / LOCKS_DIR
+
+    # -- SessionStore --------------------------------------------------------
+
+    def put(self, key: str, data: bytes, guard=None,
+            token: int | None = None) -> None:
+        # ``token`` audit metadata has nowhere to live in a plain
+        # file; fencing still applies through the guard.
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with atomic_writer(path, fsync=self._fsync) as temp:
+            temp.write_bytes(data)
+            if guard is not None:
+                guard()
+
+    def get(self, key: str) -> bytes:
+        try:
+            return self._path(key).read_bytes()
+        except FileNotFoundError:
+            raise StoreKeyError(f"no object {key!r}") from None
+        except IsADirectoryError:
+            raise StoreKeyError(f"{key!r} is not an object") from None
+
+    def list(self, prefix: str = "") -> list[str]:
+        keys = []
+        for path in self._root.rglob("*"):
+            if not path.is_file():
+                continue
+            key = path.relative_to(self._root).as_posix()
+            if key.startswith(f"{LOCKS_DIR}/") or \
+                    path.name.startswith(".tmp-"):
+                continue
+            if key.startswith(prefix):
+                keys.append(key)
+        return sorted(keys)
+
+    def delete(self, key: str) -> None:
+        self._path(key).unlink(missing_ok=True)
+
+    def exists(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def append(self, key: str, data: bytes, guard=None) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "ab") as handle:
+            if guard is not None:
+                guard()
+            handle.write(data)
+            if self._fsync:
+                fsync_file(handle)
+
+    def move(self, key: str, destination: str) -> None:
+        source = self._path(key)
+        target = self._path(destination)
+        if not source.exists():
+            raise StoreKeyError(f"no object {key!r}")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(source, target)
+        except OSError as error:
+            raise StoreError(
+                f"cannot move {key!r} to {destination!r}: {error}"
+            ) from error
+        if self._fsync:
+            fsync_dir(target.parent)

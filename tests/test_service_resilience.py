@@ -22,8 +22,10 @@ from repro.service import (
     CircuitOpenError,
     DeadlineError,
     SessionManager,
+    bounded_retry_after,
     make_server,
 )
+from repro.service.errors import RETRY_AFTER_CAP, RETRY_AFTER_FLOOR
 
 from .test_service_sessions import random_payloads
 
@@ -172,7 +174,9 @@ class TestRetryAfter:
                 manager.push(sid, payloads[0])
         finally:
             manager._release_ingest(2)
-        assert excinfo.value.retry_after == pytest.approx(4.0)
+        # The estimate (queue depth x mean latency = 4.0) gets up to
+        # 25% of anti-stampede jitter on top, never below the base.
+        assert 4.0 <= excinfo.value.retry_after <= 4.0 * 1.25
 
     def test_estimate_is_clamped(self, tmp_path, payloads):
         manager = SessionManager(checkpoint_dir=tmp_path, max_queue=2)
@@ -193,12 +197,38 @@ class TestRetryAfter:
         sid = manager.create_session({"seed": 3})["session"]
         with pytest.raises(CapacityError) as excinfo:
             manager.push(sid, {"snapshots": payloads[:3]})
-        assert excinfo.value.retry_after == 1.0
+        assert 1.0 <= excinfo.value.retry_after <= 1.25
 
     def test_latency_is_per_snapshot(self, tmp_path):
         manager = SessionManager(checkpoint_dir=tmp_path)
         manager._observe_latency(8.0, 4)  # a batch of 4 took 8s
         assert list(manager._latencies) == [2.0]
+
+
+class TestRetryAfterBounds:
+    """Every Retry-After hint stays inside [floor, cap] with bounded
+    jitter — extreme estimates must never leak through to clients."""
+
+    def test_jitter_stays_within_base_and_125_percent(self):
+        for base in (0.5, 1.0, 7.0, 60.0):
+            for _ in range(200):
+                value = bounded_retry_after(base)
+                assert base <= value <= base * 1.25
+
+    def test_extreme_bases_clamp_to_floor_and_cap(self):
+        assert bounded_retry_after(0.0) == RETRY_AFTER_FLOOR
+        assert bounded_retry_after(1e-9) == RETRY_AFTER_FLOOR
+        assert bounded_retry_after(1e9) == RETRY_AFTER_CAP
+        assert bounded_retry_after(float("inf")) == RETRY_AFTER_CAP
+        for _ in range(200):
+            value = bounded_retry_after(119.9)
+            assert RETRY_AFTER_FLOOR <= value <= RETRY_AFTER_CAP
+
+    def test_hint_is_client_friendly(self):
+        # Three decimals at most: the value goes straight into a
+        # Retry-After header and JSON body.
+        value = bounded_retry_after(1.0)
+        assert value == round(value, 3)
 
 
 class TestDegradedMode:

@@ -1,0 +1,208 @@
+"""Property tests for the SessionStore backends.
+
+Both backends must uphold the same contract: atomic puts (a reader
+never sees a torn object, an aborted put leaves the old bytes), exact
+roundtrips, list-after-put consistency, idempotent deletes, and a CAS
+primitive where concurrent racers produce exactly one winner.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import (
+    FencedWriteError,
+    LocalDirStore,
+    SharedStore,
+    StoreCorruptError,
+    StoreError,
+    StoreKeyError,
+    resolve_store,
+)
+
+BACKENDS = ["local", "shared"]
+
+#: Flat, dot-free key names: portable across both layouts and immune
+#: to the file-vs-directory ambiguity of nested local keys.
+KEY_NAMES = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_-",
+    min_size=1, max_size=24,
+)
+
+PAYLOADS = st.binary(min_size=0, max_size=512)
+
+
+def make_store(kind: str, tmp_path):
+    if kind == "local":
+        return LocalDirStore(tmp_path / "local", fsync=False)
+    return SharedStore(tmp_path / "shared", fsync=False)
+
+
+@pytest.fixture(params=BACKENDS)
+def store(request, tmp_path):
+    return make_store(request.param, tmp_path)
+
+
+class TestRoundtrip:
+    @settings(max_examples=25, deadline=None)
+    @given(mapping=st.dictionaries(KEY_NAMES, PAYLOADS,
+                                   min_size=1, max_size=8))
+    def test_put_get_list_consistent(self, tmp_path_factory, mapping):
+        for kind in BACKENDS:
+            store = make_store(kind, tmp_path_factory.mktemp("prop"))
+            for key, data in mapping.items():
+                store.put(key, data)
+            # list-after-put: every written key is visible...
+            listed = store.list()
+            assert set(listed) == set(mapping)
+            assert listed == sorted(listed)
+            # ...and reads return exactly the written bytes.
+            for key, data in mapping.items():
+                assert store.get(key) == data
+                assert store.exists(key)
+
+    @settings(max_examples=25, deadline=None)
+    @given(key=KEY_NAMES, versions=st.lists(PAYLOADS, min_size=2,
+                                            max_size=5))
+    def test_last_put_wins(self, tmp_path_factory, key, versions):
+        for kind in BACKENDS:
+            store = make_store(kind, tmp_path_factory.mktemp("prop"))
+            for data in versions:
+                store.put(key, data)
+            assert store.get(key) == versions[-1]
+
+    def test_missing_key_raises(self, store):
+        with pytest.raises(StoreKeyError):
+            store.get("nope")
+        assert not store.exists("nope")
+        store.delete("nope")  # idempotent no-op
+
+    def test_delete_removes(self, store):
+        store.put("victim", b"x")
+        store.delete("victim")
+        assert not store.exists("victim")
+        assert "victim" not in store.list()
+
+    def test_prefix_listing(self, store):
+        store.put("leases/a.json", b"1")
+        store.put("b.json", b"2")
+        assert store.list("leases/") == ["leases/a.json"]
+
+    def test_bad_keys_rejected(self, store):
+        for key in ("", "/abs", "../escape", "a/../b"):
+            with pytest.raises(StoreError):
+                store.put(key, b"x")
+
+
+class TestAtomicity:
+    """Interrupted writes never surface partial objects."""
+
+    def test_aborted_put_keeps_old_bytes(self, store):
+        store.put("obj", b"old")
+
+        def guard():
+            raise FencedWriteError("stale")
+
+        with pytest.raises(FencedWriteError):
+            store.put("obj", b"new", guard=guard)
+        assert store.get("obj") == b"old"
+
+    def test_aborted_first_put_leaves_nothing(self, store):
+        def guard():
+            raise FencedWriteError("stale")
+
+        with pytest.raises(FencedWriteError):
+            store.put("obj", b"new", guard=guard)
+        assert not store.exists("obj")
+        assert store.list() == []
+
+    def test_aborted_log_append_writes_nothing(self, store):
+        store.append("log.wal", b"line-1\n")
+
+        def guard():
+            raise FencedWriteError("stale")
+
+        with pytest.raises(FencedWriteError):
+            store.append("log.wal", b"line-2\n", guard=guard)
+        assert store.get("log.wal") == b"line-1\n"
+
+    def test_shared_crash_between_object_and_manifest(self, tmp_path):
+        """A put torn between the generation write and the manifest
+        update must leave readers on the previous generation."""
+        store = SharedStore(tmp_path, fsync=False)
+        store.put("obj", b"old")
+
+        def crash(key):
+            raise OSError("simulated crash before manifest update")
+
+        store.hooks["before_manifest"] = crash
+        with pytest.raises(OSError):
+            store.put("obj", b"new")
+        store.hooks.clear()
+        assert store.get("obj") == b"old"
+
+    def test_shared_checksum_verification(self, tmp_path):
+        store = SharedStore(tmp_path, fsync=False)
+        store.put("obj", b"payload")
+        [generation] = (tmp_path / "objects").glob("obj.g*")
+        generation.write_bytes(b"bitrot!")
+        with pytest.raises(StoreCorruptError):
+            store.get("obj")
+        # The quarantine path still moves it, unverified.
+        store.move("obj", "quarantine/obj")
+        assert not store.exists("obj")
+
+
+class TestCas:
+    def test_create_and_swap(self, store):
+        assert store.cas("lock", None, b"v1") is True
+        assert store.cas("lock", None, b"v2") is False
+        assert store.cas("lock", b"v1", b"v2") is True
+        assert store.cas("lock", b"v1", b"v3") is False
+        assert store.get("lock") == b"v2"
+
+    @pytest.mark.parametrize("racers", [4, 8])
+    def test_concurrent_cas_has_exactly_one_winner(self, store,
+                                                   racers):
+        barrier = threading.Barrier(racers)
+        wins: list[int] = []
+        lock = threading.Lock()
+
+        def race(identity: int) -> None:
+            barrier.wait()
+            if store.cas("contended", None,
+                         f"holder-{identity}".encode()):
+                with lock:
+                    wins.append(identity)
+
+        threads = [
+            threading.Thread(target=race, args=(identity,))
+            for identity in range(racers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(wins) == 1, f"CAS produced {len(wins)} winners"
+        assert store.get("contended") == f"holder-{wins[0]}".encode()
+
+
+class TestResolveStore:
+    def test_specs(self, tmp_path):
+        local = resolve_store(f"local:{tmp_path / 'a'}")
+        assert isinstance(local, LocalDirStore)
+        shared = resolve_store(f"shared:{tmp_path / 'b'}")
+        assert isinstance(shared, SharedStore)
+        bare = resolve_store(str(tmp_path / "c"))
+        assert isinstance(bare, LocalDirStore)
+        assert resolve_store(local) is local
+
+    def test_bad_specs(self, tmp_path):
+        with pytest.raises(StoreError):
+            resolve_store(f"s3:{tmp_path}")
+        with pytest.raises(StoreError):
+            resolve_store("local:")

@@ -1,0 +1,183 @@
+"""Lease protocol tests: ownership, expiry, fencing tokens.
+
+The invariants the distributed session tier leans on:
+
+* at most one replica holds an unexpired lease at any moment, even
+  under concurrent acquisition races;
+* fencing tokens are strictly monotonic across acquisitions and never
+  change on renewal;
+* a released lease is adoptable immediately, an expired one after the
+  TTL, a live foreign one never;
+* :meth:`LeaseManager.verify` fences every stale token.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.store import (
+    FencedWriteError,
+    Lease,
+    LeaseManager,
+    LeaseRecord,
+    SharedStore,
+    lease_key,
+)
+
+TTL = 0.4
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SharedStore(tmp_path / "shared", fsync=False)
+
+
+def manager(store, replica: str, ttl: float = TTL) -> LeaseManager:
+    return LeaseManager(store, replica, ttl)
+
+
+class TestAcquire:
+    def test_fresh_acquire_starts_at_token_one(self, store):
+        lease = manager(store, "a").acquire("s")
+        assert isinstance(lease, Lease)
+        assert lease.token == 1
+        assert lease.remaining() > 0
+
+    def test_reacquire_own_lease_bumps_token(self, store):
+        own = manager(store, "a")
+        first = own.acquire("s")
+        second = own.acquire("s")
+        assert second.token == first.token + 1
+
+    def test_live_foreign_lease_blocks(self, store):
+        assert manager(store, "a").acquire("s") is not None
+        assert manager(store, "b").acquire("s") is None
+
+    def test_expired_lease_is_adoptable(self, store):
+        manager(store, "a", ttl=0.05).acquire("s")
+        time.sleep(0.1)
+        lease = manager(store, "b").acquire("s")
+        assert lease is not None
+        assert lease.token == 2
+
+    def test_released_lease_is_adoptable_immediately(self, store):
+        own = manager(store, "a")
+        lease = own.acquire("s")
+        assert own.release(lease) is True
+        adopted = manager(store, "b").acquire("s")
+        assert adopted is not None
+        # Token monotonicity survives a graceful release.
+        assert adopted.token == lease.token + 1
+
+    def test_torn_record_protects_nobody(self, store):
+        store.put(lease_key("s"), b"{not json")
+        lease = manager(store, "b").acquire("s")
+        assert lease is not None
+        assert lease.token == 1
+
+    def test_concurrent_acquire_one_holder(self, tmp_path):
+        store = SharedStore(tmp_path / "race", fsync=False)
+        racers = 6
+        barrier = threading.Barrier(racers)
+        holders: list[str] = []
+        lock = threading.Lock()
+
+        def race(replica: str) -> None:
+            barrier.wait()
+            if manager(store, replica).acquire("s") is not None:
+                with lock:
+                    holders.append(replica)
+
+        threads = [
+            threading.Thread(target=race, args=(f"replica-{i}",))
+            for i in range(racers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(holders) == 1, f"{len(holders)} replicas won the lease"
+        record = LeaseRecord.from_bytes(store.get(lease_key("s")))
+        assert record.owner == holders[0]
+        assert record.token == 1
+
+
+class TestRenew:
+    def test_renew_extends_without_bumping_token(self, store):
+        own = manager(store, "a")
+        lease = own.acquire("s")
+        time.sleep(0.05)
+        renewed = own.renew(lease)
+        assert renewed is not None
+        assert renewed.token == lease.token
+        assert renewed.expires_at > lease.expires_at
+
+    def test_renew_after_takeover_reports_loss(self, store):
+        own = manager(store, "a", ttl=0.05)
+        lease = own.acquire("s")
+        time.sleep(0.1)
+        assert manager(store, "b").acquire("s") is not None
+        assert own.renew(lease) is None
+
+    def test_renew_after_forget_reports_loss(self, store):
+        own = manager(store, "a")
+        lease = own.acquire("s")
+        own.forget("s")
+        assert own.renew(lease) is None
+
+
+class TestFencing:
+    def test_holder_token_passes(self, store):
+        own = manager(store, "a")
+        lease = own.acquire("s")
+        own.verify("s", lease.token)  # no raise
+        own.guard("s", lease.token)()  # guard form too
+
+    def test_stale_token_fenced_after_takeover(self, store):
+        own = manager(store, "a", ttl=0.05)
+        lease = own.acquire("s")
+        time.sleep(0.1)
+        assert manager(store, "b").acquire("s") is not None
+        with pytest.raises(FencedWriteError):
+            own.verify("s", lease.token)
+
+    def test_old_token_fenced_after_own_reacquire(self, store):
+        own = manager(store, "a")
+        old = own.acquire("s")
+        own.acquire("s")  # bumps the token
+        with pytest.raises(FencedWriteError):
+            own.verify("s", old.token)
+
+    def test_missing_record_fences(self, store):
+        with pytest.raises(FencedWriteError):
+            manager(store, "a").verify("s", 1)
+
+    def test_expired_but_still_ours_passes(self, store):
+        # Nobody adopted: the write is harmless, and failing it would
+        # turn clock skew into spurious 503s.
+        own = manager(store, "a", ttl=0.05)
+        lease = own.acquire("s")
+        time.sleep(0.1)
+        own.verify("s", lease.token)  # no raise
+
+
+class TestLifecycle:
+    def test_release_requires_current_token(self, store):
+        own = manager(store, "a")
+        old = own.acquire("s")
+        own.acquire("s")
+        assert own.release(old) is False
+
+    def test_forget_deletes_record(self, store):
+        own = manager(store, "a")
+        own.acquire("s")
+        own.forget("s")
+        assert own.peek("s") is None
+        assert not store.exists(lease_key("s"))
+
+    def test_ttl_must_be_positive(self, store):
+        with pytest.raises(ValueError):
+            LeaseManager(store, "a", 0.0)
