@@ -1,0 +1,157 @@
+"""Detector-registry benchmark: every method on one event benchmark.
+
+Runs each registered detection method over the same synthetic
+community-pair sequence with one injected cross-community event and
+records, per method, the wall time per transition, the final
+threshold, whether every score is finite, and whether the injected
+transition carries the method's highest event/edge signal. Results go
+to ``BENCH_detectors.json`` at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_detectors.py
+    PYTHONPATH=src python benchmarks/bench_detectors.py --quick
+    PYTHONPATH=src python benchmarks/bench_detectors.py --check
+
+``--check`` exits non-zero unless every method produced finite scores
+(the CI ``detector-matrix`` gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.detectors import list_methods
+from repro.graphs import (
+    DynamicGraph,
+    GraphSnapshot,
+    community_pair_graph,
+    perturb_weights,
+)
+from repro.pipeline import detect
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_detectors.json"
+
+
+def build_benchmark(community_size: int, steps: int,
+                    hit: int, seed: int = 13) -> DynamicGraph:
+    """Drifting two-community sequence with a cross-community burst."""
+    base = community_pair_graph(community_size=community_size,
+                                p_in=0.5, p_out=0.05, seed=seed)
+    snapshots = [base]
+    for t in range(1, steps):
+        snapshots.append(perturb_weights(snapshots[-1],
+                                         relative_noise=0.02,
+                                         seed=seed + t))
+    n = 2 * community_size
+    matrix = snapshots[hit].adjacency.tolil()
+    for offset in range(4):
+        i, j = offset, n - 1 - offset
+        matrix[i, j] = matrix[j, i] = 5.0
+    snapshots[hit] = GraphSnapshot(matrix.tocsr(), base.universe)
+    for t, snapshot in enumerate(snapshots):
+        snapshots[t] = GraphSnapshot(snapshot.adjacency,
+                                     base.universe, time=t)
+    return DynamicGraph(snapshots)
+
+
+def transition_signal(transition) -> float:
+    """One comparable per-transition magnitude for any detector."""
+    scores = transition.scores
+    event = scores.extras.get("event_score")
+    if event is not None and np.asarray(event).size:
+        return float(np.asarray(event).ravel()[0])
+    if scores.edge_scores.size:
+        return float(scores.edge_scores.max())
+    return float(scores.node_scores.max(initial=0.0))
+
+
+def run_method(name: str, graph: DynamicGraph, hit: int,
+               repeats: int) -> dict:
+    best = None
+    report = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        kwargs = {"detector": name, "anomalies_per_transition": 4}
+        if name in ("cad", "com", "act", "lad", "invariant", "fusion"):
+            kwargs["seed"] = 7
+        report = detect(graph, **kwargs)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    signals = [transition_signal(t) for t in report.transitions]
+    finite = bool(np.all([
+        np.all(np.isfinite(t.scores.node_scores))
+        and np.all(np.isfinite(np.asarray(t.scores.edge_scores,
+                                          dtype=np.float64)))
+        for t in report.transitions
+    ]) and np.isfinite(report.threshold))
+    return {
+        "wall_seconds": best,
+        "wall_seconds_per_transition": best / len(report.transitions),
+        "threshold": float(report.threshold),
+        "all_scores_finite": finite,
+        "event_transition_ranked_first":
+            bool(int(np.argmax(signals)) == hit - 1),
+        "flagged_transitions": sum(
+            1 for t in report.transitions if t.is_anomalous
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller graph / fewer repeats")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless every method's "
+                             "scores are finite")
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT))
+    args = parser.parse_args(argv)
+
+    community_size = 12 if args.quick else 30
+    steps = 8 if args.quick else 12
+    repeats = 1 if args.quick else 2
+    hit = steps - 3
+    graph = build_benchmark(community_size, steps, hit)
+
+    methods = {}
+    for entry in sorted(list_methods(), key=lambda m: m.name):
+        methods[entry.name] = {
+            "family": entry.family,
+            "streaming": entry.streaming,
+            **run_method(entry.name, graph, hit, repeats),
+        }
+
+    result = {
+        "benchmark": "repro.detectors registry sweep",
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "quick": args.quick,
+        "graph": {
+            "num_nodes": 2 * community_size,
+            "num_snapshots": steps,
+            "event_transition": hit - 1,
+        },
+        "methods": methods,
+        "all_methods_finite": all(
+            m["all_scores_finite"] for m in methods.values()
+        ),
+    }
+    Path(args.output).write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    print(f"\nwritten to {args.output}")
+    if args.check and not result["all_methods_finite"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

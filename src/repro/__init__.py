@@ -29,6 +29,7 @@ from .core import (
     CommuteTimeCalculator,
     DetectionReport,
     Detector,
+    EventScoreDetector,
     GenericDistanceDetector,
     OnlineThresholdSelector,
     StreamingCadDetector,
@@ -37,6 +38,19 @@ from .core import (
     explain_node,
     explain_transition,
     select_global_threshold,
+)
+from .detectors import (
+    FusionDetector,
+    InvariantDetector,
+    LadDetector,
+    StreamingDetector,
+    create_detector,
+    graph_invariants,
+    invariant_matrix,
+    laplacian_signature,
+    list_methods,
+    method_names,
+    scan_statistics,
 )
 from .datasets import (
     DblpLikeSimulator,
@@ -112,14 +126,18 @@ __all__ = [
     "EmbeddingError",
     "EnronLikeSimulator",
     "EvaluationError",
+    "EventScoreDetector",
     "FallbackPolicy",
     "FallbackSolver",
     "FaultInjector",
+    "FusionDetector",
     "GenericDistanceDetector",
     "GraphConstructionError",
     "GraphSnapshot",
     "HealthReport",
     "IncrementalPseudoinverse",
+    "InvariantDetector",
+    "LadDetector",
     "LaplacianSolver",
     "NodeUniverse",
     "OnlineThresholdSelector",
@@ -131,14 +149,22 @@ __all__ = [
     "SanitizationReport",
     "SolverError",
     "StreamingCadDetector",
+    "StreamingDetector",
     "ThresholdError",
     "TransitionResult",
     "TransitionScores",
     "commute_time_matrix",
+    "create_detector",
     "detect",
     "detect_windowed",
     "explain_node",
     "explain_transition",
+    "graph_invariants",
+    "invariant_matrix",
+    "laplacian_signature",
+    "list_methods",
+    "method_names",
+    "scan_statistics",
     "sparsify",
     "gaussian_similarity_graph",
     "generate_dblp_instance",

@@ -22,15 +22,14 @@ from __future__ import annotations
 import numpy as np
 
 from .._validation import check_positive_int
-from ..exceptions import DetectionError
 from ..graphs.dynamic import DynamicGraph
 from ..graphs.snapshot import GraphSnapshot
 from ..linalg.eigen import principal_eigenvector, principal_left_singular_vector
-from ..core.detector import Detector
-from ..core.results import DetectionReport, TransitionResult, TransitionScores
+from ..core.detector import EventScoreDetector
+from ..core.results import TransitionScores
 
 
-class ActDetector(Detector):
+class ActDetector(EventScoreDetector):
     """Activity-vector detector (the paper's ACT baseline).
 
     The detector is stateful across a sequence: it maintains the
@@ -104,44 +103,24 @@ class ActDetector(Detector):
             extras={"event_score": np.array([event_score])},
         )
 
-    def detect(self, graph: DynamicGraph,
-               top_nodes: int = 5,
-               event_threshold: float | None = None,
-               event_quantile: float = 0.8) -> DetectionReport:
-        """Discrete ACT results in the paper's presentation style.
+    # detect() is inherited from EventScoreDetector: a transition is
+    # anomalous when its event score z_t exceeds the threshold
+    # (explicit, or the 0.8 quantile of the sequence's event scores);
+    # each anomalous transition reports its top nodes with non-zero
+    # score (Section 4.2: "we declare the top 5 nodes with the
+    # highest, non-zero anomaly scores to be anomalous").
 
-        A transition is anomalous when its event score ``z_t`` exceeds
-        the threshold (explicit, or the given quantile of the
-        sequence's event scores); each anomalous transition reports
-        its ``top_nodes`` highest-scoring nodes with non-zero score
-        (Section 4.2: "we declare the top 5 nodes with the highest,
-        non-zero anomaly scores to be anomalous").
-        """
-        if len(graph) < 2:
-            raise DetectionError("need at least two snapshots")
-        scored = self.score_sequence(graph)
-        events = np.array([
-            float(s.extras["event_score"][0]) for s in scored
-        ])
-        if event_threshold is None:
-            event_threshold = float(np.quantile(events, event_quantile))
-        transitions = []
-        for index, scores in enumerate(scored):
-            flagged = events[index] > event_threshold
-            nodes: list = []
-            if flagged:
-                for label, value in scores.top_nodes(top_nodes):
-                    if value > 0:
-                        nodes.append(label)
-            transitions.append(TransitionResult(
-                index=index,
-                time_from=graph[index].time,
-                time_to=graph[index + 1].time,
-                anomalous_edges=[],
-                anomalous_nodes=nodes,
-                scores=scores,
-            ))
-        return DetectionReport(
-            detector=self.name, threshold=float(event_threshold),
-            transitions=transitions,
-        )
+    def streaming_state(self) -> dict[str, np.ndarray]:
+        """The activity-vector window as plain arrays (for streaming
+        checkpoints)."""
+        if self._history:
+            history = np.stack(self._history)
+        else:
+            history = np.zeros((0, 0))
+        return {"history": history}
+
+    def load_streaming_state(self,
+                             state: dict[str, np.ndarray]) -> None:
+        """Restore the window captured by :meth:`streaming_state`."""
+        history = np.asarray(state["history"], dtype=np.float64)
+        self._history = [row.copy() for row in history]

@@ -99,8 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("detect", help="run a detector end to end")
     run.add_argument("path", help="temporal edge CSV file")
-    run.add_argument("--detector", default="cad",
-                     choices=sorted(DETECTOR_FACTORIES))
+    run.add_argument("--detector", "--method", dest="detector",
+                     default="cad", choices=sorted(DETECTOR_FACTORIES),
+                     help="registered detection method (see "
+                     "'cad-detect list-methods')")
     run.add_argument("-l", "--anomalies-per-transition", type=int,
                      default=5, help="average anomaly budget per "
                      "transition (drives the global delta selection)")
@@ -170,6 +172,12 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--node", required=True,
                          help="node label to explain")
     explain.add_argument("--seed", type=int, default=None)
+
+    sub.add_parser(
+        "list-methods",
+        help="print the detector method registry (name, family, "
+        "streaming capability, description)",
+    )
 
     convert = sub.add_parser(
         "convert", help="convert between csv/json/npz graph formats"
@@ -242,6 +250,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "explain": _cmd_explain,
         "convert": _cmd_convert,
         "serve": _cmd_serve,
+        "list-methods": _cmd_list_methods,
     }
     try:
         return commands[args.command](args)
@@ -274,7 +283,8 @@ def _cmd_detect(args) -> int:
         if not note.is_clean:
             print(f"sanitize: {note.describe()}", file=sys.stderr)
     kwargs = {}
-    if args.detector in ("cad", "com") and args.seed is not None:
+    seed_aware = ("cad", "com", "act", "lad", "invariant", "fusion")
+    if args.detector in seed_aware and args.seed is not None:
         kwargs["seed"] = args.seed
     if args.detector == "cad" and args.solver is not None:
         kwargs["solver"] = args.solver
@@ -315,6 +325,21 @@ def _cmd_detect(args) -> int:
             rendered = json.dumps(report.metrics, indent=1)
         Path(args.metrics_out).write_text(rendered)
         print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_list_methods(args) -> int:
+    from .detectors.registry import list_methods
+
+    rows = [
+        (method.name, method.family,
+         "yes" if method.streaming else "no", method.description)
+        for method in list_methods()
+    ]
+    print(render_table(
+        ("method", "family", "streaming", "description"), rows,
+        title="registered detection methods",
+    ))
     return 0
 
 

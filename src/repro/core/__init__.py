@@ -2,7 +2,15 @@
 
 from .cad import CadDetector, build_report
 from .commute import DEFAULT_EXACT_LIMIT, CommuteTimeCalculator
-from .detector import Detector
+from .detector import (
+    EVENT_SCORE_KEY,
+    Detector,
+    EventScoreDetector,
+    build_event_report,
+    cut_event_transition,
+    event_cut,
+    event_scores,
+)
 from .explain import (
     EdgeContribution,
     NodeExplanation,
@@ -37,7 +45,9 @@ __all__ = [
     "DEFAULT_EXACT_LIMIT",
     "DetectionReport",
     "Detector",
+    "EVENT_SCORE_KEY",
     "EdgeContribution",
+    "EventScoreDetector",
     "GenericDistanceDetector",
     "NodeExplanation",
     "OnlineThresholdSelector",
@@ -49,8 +59,12 @@ __all__ = [
     "explain_node",
     "explain_transition",
     "anomaly_sets_at",
+    "build_event_report",
     "build_report",
     "cad_edge_scores",
+    "cut_event_transition",
+    "event_cut",
+    "event_scores",
     "minimal_edge_set",
     "node_count_at",
     "permutation_null_max_scores",

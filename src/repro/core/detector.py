@@ -4,16 +4,29 @@ A detector turns one graph transition into :class:`TransitionScores`;
 everything downstream (ROC evaluation, threshold selection, report
 generation) is detector-agnostic, which is what makes the paper's
 five-way comparison (CAD / ACT / ADJ / COM / CLC) a one-loop affair.
+
+Two base classes live here:
+
+* :class:`Detector` — the scoring interface everything implements;
+* :class:`EventScoreDetector` — node-only detectors that summarise a
+  transition by one scalar *event score* (ACT, LAD, the invariant and
+  fusion detectors of :mod:`repro.detectors`) and share one
+  quantile-threshold presentation policy, so online (streaming) and
+  offline runs cut identically.
 """
 
 from __future__ import annotations
 
 import abc
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
 
 from ..exceptions import DetectionError
 from ..graphs.dynamic import DynamicGraph
 from ..graphs.snapshot import GraphSnapshot
-from .results import TransitionScores
+from .results import DetectionReport, TransitionResult, TransitionScores
 
 
 class Detector(abc.ABC):
@@ -63,3 +76,117 @@ class Detector(abc.ABC):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+#: Extras key carrying a transition's scalar event score.
+EVENT_SCORE_KEY = "event_score"
+
+
+class EventScoreDetector(Detector):
+    """Node-only detectors driven by a per-transition event score.
+
+    Subclasses put their scalar transition score into
+    ``extras["event_score"]`` (shape ``(1,)``) and inherit one shared
+    presentation policy: a transition is anomalous when its event score
+    exceeds a threshold (explicit, or the ``event_quantile`` quantile
+    of the sequence's event scores), and each anomalous transition
+    reports its ``top_nodes`` highest-scoring nodes with non-zero
+    score. The identical policy is applied per push and at finalize by
+    :class:`~repro.detectors.StreamingDetector`, so a streamed run
+    converges to exactly the batch result.
+    """
+
+    #: Default event-score quantile for the threshold cut.
+    default_event_quantile = 0.8
+
+    def detect(self, graph: DynamicGraph,
+               top_nodes: int = 5,
+               event_threshold: float | None = None,
+               event_quantile: float | None = None) -> DetectionReport:
+        """Discrete results under the shared event-threshold policy."""
+        if len(graph) < 2:
+            raise DetectionError("need at least two snapshots")
+        scored = self.score_sequence(graph)
+        if event_threshold is None:
+            if event_quantile is None:
+                event_quantile = self.default_event_quantile
+            event_threshold = event_cut(event_scores(scored),
+                                        event_quantile)
+        return build_event_report(graph.times, scored,
+                                  float(event_threshold), top_nodes,
+                                  self.name)
+
+
+def event_scores(scored: Sequence[TransitionScores]) -> np.ndarray:
+    """The scalar event score of every scored transition, in order."""
+    return np.array([
+        float(s.extras[EVENT_SCORE_KEY][0]) for s in scored
+    ])
+
+
+def event_cut(events: np.ndarray, quantile: float) -> float:
+    """The event threshold at ``quantile`` of the scores seen so far."""
+    if events.size == 0:
+        raise DetectionError("no event scores to derive a cut from")
+    if not 0.0 <= quantile <= 1.0:
+        raise DetectionError(
+            f"event_quantile must lie in [0, 1], got {quantile}"
+        )
+    return float(np.quantile(events, quantile))
+
+
+def cut_event_transition(index: int,
+                         time_from: Any,
+                         time_to: Any,
+                         scores: TransitionScores,
+                         threshold: float,
+                         top_nodes: int) -> TransitionResult:
+    """Cut one event-scored transition at ``threshold``.
+
+    Flagged transitions report their ``top_nodes`` highest-scoring
+    nodes with non-zero score (the paper's ACT presentation,
+    Section 4.2); calm transitions report nothing.
+    """
+    nodes: list = []
+    if float(scores.extras[EVENT_SCORE_KEY][0]) > threshold:
+        nodes = [
+            label for label, value in scores.top_nodes(top_nodes)
+            if value > 0
+        ]
+    return TransitionResult(
+        index=index,
+        time_from=time_from,
+        time_to=time_to,
+        anomalous_edges=[],
+        anomalous_nodes=nodes,
+        scores=scores,
+    )
+
+
+def build_event_report(times: Sequence[Any],
+                       scored: Sequence[TransitionScores],
+                       threshold: float,
+                       top_nodes: int,
+                       detector_name: str,
+                       health=None) -> DetectionReport:
+    """Assemble a report by cutting every transition at ``threshold``.
+
+    Shared by :meth:`EventScoreDetector.detect` and the streaming
+    wrapper's finalize, so both presentation paths are one code path.
+    ``times`` holds the snapshot time labels (one more than
+    ``scored``).
+    """
+    if len(times) != len(scored) + 1:
+        raise DetectionError(
+            f"got {len(scored)} scored transitions for {len(times)} "
+            "snapshot times"
+        )
+    transitions = [
+        cut_event_transition(index, times[index], times[index + 1],
+                             scores, threshold, top_nodes)
+        for index, scores in enumerate(scored)
+    ]
+    return DetectionReport(
+        detector=detector_name, threshold=float(threshold),
+        transitions=transitions, health=health,
+    )

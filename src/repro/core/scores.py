@@ -73,6 +73,11 @@ def adjacency_change_on_pairs(g_t: GraphSnapshot,
                               rows: np.ndarray,
                               cols: np.ndarray) -> np.ndarray:
     """``|A_{t+1}(i,j) - A_t(i,j)|`` evaluated on the given pairs."""
+    if rows.size == 0:
+        # Sparse fancy-indexing with empty index arrays yields a bogus
+        # shape-(1,) object array; an edgeless union support has no
+        # adjacency change by definition.
+        return np.zeros(0)
     before = np.asarray(g_t.adjacency[rows, cols]).ravel()
     after = np.asarray(g_t1.adjacency[rows, cols]).ravel()
     return np.abs(after - before)

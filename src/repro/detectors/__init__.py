@@ -1,0 +1,58 @@
+"""Detector subsystem: LAD, graph invariants, fusion, and the registry.
+
+Everything here implements the shared :class:`~repro.core.detector.
+Detector` interface and registers itself in the method registry
+(:mod:`repro.detectors.registry`), which the CLI, service, evaluation
+sweeps, and conformance tests all consult — adding a detector is one
+module plus one ``register_method`` call.
+"""
+
+from .fusion import (
+    COMBINE_MODES,
+    DEFAULT_MEMBERS,
+    FusionDetector,
+    fisher_combine,
+    stouffer_combine,
+)
+from .invariants import (
+    INVARIANT_NAMES,
+    InvariantDetector,
+    graph_invariants,
+    invariant_matrix,
+    scan_statistics,
+)
+from .lad import LadDetector, laplacian_signature, robust_zscore
+from .registry import (
+    DetectorMethod,
+    create_detector,
+    get_method,
+    list_methods,
+    method_names,
+    register_method,
+    streaming_method_names,
+)
+from .streaming import StreamingDetector
+
+__all__ = [
+    "COMBINE_MODES",
+    "DEFAULT_MEMBERS",
+    "DetectorMethod",
+    "FusionDetector",
+    "INVARIANT_NAMES",
+    "InvariantDetector",
+    "LadDetector",
+    "StreamingDetector",
+    "create_detector",
+    "fisher_combine",
+    "get_method",
+    "graph_invariants",
+    "invariant_matrix",
+    "laplacian_signature",
+    "list_methods",
+    "method_names",
+    "register_method",
+    "robust_zscore",
+    "scan_statistics",
+    "stouffer_combine",
+    "streaming_method_names",
+]

@@ -1,0 +1,169 @@
+"""The method registry: one catalogue of every detector.
+
+The CLI (``--method`` / ``list-methods``), the service (per-session
+``method=``), the evaluation sweeps and the conformance tests all look
+detectors up here, so adding a detector means adding one
+:func:`register_method` call — nothing downstream special-cases names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..exceptions import DetectionError
+from ..core.cad import CadDetector
+from ..core.detector import Detector
+from ..baselines.act import ActDetector
+from ..baselines.adj import AdjDetector
+from ..baselines.afm import AfmDetector
+from ..baselines.clc import ClcDetector
+from ..baselines.com import ComDetector
+from .lad import LadDetector
+from .invariants import InvariantDetector
+from .fusion import FusionDetector
+
+
+@dataclass(frozen=True)
+class DetectorMethod:
+    """One registry entry.
+
+    Attributes:
+        name: registry key (what ``--method`` and ``method=`` accept).
+        family: coarse grouping shown in listings (paper / baseline /
+            detectors).
+        description: one-line summary for ``list-methods``.
+        factory: kwargs -> detector instance.
+        streaming: whether the method can drive a service session
+            (its detector carries replayable streaming state).
+        node_only: True when the method scores nodes/events but has no
+            edge notion.
+    """
+
+    name: str
+    family: str
+    description: str
+    factory: Callable[..., Detector]
+    streaming: bool = False
+    node_only: bool = False
+
+
+_REGISTRY: dict[str, DetectorMethod] = {}
+
+
+def register_method(method: DetectorMethod) -> DetectorMethod:
+    """Add ``method`` to the registry (name must be unused)."""
+    if method.name in _REGISTRY:
+        raise DetectionError(
+            f"detector method {method.name!r} already registered"
+        )
+    _REGISTRY[method.name] = method
+    return method
+
+
+def get_method(name: str) -> DetectorMethod:
+    """Look up one method.
+
+    Raises:
+        DetectionError: for unknown names; the message lists every
+            registered name so callers can surface it verbatim.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise DetectionError(
+            f"unknown detector method {name!r}; registered methods: "
+            + ", ".join(method_names())
+        ) from None
+
+
+def method_names() -> list[str]:
+    """Every registered method name, sorted."""
+    return sorted(_REGISTRY)
+
+
+def streaming_method_names() -> list[str]:
+    """Names of the streaming-capable methods, sorted."""
+    return sorted(
+        name for name, method in _REGISTRY.items() if method.streaming
+    )
+
+
+def list_methods() -> list[DetectorMethod]:
+    """Every registry entry, sorted by name."""
+    return [_REGISTRY[name] for name in method_names()]
+
+
+def create_detector(name: str, **kwargs) -> Detector:
+    """Instantiate the named method with ``kwargs``."""
+    return get_method(name).factory(**kwargs)
+
+
+register_method(DetectorMethod(
+    name="cad",
+    family="paper",
+    description="Commute-time anomaly detection (Algorithm 1)",
+    factory=CadDetector,
+    streaming=True,
+))
+register_method(DetectorMethod(
+    name="act",
+    family="baseline",
+    description="Activity-vector eigen analysis (Ide & Kashima)",
+    factory=ActDetector,
+    streaming=True,
+    node_only=True,
+))
+register_method(DetectorMethod(
+    name="adj",
+    family="baseline",
+    description="Raw adjacency-difference scores",
+    factory=AdjDetector,
+))
+register_method(DetectorMethod(
+    name="com",
+    family="baseline",
+    description="Community-distance scores (spectral embedding)",
+    factory=ComDetector,
+))
+register_method(DetectorMethod(
+    name="clc",
+    family="baseline",
+    description="Local clustering-coefficient change",
+    factory=ClcDetector,
+    node_only=True,
+))
+register_method(DetectorMethod(
+    name="afm",
+    family="baseline",
+    description="Per-node feature-vector drift (Akoglu-style)",
+    factory=AfmDetector,
+    node_only=True,
+))
+register_method(DetectorMethod(
+    name="lad",
+    family="detectors",
+    description="Laplacian singular-value signatures vs. short/long "
+                "context windows (Huang et al.)",
+    factory=LadDetector,
+    streaming=True,
+    node_only=True,
+))
+register_method(DetectorMethod(
+    name="invariant",
+    family="detectors",
+    description="Graph-invariant change detection (size, degrees, "
+                "scan statistic, triangles, spectral gap)",
+    factory=InvariantDetector,
+    streaming=True,
+    node_only=True,
+))
+register_method(DetectorMethod(
+    name="fusion",
+    family="detectors",
+    description="Calibrated fusion of CAD+ACT+LAD+invariant scores "
+                "(Park & Priebe style)",
+    factory=FusionDetector,
+    streaming=True,
+    node_only=True,
+))

@@ -26,6 +26,7 @@ from .sequence import (
 from .sweeps import (
     DetectorEvaluation,
     compare_detectors,
+    compare_methods,
     evaluate_detector,
     sweep_parameter,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "auc_score",
     "average_roc",
     "compare_detectors",
+    "compare_methods",
     "evaluate_detector",
     "fit_scaling_exponent",
     "node_ranking_scores",

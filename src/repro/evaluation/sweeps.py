@@ -94,6 +94,34 @@ def compare_detectors(detectors: Sequence[Detector],
     }
 
 
+def compare_methods(names: Sequence[str],
+                    instances: Sequence[LabelledInstance],
+                    ranking: str = "max_edge",
+                    **common_kwargs) -> dict[str, DetectorEvaluation]:
+    """Evaluate registered methods by name on identical realisations.
+
+    The registry-driven face of :func:`compare_detectors`: every name
+    is instantiated via the method registry (so ``"lad"``,
+    ``"fusion"``, ... work exactly like the CLI's ``--method``), and
+    ``common_kwargs`` (e.g. ``seed=7``) are forwarded to every factory.
+
+    Returns:
+        Evaluations keyed by *registry name* (not display name), so
+        sweep outputs line up with CLI/service method identifiers.
+    """
+    # Function-body import: repro.baselines.tsa imports repro.evaluation
+    # while the baselines package is still initialising, so this module
+    # cannot import the registry (which imports baselines) at top level.
+    from ..detectors.registry import create_detector
+
+    return {
+        name: evaluate_detector(
+            create_detector(name, **common_kwargs), instances, ranking
+        )
+        for name in names
+    }
+
+
 def sweep_parameter(make_detector: Callable[[object], Detector],
                     values: Iterable,
                     instances: Sequence[LabelledInstance],

@@ -65,6 +65,30 @@ def principal_eigenvector(matrix: sp.spmatrix | np.ndarray,
         vector = as_rng(seed).standard_normal(n)
         vector /= np.linalg.norm(vector)
 
+    try:
+        return _power_loop(matrix, vector, tol, max_iter, residual_tol)
+    except ConvergenceError:
+        # A bipartite spectrum pairs +lambda_max with -lambda_max and
+        # the iterate oscillates between their mixture forever. Shift
+        # to A + sI (same eigenvectors, strictly dominant top value)
+        # and re-run; s >= lambda_max via the infinity norm.
+        shift = float(np.max(np.abs(matrix).sum(axis=1)))
+        if shift <= 0:
+            raise
+        if sp.issparse(matrix):
+            shifted = matrix + shift * sp.identity(n, format="csr")
+        else:
+            shifted = matrix + shift * np.eye(n)
+        return _power_loop(shifted, vector, tol, max_iter, residual_tol)
+
+
+def _power_loop(matrix: sp.spmatrix | np.ndarray,
+                vector: np.ndarray,
+                tol: float,
+                max_iter: int,
+                residual_tol: float) -> np.ndarray:
+    """One power-iteration run; raises ConvergenceError on exhaustion."""
+    n = matrix.shape[0]
     for _iteration in range(max_iter):
         product = matrix @ vector
         norm = np.linalg.norm(product)

@@ -13,30 +13,21 @@ import dataclasses
 import os
 from collections.abc import Callable
 
-from ..baselines import (
-    ActDetector,
-    AdjDetector,
-    AfmDetector,
-    ClcDetector,
-    ComDetector,
-)
 from ..core.cad import CadDetector, build_report
-from ..core.detector import Detector
+from ..core.detector import Detector, EventScoreDetector
 from ..core.results import DetectionReport
 from ..core.thresholds import select_global_threshold
+from ..detectors.registry import get_method, list_methods
 from ..exceptions import DetectionError
 from ..graphs.dynamic import DynamicGraph
 from ..observability import build_metrics_document, collecting, trace
 from ..parallel.engine import ParallelCadDetector
 
-#: Registered detector factories by lowercase name.
+#: Registered detector factories by lowercase name (one view of the
+#: method registry, kept for backward compatibility — the registry in
+#: :mod:`repro.detectors.registry` is the source of truth).
 DETECTOR_FACTORIES: dict[str, Callable[..., Detector]] = {
-    "cad": CadDetector,
-    "act": ActDetector,
-    "adj": AdjDetector,
-    "com": ComDetector,
-    "clc": ClcDetector,
-    "afm": AfmDetector,
+    method.name: method.factory for method in list_methods()
 }
 
 
@@ -62,18 +53,15 @@ def make_detector(name: str, **kwargs) -> Detector:
     """Instantiate a registered detector by name.
 
     Args:
-        name: one of ``cad``, ``act``, ``adj``, ``com``, ``clc``,
-            ``afm`` (case-insensitive).
+        name: a registered method name (case-insensitive) — see
+            :func:`repro.detectors.registry.method_names`.
         **kwargs: forwarded to the detector constructor.
 
     Raises:
-        DetectionError: on an unknown name.
+        DetectionError: on an unknown name (the message lists every
+            registered method).
     """
-    factory = DETECTOR_FACTORIES.get(name.lower())
-    if factory is None:
-        known = ", ".join(sorted(DETECTOR_FACTORIES))
-        raise DetectionError(f"unknown detector {name!r}; known: {known}")
-    return factory(**kwargs)
+    return get_method(name.lower()).factory(**kwargs)
 
 
 def _resolve_detector(detector: str | Detector,
@@ -224,8 +212,9 @@ def _run_detector(detector: Detector,
             ),
             delta=delta,
         )
-    if isinstance(detector, ActDetector):
-        return detector.detect(graph, top_nodes=anomalies_per_transition)
+    if isinstance(detector, EventScoreDetector):
+        return detector.detect(graph, top_nodes=anomalies_per_transition,
+                               event_threshold=delta)
 
     scored = detector.score_sequence(graph)
     if any(s.num_scored_edges for s in scored):

@@ -82,6 +82,11 @@ def write_checkpoint(state: dict[str, Any], path: str | Path) -> None:
             "detector": scores["detector"],
             "extras": sorted(scores["extras"]),
         })
+    # Optional detector-private state (generic streaming wrapper):
+    # plain named arrays, absent entirely for CAD streams.
+    detector_state = state.get("detector_state") or {}
+    for name, value in detector_state.items():
+        arrays[f"detector_{name}"] = np.asarray(value)
     meta = {
         "format": FORMAT,
         "version": VERSION,
@@ -93,6 +98,7 @@ def write_checkpoint(state: dict[str, Any], path: str | Path) -> None:
         "push_count": state["push_count"],
         "health": state["health"],
         "rng_state": state["rng_state"],
+        "detector_state": sorted(detector_state),
     }
     try:
         encoded = json.dumps(meta)
@@ -149,6 +155,10 @@ def read_checkpoint(path: str | Path) -> dict[str, Any]:
                     for extra_name in entry["extras"]
                 }
                 scored.append(scores)
+            detector_state = {
+                name: archive[f"detector_{name}"]
+                for name in meta.get("detector_state", [])
+            }
     except CheckpointError:
         raise
     except (OSError, ValueError, KeyError, zipfile.BadZipFile,
@@ -167,4 +177,5 @@ def read_checkpoint(path: str | Path) -> dict[str, Any]:
         "push_count": meta["push_count"],
         "health": meta["health"],
         "rng_state": meta["rng_state"],
+        "detector_state": detector_state,
     }

@@ -28,7 +28,13 @@ from .errors import BadRequestError
 CONFIG_KEYS = (
     "anomalies_per_transition", "warmup", "sanitize", "incremental",
     "method", "k", "seed", "solver", "exact_limit", "seed_mode",
+    "detector_options",
 )
+
+#: ``method=`` values that run the CAD stream (commute-time backends;
+#: ``"cad"`` is an alias for the ``"auto"`` backend). Anything else is
+#: looked up in the detector registry's streaming methods.
+CAD_METHODS = ("exact", "approx", "auto", "cad")
 
 
 @dataclass(frozen=True)
@@ -50,12 +56,19 @@ class SessionConfig:
     solver: str = "cg"
     exact_limit: int = DEFAULT_EXACT_LIMIT
     seed_mode: str = field(default="stream")
+    detector_options: dict | None = None
+
+    @property
+    def uses_cad(self) -> bool:
+        """Whether this session runs the CAD stream (vs. a registry
+        detector behind :class:`~repro.detectors.StreamingDetector`)."""
+        return self.method in CAD_METHODS
 
     def cad_kwargs(self) -> dict[str, Any]:
         """Constructor arguments for the inner ``CadDetector`` — the
         part :meth:`StreamingCadDetector.restore` needs re-supplied."""
         return {
-            "method": self.method,
+            "method": "auto" if self.method == "cad" else self.method,
             "k": self.k,
             "seed": self.seed,
             "solver": self.solver,
@@ -73,9 +86,30 @@ class SessionConfig:
             **self.cad_kwargs(),
         }
 
+    def stream_kwargs(self) -> dict[str, Any]:
+        """:class:`~repro.detectors.StreamingDetector` constructor
+        arguments (non-CAD methods)."""
+        options = dict(self.detector_options or {})
+        if self.seed is not None and "seed" not in options:
+            options["seed"] = self.seed
+        return {
+            "anomalies_per_transition": self.anomalies_per_transition,
+            "warmup": self.warmup,
+            "sanitize": self.sanitize,
+            **options,
+        }
+
     def to_document(self) -> dict[str, Any]:
-        """JSON-ready form (the eviction sidecar format)."""
-        return {key: getattr(self, key) for key in CONFIG_KEYS}
+        """JSON-ready form (the eviction sidecar format).
+
+        ``detector_options`` is omitted when unset so CAD sidecars stay
+        byte-compatible with ones written before registry methods
+        existed.
+        """
+        document = {key: getattr(self, key) for key in CONFIG_KEYS}
+        if document["detector_options"] is None:
+            del document["detector_options"]
+        return document
 
 
 def parse_session_config(document: Any) -> SessionConfig:
@@ -116,11 +150,7 @@ def parse_session_config(document: Any) -> SessionConfig:
             f"sanitize must be null or one of {list(SANITIZE_POLICIES)}, "
             f"got {config.sanitize!r}"
         )
-    if config.method not in ("exact", "approx", "auto"):
-        raise BadRequestError(
-            f"method must be 'exact', 'approx' or 'auto', got "
-            f"{config.method!r}"
-        )
+    _check_method(config)
     if config.seed_mode not in SEED_MODES:
         raise BadRequestError(
             f"seed_mode must be one of {list(SEED_MODES)}, got "
@@ -136,6 +166,50 @@ def parse_session_config(document: Any) -> SessionConfig:
             f"incremental must be a boolean, got {config.incremental!r}"
         )
     return config
+
+
+def _check_method(config: SessionConfig) -> None:
+    """Validate ``method=`` (and its ``detector_options``) at session
+    creation, so unknown methods fail the POST with the full catalogue
+    instead of surfacing later and opaquely."""
+    from ..detectors.registry import streaming_method_names
+    from ..detectors.streaming import StreamingDetector
+    from ..exceptions import ReproError
+
+    streaming = streaming_method_names()
+    if config.method not in set(CAD_METHODS) | set(streaming):
+        known = sorted(set(CAD_METHODS) | set(streaming))
+        raise BadRequestError(
+            f"unknown method {config.method!r}; registered methods: "
+            + ", ".join(known)
+        )
+    if config.uses_cad:
+        if config.detector_options:
+            raise BadRequestError(
+                "detector_options only applies to registry methods "
+                f"(got method={config.method!r}; use k/seed/solver/... "
+                "for CAD sessions)"
+            )
+        return
+    if config.incremental:
+        raise BadRequestError(
+            "incremental=true requires a CAD session (method 'exact', "
+            f"'auto' or 'cad'), got method={config.method!r}"
+        )
+    if config.detector_options is not None and not isinstance(
+            config.detector_options, dict):
+        raise BadRequestError(
+            "detector_options must be a JSON object, got "
+            f"{type(config.detector_options).__name__}"
+        )
+    try:
+        # Trial construction: bad option names/values fail the POST.
+        StreamingDetector(config.method, **config.stream_kwargs())
+    except (ReproError, TypeError) as exc:
+        raise BadRequestError(
+            f"invalid detector_options for method "
+            f"{config.method!r}: {exc}"
+        ) from exc
 
 
 def _check_int(value: Any, name: str, minimum: int | None = None) -> None:

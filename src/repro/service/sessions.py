@@ -61,6 +61,7 @@ from typing import Any
 import numpy as np
 
 from ..core.streaming import StreamingCadDetector
+from ..detectors.streaming import StreamingDetector
 from ..exceptions import (
     CheckpointError,
     DetectionError,
@@ -108,6 +109,21 @@ from .wal import SessionWal
 
 _logger = get_logger("service.sessions")
 
+#: Either stream flavor a session may run (CAD or a registry detector).
+SessionStream = StreamingCadDetector | StreamingDetector
+
+
+def build_stream(config: SessionConfig) -> SessionStream:
+    """Construct the stream a session's config asks for.
+
+    CAD methods (``exact``/``approx``/``auto``/``cad``) get the
+    commute-time stream; every other (registry) method runs behind the
+    generic :class:`~repro.detectors.StreamingDetector` wrapper.
+    """
+    if config.uses_cad:
+        return StreamingCadDetector(**config.detector_kwargs())
+    return StreamingDetector(config.method, **config.stream_kwargs())
+
 #: Sidecar format marker written next to eviction checkpoints.
 SIDECAR_FORMAT = "repro-service-session"
 SIDECAR_VERSION = 1
@@ -138,8 +154,7 @@ class SessionRecord:
         self.session_id = session_id
         self.config = config
         self.lock = threading.Lock()
-        self.detector: StreamingCadDetector | None = \
-            StreamingCadDetector(**config.detector_kwargs())
+        self.detector: SessionStream | None = build_stream(config)
         self.universe: NodeUniverse | None = None
         self.last_active = 0
         self.finalized = False
@@ -635,7 +650,7 @@ class SessionManager:
             record.wal_pending = 0
         return not empty
 
-    def _resurrect(self, record: SessionRecord) -> StreamingCadDetector:
+    def _resurrect(self, record: SessionRecord) -> SessionStream:
         """Rebuild an evicted session's detector from the store
         (lock held)."""
         self._ensure_owner(record)
@@ -645,13 +660,14 @@ class SessionManager:
             if self._store.exists(npz_key):
                 with self._store.local_copy(npz_key,
                                             suffix=".npz") as local:
-                    detector = StreamingCadDetector.restore(
-                        local, **record.config.cad_kwargs()
-                    )
+                    if record.config.uses_cad:
+                        detector = StreamingCadDetector.restore(
+                            local, **record.config.cad_kwargs()
+                        )
+                    else:
+                        detector = StreamingDetector.restore(local)
             else:  # evicted before its first snapshot
-                detector = StreamingCadDetector(
-                    **record.config.detector_kwargs()
-                )
+                detector = build_stream(record.config)
         record.detector = detector
         if record.universe is None and \
                 detector.latest_snapshot is not None:
@@ -1039,7 +1055,7 @@ class SessionManager:
         return parsed
 
     def _ingest(self, record: SessionRecord,
-                detector: StreamingCadDetector,
+                detector: SessionStream,
                 parsed: list[Any],
                 degraded: bool = False) -> list[Any]:
         """Feed parsed snapshots into the stream, parallel when safe.
@@ -1066,7 +1082,7 @@ class SessionManager:
         return self._ingest_serial(record, detector, parsed)
 
     def _ingest_serial(self, record: SessionRecord,
-                       detector: StreamingCadDetector,
+                       detector: SessionStream,
                        parsed: list[Any]) -> list[Any]:
         if record.config.sanitize is not None:
             return [
@@ -1076,7 +1092,7 @@ class SessionManager:
         return [detector.push(snapshot) for snapshot in parsed]
 
     def _should_degrade(self, record: SessionRecord,
-                        detector: StreamingCadDetector) -> bool:
+                        detector: SessionStream) -> bool:
         """Whether this push sheds to the approximate backend.
 
         Only sessions that left method selection to the service
@@ -1089,7 +1105,7 @@ class SessionManager:
                 and not detector.incremental)
 
     def _replay_wal(self, record: SessionRecord,
-                    detector: StreamingCadDetector) -> None:
+                    detector: SessionStream) -> None:
         """Re-ingest WAL entries newer than the checkpointed state
         (called during resurrection, session lock held)."""
         wal = record.wal
@@ -1165,14 +1181,17 @@ class SessionManager:
                 add_counter("store_write_retries_total")
                 time.sleep(STORE_RETRY_BACKOFF * (2 ** attempt))
 
-    def _parallel_eligible(self, detector: StreamingCadDetector,
+    def _parallel_eligible(self, detector: SessionStream,
                            batch: list[GraphSnapshot]) -> bool:
         """Whether the parallel engine reproduces serial pushes exactly.
 
-        Transition sharding is bit-for-bit, but only when randomness
-        cannot diverge: the exact backend uses none, and the approx
-        backend matches only under content-keyed seeding.
+        Only CAD streams parallelize (the engine shards commute-time
+        scoring); transition sharding is bit-for-bit, but only when
+        randomness cannot diverge: the exact backend uses none, and the
+        approx backend matches only under content-keyed seeding.
         """
+        if not isinstance(detector, StreamingCadDetector):
+            return False
         if self._workers <= 1 or len(batch) < 2:
             return False
         if detector.incremental or detector.latest_snapshot is None:
@@ -1413,7 +1432,7 @@ class SessionManager:
         return record
 
     def _require_resident(self, record: SessionRecord,
-                          ) -> StreamingCadDetector:
+                          ) -> SessionStream:
         """The session's live detector, resurrecting it if evicted."""
         if record.detector is not None:
             self._ensure_owner(record)

@@ -1,0 +1,93 @@
+"""Degenerate-input regression tests shared by every detector.
+
+Empty-edge transitions, single-node universes, and all-empty sequences
+must never produce NaNs, raw numpy floating-point errors, or the
+object-dtype arrays scipy's sparse fancy-indexing emits for empty
+index lists (the CAD regression this file pins down). A clean
+:class:`~repro.exceptions.ReproError` is acceptable; anything else is
+a bug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scores import adjacency_change_on_pairs
+from repro.exceptions import ReproError
+from repro.graphs import DynamicGraph, GraphSnapshot
+from repro.pipeline.api import DETECTOR_FACTORIES, make_detector
+
+ALL_DETECTORS = sorted(DETECTOR_FACTORIES)
+
+
+def empty_snapshot(n=4):
+    return GraphSnapshot(np.zeros((n, n)))
+
+
+def one_edge_snapshot(n=4):
+    adjacency = np.zeros((n, n))
+    adjacency[0, 1] = adjacency[1, 0] = 1.0
+    return GraphSnapshot(adjacency)
+
+
+SEQUENCES = {
+    "all-empty": lambda: [empty_snapshot() for _ in range(3)],
+    "edge-appears": lambda: [empty_snapshot(), one_edge_snapshot(),
+                             one_edge_snapshot()],
+    "edge-vanishes": lambda: [one_edge_snapshot(), empty_snapshot(),
+                              empty_snapshot()],
+    "single-node": lambda: [GraphSnapshot(np.zeros((1, 1)))
+                            for _ in range(3)],
+}
+
+
+def assert_clean_scores(scored):
+    for scores in scored:
+        assert scores.edge_scores.dtype != object
+        assert scores.edge_scores.shape == scores.edge_rows.shape
+        assert np.all(np.isfinite(scores.edge_scores))
+        assert np.all(np.isfinite(scores.node_scores))
+
+
+@pytest.mark.parametrize("name", ALL_DETECTORS)
+@pytest.mark.parametrize("case", sorted(SEQUENCES))
+def test_degenerate_sequences_score_cleanly(name, case):
+    graph = DynamicGraph(SEQUENCES[case]())
+    detector = make_detector(name)
+    try:
+        with np.errstate(divide="raise", invalid="raise"):
+            scored = detector.score_sequence(graph)
+    except ReproError:
+        return  # a clean, typed refusal is acceptable
+    assert_clean_scores(scored)
+
+
+@pytest.mark.parametrize("name", ALL_DETECTORS)
+def test_empty_to_populated_transition(name):
+    """Warming up from an empty graph must not poison later scores."""
+    populated = np.zeros((4, 4))
+    for i, j in ((0, 1), (1, 2), (2, 3), (0, 3)):
+        populated[i, j] = populated[j, i] = 1.0
+    graph = DynamicGraph([
+        empty_snapshot(), GraphSnapshot(populated),
+        GraphSnapshot(populated * 1.5),
+    ])
+    detector = make_detector(name)
+    try:
+        with np.errstate(divide="raise", invalid="raise"):
+            scored = detector.score_sequence(graph)
+    except ReproError:
+        return
+    assert_clean_scores(scored)
+
+
+def test_adjacency_change_empty_pairs_regression():
+    """Empty index arrays must yield a float (0,) array, not scipy's
+    shape-(1,) object matrix."""
+    snapshot = empty_snapshot()
+    empty_index = np.zeros(0, dtype=np.int64)
+    change = adjacency_change_on_pairs(snapshot, snapshot,
+                                       empty_index, empty_index)
+    assert change.shape == (0,)
+    assert change.dtype == np.float64

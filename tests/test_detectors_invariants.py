@@ -1,0 +1,154 @@
+"""Graph invariants: known values, matrix extraction, change scores."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import (
+    INVARIANT_NAMES,
+    InvariantDetector,
+    graph_invariants,
+    invariant_matrix,
+    scan_statistics,
+)
+from repro.graphs import (
+    DynamicGraph,
+    GraphSnapshot,
+    community_pair_graph,
+    perturb_weights,
+)
+
+F = {name: i for i, name in enumerate(INVARIANT_NAMES)}
+
+
+def unweighted_triangle():
+    adjacency = np.zeros((4, 4))
+    for i, j in ((0, 1), (1, 2), (0, 2)):
+        adjacency[i, j] = adjacency[j, i] = 1.0
+    return GraphSnapshot(adjacency)
+
+
+class TestScanStatistics:
+    def test_triangle_with_isolated_node(self):
+        scan = scan_statistics(unweighted_triangle())
+        # Each triangle member: 2 incident edges + 1 edge among its
+        # neighbours; node 3 is isolated.
+        np.testing.assert_allclose(scan, [3.0, 3.0, 3.0, 0.0])
+
+    def test_weights_do_not_change_scan(self, triangle_graph):
+        scan = scan_statistics(triangle_graph)
+        np.testing.assert_allclose(scan, [3.0, 3.0, 3.0])
+
+    def test_path_graph(self, path_graph):
+        # No triangles: scan reduces to the degree.
+        np.testing.assert_allclose(scan_statistics(path_graph),
+                                   [1.0, 2.0, 2.0, 1.0])
+
+
+class TestGraphInvariants:
+    def test_triangle_values(self):
+        vector = graph_invariants(unweighted_triangle())
+        assert vector.shape == (len(INVARIANT_NAMES),)
+        assert vector[F["size"]] == 3.0
+        assert vector[F["volume"]] == pytest.approx(6.0)
+        assert vector[F["max_degree"]] == pytest.approx(2.0)
+        assert vector[F["scan_stat"]] == pytest.approx(3.0)
+        assert vector[F["triangles"]] == pytest.approx(1.0)
+        # Eigenvalues 2, 0 (the isolated node), -1, -1 -> gap 2.
+        assert vector[F["spectral_gap"]] == pytest.approx(2.0)
+
+    def test_empty_graph(self):
+        vector = graph_invariants(GraphSnapshot(np.zeros((4, 4))))
+        np.testing.assert_allclose(vector, np.zeros(len(INVARIANT_NAMES)))
+
+    def test_single_node(self):
+        vector = graph_invariants(GraphSnapshot(np.zeros((1, 1))))
+        assert np.all(np.isfinite(vector))
+        assert vector[F["spectral_gap"]] == 0.0
+
+    def test_matrix_shape_and_rows(self, small_dynamic_graph):
+        matrix = invariant_matrix(small_dynamic_graph)
+        assert matrix.shape == (2, len(INVARIANT_NAMES))
+        np.testing.assert_allclose(
+            matrix[0], graph_invariants(small_dynamic_graph[0])
+        )
+        assert np.all(np.isfinite(matrix))
+
+
+class TestInvariantDetector:
+    def make_sequence(self, steps=8, hit=5, seed=21):
+        hit = min(hit, steps - 1)
+        base = community_pair_graph(community_size=10, p_in=0.5,
+                                    p_out=0.05, seed=seed)
+        snapshots = [base]
+        for t in range(1, steps):
+            snapshots.append(perturb_weights(snapshots[-1],
+                                             relative_noise=0.02,
+                                             seed=seed + t))
+        matrix = snapshots[hit].adjacency.tolil()
+        for offset in range(4):
+            i, j = offset, 19 - offset
+            matrix[i, j] = matrix[j, i] = 6.0
+        snapshots[hit] = GraphSnapshot(matrix.tocsr(), base.universe)
+        return DynamicGraph(snapshots)
+
+    def test_event_peaks_at_injected_transition(self):
+        graph = self.make_sequence(hit=5)
+        scored = InvariantDetector().score_sequence(graph)
+        events = [float(s.extras["event_score"][0]) for s in scored]
+        assert int(np.argmax(events)) == 4
+        assert all(np.isfinite(e) for e in events)
+
+    def test_extras_carry_feature_breakdown(self, small_dynamic_graph):
+        scored = InvariantDetector().score_sequence(small_dynamic_graph)
+        extras = scored[0].extras
+        for key in ("invariants", "deltas", "scaled_deltas"):
+            assert extras[key].shape == (len(INVARIANT_NAMES),)
+
+    def test_node_scores_are_scan_changes(self, small_dynamic_graph):
+        scored = InvariantDetector().score_sequence(small_dynamic_graph)
+        expected = np.abs(
+            scan_statistics(small_dynamic_graph[1])
+            - scan_statistics(small_dynamic_graph[0])
+        )
+        np.testing.assert_allclose(scored[0].node_scores, expected)
+
+    def test_seed_is_ignored(self):
+        graph = self.make_sequence(steps=5)
+        a = InvariantDetector(seed=1).score_sequence(graph)
+        b = InvariantDetector(seed=2).score_sequence(graph)
+        for left, right in zip(a, b):
+            np.testing.assert_array_equal(left.extras["event_score"],
+                                          right.extras["event_score"])
+
+    def test_scaled_deviation_fallbacks(self):
+        scaled = InvariantDetector._scaled_deviation
+        # No history: relative to the invariant's own level.
+        assert scaled(4.0, np.zeros(0), 2.0) == pytest.approx(2.0)
+        assert scaled(4.0, np.zeros(0), 0.5) == pytest.approx(4.0)
+        # Enough history: MAD scaling around the median delta.
+        history = np.array([1.0, 1.2, 0.8, 1.0, 1.1])
+        assert scaled(1.0, history, 100.0) == pytest.approx(0.0)
+        assert scaled(5.0, history, 100.0) > 5.0
+
+    def test_streaming_state_round_trip(self):
+        graph = self.make_sequence(steps=7)
+        snapshots = list(graph)
+        left, right = InvariantDetector(), InvariantDetector()
+        for g_t, g_t1 in zip(snapshots[:4], snapshots[1:5]):
+            left.score_transition(g_t, g_t1)
+        right.load_streaming_state(left.streaming_state())
+        for g_t, g_t1 in zip(snapshots[4:6], snapshots[5:7]):
+            a = left.score_transition(g_t, g_t1)
+            b = right.score_transition(g_t, g_t1)
+            np.testing.assert_array_equal(a.extras["event_score"],
+                                          b.extras["event_score"])
+            np.testing.assert_array_equal(a.node_scores, b.node_scores)
+
+    def test_fresh_detector_state_round_trip(self):
+        detector = InvariantDetector()
+        restored = InvariantDetector()
+        restored.load_streaming_state(detector.streaming_state())
+        assert restored._history == []
+        assert restored._last_scan is None

@@ -1,0 +1,148 @@
+"""LAD: Laplacian signatures, robust calibration, event detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import LadDetector, laplacian_signature
+from repro.detectors.lad import (
+    MIN_CALIBRATION_HISTORY,
+    robust_zscore,
+)
+from repro.graphs import (
+    DynamicGraph,
+    GraphSnapshot,
+    community_pair_graph,
+    perturb_weights,
+)
+
+
+def event_sequence(steps=9, community_size=12, seed=11, hit=6):
+    """Slowly drifting graphs with a burst of cross edges at ``hit``."""
+    hit = min(hit, steps - 1)
+    base = community_pair_graph(community_size=community_size,
+                                p_in=0.5, p_out=0.05, seed=seed)
+    snapshots = [base]
+    for t in range(1, steps):
+        snapshots.append(perturb_weights(snapshots[-1],
+                                         relative_noise=0.02,
+                                         seed=seed + t))
+    n = 2 * community_size
+    matrix = snapshots[hit].adjacency.tolil()
+    for offset in range(4):
+        i, j = offset, n - 1 - offset
+        matrix[i, j] = matrix[j, i] = 5.0
+    snapshots[hit] = GraphSnapshot(matrix.tocsr(), base.universe)
+    return DynamicGraph(snapshots)
+
+
+class TestLaplacianSignature:
+    def test_unit_norm_and_order(self, path_graph):
+        signature = laplacian_signature(path_graph, rank=4)
+        assert signature.shape == (4,)
+        assert np.linalg.norm(signature) == pytest.approx(1.0)
+        assert np.all(np.diff(signature) <= 1e-12)  # descending
+        assert np.all(signature >= 0)
+
+    def test_zero_padding_beyond_num_nodes(self, triangle_graph):
+        signature = laplacian_signature(triangle_graph, rank=6)
+        assert signature.shape == (6,)
+        assert np.all(signature[3:] == 0.0)
+
+    def test_edgeless_snapshot_is_all_zero(self):
+        empty = GraphSnapshot(np.zeros((5, 5)))
+        assert np.all(laplacian_signature(empty, rank=3) == 0.0)
+
+    def test_matches_laplacian_eigenvalues(self, path_graph):
+        # Path 0-1-2-3: L eigenvalues are 0, 2-sqrt(2), 2, 2+sqrt(2).
+        expected = np.array([2.0 + np.sqrt(2.0), 2.0,
+                             2.0 - np.sqrt(2.0)])
+        expected = expected / np.linalg.norm(expected)
+        signature = laplacian_signature(path_graph, rank=3)
+        np.testing.assert_allclose(signature, expected, atol=1e-10)
+
+    def test_deterministic(self, random_connected_graph):
+        first = laplacian_signature(random_connected_graph, rank=8)
+        second = laplacian_signature(random_connected_graph, rank=8)
+        np.testing.assert_array_equal(first, second)
+
+
+class TestRobustZscore:
+    def test_short_history_passes_value_through(self):
+        assert robust_zscore(0.7, np.array([0.1])) == pytest.approx(0.7)
+        assert robust_zscore(-0.2, np.array([])) == 0.0
+
+    def test_scales_against_mad(self):
+        history = np.array([1.0, 1.1, 0.9, 1.0, 1.05, 0.95])
+        assert history.size >= MIN_CALIBRATION_HISTORY
+        small = robust_zscore(1.05, history)
+        large = robust_zscore(3.0, history)
+        assert large > small
+        assert large > 3.0  # far outside the spread
+
+    def test_clamps_downward_deviations(self):
+        history = np.array([1.0, 1.1, 0.9, 1.0, 1.05])
+        assert robust_zscore(0.0, history) == 0.0
+
+    def test_constant_history_falls_back_to_unit_scale(self):
+        history = np.ones(6)
+        assert robust_zscore(3.0, history) == pytest.approx(2.0)
+
+
+class TestLadDetector:
+    def test_invalid_rank_rejected(self):
+        with pytest.raises(ValueError):
+            LadDetector(rank=0)
+
+    def test_long_window_floored_at_short(self):
+        detector = LadDetector(short_window=5, long_window=2)
+        assert detector._long == 5
+
+    def test_event_peaks_at_injected_transition(self):
+        graph = event_sequence(hit=6)
+        detector = LadDetector(rank=8)
+        scored = detector.score_sequence(graph)
+        events = [float(s.extras["event_score"][0]) for s in scored]
+        assert int(np.argmax(events)) == 5  # transition 5 -> snapshot 6
+        assert all(np.isfinite(e) for e in events)
+
+    def test_node_scores_are_degree_changes(self, small_dynamic_graph):
+        detector = LadDetector()
+        scored = detector.score_sequence(small_dynamic_graph)
+        first, second = small_dynamic_graph[0], small_dynamic_graph[1]
+        expected = np.abs(second.degrees() - first.degrees())
+        np.testing.assert_allclose(scored[0].node_scores, expected)
+
+    def test_score_sequence_resets_state(self):
+        graph = event_sequence(steps=5)
+        detector = LadDetector()
+        first = detector.score_sequence(graph)
+        second = detector.score_sequence(graph)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(
+                a.extras["event_score"], b.extras["event_score"]
+            )
+
+    def test_detect_report_structure(self):
+        graph = event_sequence(steps=6)
+        report = LadDetector().detect(graph, top_nodes=3)
+        assert report.detector == "LAD"
+        assert len(report.transitions) == 5
+        assert np.isfinite(report.threshold)
+        for transition in report.transitions:
+            assert len(transition.anomalous_nodes) <= 3
+
+    def test_streaming_state_round_trip(self):
+        graph = event_sequence(steps=7)
+        snapshots = list(graph)
+        left, right = LadDetector(), LadDetector()
+        for g_t, g_t1 in zip(snapshots[:4], snapshots[1:5]):
+            left.score_transition(g_t, g_t1)
+        right.load_streaming_state(left.streaming_state())
+        for g_t, g_t1 in zip(snapshots[4:6], snapshots[5:7]):
+            a = left.score_transition(g_t, g_t1)
+            b = right.score_transition(g_t, g_t1)
+            np.testing.assert_array_equal(a.extras["event_score"],
+                                          b.extras["event_score"])
+            np.testing.assert_array_equal(a.node_scores, b.node_scores)

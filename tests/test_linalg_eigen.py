@@ -56,6 +56,18 @@ class TestPrincipalEigenvector:
         vector = principal_eigenvector(matrix)
         assert np.linalg.norm(vector) == pytest.approx(1.0)
 
+    def test_bipartite_spectrum_converges(self):
+        # A weighted path is bipartite: eigenvalues come in +/- pairs,
+        # so unshifted power iteration oscillates forever (regression:
+        # ACT died with ConvergenceError on any bipartite snapshot).
+        matrix = np.zeros((4, 4))
+        for i, weight in zip(range(3), (1.0, 2.0, 1.2)):
+            matrix[i, i + 1] = matrix[i + 1, i] = weight
+        vector = principal_eigenvector(matrix)
+        reference = np.linalg.eigh(matrix)[1][:, -1]
+        reference *= np.sign(reference[np.argmax(np.abs(reference))])
+        np.testing.assert_allclose(vector, reference, atol=1e-5)
+
     def test_empty_matrix_raises(self):
         with pytest.raises(SolverError):
             principal_eigenvector(np.zeros((0, 0)))
