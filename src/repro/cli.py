@@ -116,6 +116,14 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("cg", "direct", "fallback"),
                      help="Laplacian solver backend for CAD; 'fallback' "
                      "escalates CG -> relaxed CG -> LU -> dense")
+    run.add_argument("--factor-cache", action="store_true",
+                     help="CAD only: reuse Laplacian factorizations "
+                     "across snapshots (identity hits are bit-for-bit; "
+                     "small edge deltas are absorbed by rank-one "
+                     "updates; see docs/performance.md)")
+    run.add_argument("--cache-budget-mb", type=int, default=None,
+                     help="factor-cache byte budget in MiB "
+                     "(default 512; implies --factor-cache)")
     run.add_argument("--workers", type=int, default=None,
                      help="score CAD with this many worker processes "
                      "(repro.parallel); default serial. A dead worker "
@@ -236,6 +244,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--breaker-cooldown", type=float, default=30.0,
                        help="seconds a tripped breaker stays open; "
                        "doubles on consecutive trips")
+    serve.add_argument("--factor-cache", action="store_true",
+                       help="enable the process-wide factorization "
+                       "cache for every CAD session by default "
+                       "(sessions may also opt in individually)")
+    serve.add_argument("--cache-budget-mb", type=int, default=None,
+                       help="factor-cache byte budget in MiB for "
+                       "sessions that don't set their own "
+                       "(default 512; implies --factor-cache)")
     return parser
 
 
@@ -288,6 +304,19 @@ def _cmd_detect(args) -> int:
         kwargs["seed"] = args.seed
     if args.detector == "cad" and args.solver is not None:
         kwargs["solver"] = args.solver
+    if args.factor_cache or args.cache_budget_mb is not None:
+        if args.detector != "cad":
+            raise _UsageError(
+                "--factor-cache/--cache-budget-mb only apply to "
+                "--detector cad"
+            )
+        if args.cache_budget_mb is not None and args.cache_budget_mb < 1:
+            raise _UsageError(
+                f"--cache-budget-mb must be >= 1, got "
+                f"{args.cache_budget_mb}"
+            )
+        kwargs["factor_cache"] = "shared"
+        kwargs["cache_budget_mb"] = args.cache_budget_mb
     supervision = {
         "max_worker_restarts": args.max_worker_restarts,
         "max_shard_retries": args.max_shard_retries,
@@ -411,6 +440,10 @@ def _cmd_serve(args) -> int:
         raise _UsageError(
             f"--lease-ttl must be > 0, got {args.lease_ttl}"
         )
+    if args.cache_budget_mb is not None and args.cache_budget_mb < 1:
+        raise _UsageError(
+            f"--cache-budget-mb must be >= 1, got {args.cache_budget_mb}"
+        )
     return run_server(
         host=args.host,
         port=args.port,
@@ -425,6 +458,8 @@ def _cmd_serve(args) -> int:
         request_deadline=args.request_deadline,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
+        factor_cache=args.factor_cache or args.cache_budget_mb is not None,
+        cache_budget_mb=args.cache_budget_mb,
     )
 
 

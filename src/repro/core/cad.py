@@ -47,6 +47,14 @@ class CadDetector(Detector):
             ``"stream"`` (default) or ``"content"`` (scoring-order and
             process independent; see
             :class:`~repro.core.commute.CommuteTimeCalculator`).
+        factor_cache: cross-snapshot solve cache — ``None`` (off,
+            default), ``True``/``"shared"``, ``"private"``, or a
+            :class:`~repro.linalg.factorcache.FactorCache` (see
+            :mod:`repro.linalg.factorcache`).
+        cache_budget_mb: factor-cache byte budget.
+        delta_budget: maximum edge-delta absorbed by rank-one factor
+            updates before a fresh factorization (0 = identity reuse
+            only, bit-for-bit).
     """
 
     name = "CAD"
@@ -56,10 +64,18 @@ class CadDetector(Detector):
                  seed=None,
                  solver="cg",
                  exact_limit: int = DEFAULT_EXACT_LIMIT,
-                 seed_mode: str = "stream"):
+                 seed_mode: str = "stream",
+                 factor_cache=None,
+                 cache_budget_mb: float | None = None,
+                 delta_budget: int | None = None):
+        extra = {}
+        if delta_budget is not None:
+            extra["delta_budget"] = delta_budget
         self._calculator = CommuteTimeCalculator(
             method=method, k=k, seed=seed, solver=solver,
             exact_limit=exact_limit, seed_mode=seed_mode,
+            factor_cache=factor_cache, cache_budget_mb=cache_budget_mb,
+            **extra,
         )
 
     @property

@@ -15,6 +15,13 @@ from .._validation import as_rng, check_positive_int
 from ..exceptions import DetectionError
 from ..graphs.snapshot import GraphSnapshot
 from ..linalg.embedding import CommuteTimeEmbedding
+from ..linalg.factorcache import (
+    DEFAULT_DELTA_BUDGET,
+    FactorCache,
+    backend_nbytes,
+    resolve_factor_cache,
+    updated_pseudoinverse,
+)
 from ..linalg.pseudoinverse import (
     commute_times_for_pairs,
     laplacian_pseudoinverse,
@@ -72,6 +79,21 @@ class CommuteTimeCalculator:
             approximate scores independent of scoring order and
             process boundaries — the mode :mod:`repro.parallel`
             relies on for bit-for-bit reproducibility.
+        factor_cache: cross-snapshot solve cache (see
+            :mod:`repro.linalg.factorcache`): ``None``/``False``
+            (disabled, the default), ``True``/``"shared"`` (the
+            process-wide cache shared by sessions, service and
+            workers), ``"private"``, or a ready
+            :class:`~repro.linalg.factorcache.FactorCache`. Identity
+            hits return the cached backend verbatim (bit-for-bit);
+            exact misses within ``delta_budget`` edited edges of the
+            previously solved snapshot are rank-one updated instead
+            of refactorized (matching cold solves to ~1e-10).
+        cache_budget_mb: byte budget for the factor cache (resizes
+            the shared cache when that is selected).
+        delta_budget: maximum edge-delta absorbed by rank-one factor
+            updates; ``0`` disables the delta tier, leaving only
+            bit-for-bit identity reuse.
     """
 
     def __init__(self, method: str = "auto",
@@ -80,7 +102,10 @@ class CommuteTimeCalculator:
                  solver="cg",
                  exact_limit: int = DEFAULT_EXACT_LIMIT,
                  tol: float = 1e-8,
-                 seed_mode: str = "stream"):
+                 seed_mode: str = "stream",
+                 factor_cache=None,
+                 cache_budget_mb: float | None = None,
+                 delta_budget: int = DEFAULT_DELTA_BUDGET):
         if method not in ("exact", "approx", "auto"):
             raise DetectionError(
                 f"method must be 'exact', 'approx' or 'auto', got {method!r}"
@@ -88,6 +113,10 @@ class CommuteTimeCalculator:
         if seed_mode not in SEED_MODES:
             raise DetectionError(
                 f"seed_mode must be one of {SEED_MODES}, got {seed_mode!r}"
+            )
+        if delta_budget < 0:
+            raise DetectionError(
+                f"delta_budget must be >= 0, got {delta_budget}"
             )
         self._method = method
         self._k = check_positive_int(k, "k")
@@ -100,12 +129,34 @@ class CommuteTimeCalculator:
         self._method_override: str | None = None
         self._cached_root_entropy: int | None = None
         self._health = HealthMonitor()
-        # Per-snapshot backend cache (pseudoinverse or embedding).
+        # Spec-able form of the factor_cache argument (instances are
+        # per-process and reported as "private" to remote workers).
+        if isinstance(factor_cache, FactorCache):
+            self._factor_cache_mode: str | None = "private"
+        elif factor_cache in (True, "shared"):
+            self._factor_cache_mode = "shared"
+        elif factor_cache == "private":
+            self._factor_cache_mode = "private"
+        else:
+            self._factor_cache_mode = None
+        self._factor_cache = resolve_factor_cache(factor_cache,
+                                                  cache_budget_mb)
+        self._cache_budget_mb = cache_budget_mb
+        self._delta_budget = int(delta_budget)
+        # Most recent exact solve, the anchor for delta updates:
+        # (adjacency, pseudoinverse) of the last snapshot whose L^+
+        # this calculator produced or fetched.
+        self._delta_parent: tuple[object, np.ndarray] | None = None
+        # Per-snapshot backend cache (pseudoinverse or embedding),
+        # keyed by content digest so content-equal snapshots — a
+        # checkpoint-restored session re-pushing the same graph, or a
+        # rebuilt snapshot object — hit instead of rebuilding (and so
+        # a recycled id() after GC can never alias a stale entry).
         # Sequence scoring visits each snapshot twice — as G_{t+1} of
         # one transition and G_t of the next — so keeping the two most
         # recent backends halves the dominant cost.
-        self._cache: dict[tuple[int, str], tuple[object, object]] = {}
-        self._cache_order: list[tuple[int, str]] = []
+        self._cache: dict[tuple[bytes, str], object] = {}
+        self._cache_order: list[tuple[bytes, str]] = []
 
     @property
     def k(self) -> int:
@@ -157,7 +208,20 @@ class CommuteTimeCalculator:
             "exact_limit": self._exact_limit,
             "tol": self._tol,
             "seed_mode": self._seed_mode,
+            "factor_cache": self._factor_cache_mode,
+            "cache_budget_mb": self._cache_budget_mb,
+            "delta_budget": self._delta_budget,
         }
+
+    @property
+    def factor_cache(self):
+        """The resolved factor cache (``None`` when disabled)."""
+        return self._factor_cache
+
+    @property
+    def delta_budget(self) -> int:
+        """Maximum edge-delta absorbed by rank-one factor updates."""
+        return self._delta_budget
 
     @property
     def health(self) -> HealthMonitor:
@@ -251,20 +315,77 @@ class CommuteTimeCalculator:
                 f"{self.resolve_method(snapshot.num_nodes)!r}"
             )
         add_counter("commute_backend_installs_total")
-        self._remember(snapshot, "exact", pseudoinverse)
+        digest = snapshot.content_digest()
+        self._remember(digest, "exact", pseudoinverse)
+        self._delta_parent = (snapshot.adjacency, pseudoinverse)
+        if self._factor_cache is not None:
+            # Incrementally maintained matrices are rank-one products,
+            # not fresh factorizations: cache them at "updated" grade
+            # so bit-for-bit consumers never see them.
+            self._factor_cache.put(
+                (digest, "exact"), pseudoinverse,
+                nbytes=backend_nbytes(pseudoinverse, snapshot.adjacency),
+                exactness="updated", adjacency=snapshot.adjacency,
+            )
+
+    def _shared_key(self, digest: bytes, method: str) -> tuple | None:
+        """Cross-session cache key, or ``None`` when not cacheable.
+
+        Exact backends depend only on the graph, so the digest and
+        method suffice. Approximate embeddings additionally depend on
+        the JL projection: they are shareable only under
+        ``seed_mode="content"`` (content-derived randomness), and the
+        key then pins every input of the projection and solve — so a
+        degraded-mode ``method_override`` can never be served an
+        entry built for the other backend or other parameters.
+        """
+        if method == "exact":
+            return (digest, "exact")
+        if self._seed_mode != "content" or not isinstance(self._solver,
+                                                          str):
+            return None
+        return (digest, "approx", self._k, self.root_entropy(),
+                self._solver, float(self._tol))
 
     def _backend_for(self, snapshot: GraphSnapshot, method: str):
-        """Pseudoinverse or embedding for a snapshot, cached (size 2).
+        """Pseudoinverse or embedding for a snapshot, cached.
 
-        The key includes ``method``: a degraded-mode override can
-        re-score the same snapshot on the other backend, and an exact
-        pseudoinverse must never be handed out as an embedding.
+        Lookup order: the calculator's two-deep content-keyed cache,
+        then the cross-session factor cache (identity hit, bit-for-bit),
+        then — exact method only, within ``delta_budget`` — a rank-one
+        factor update from the last exact solve, and finally a cold
+        build. The key includes ``method``: a degraded-mode override
+        can re-score the same snapshot on the other backend, and an
+        exact pseudoinverse must never be handed out as an embedding.
         """
-        key = (id(snapshot), method)
-        cached = self._cache.get(key)
-        if cached is not None and cached[0] is snapshot:
+        digest = snapshot.content_digest()
+        cached = self._cache.get((digest, method))
+        if cached is not None:
             add_counter("commute_backend_cache_hits_total")
-            return cached[1]
+            return cached
+        shared_key = None
+        if self._factor_cache is not None:
+            shared_key = self._shared_key(digest, method)
+        if shared_key is not None:
+            entry = self._factor_cache.get(
+                shared_key, allow_updated=self._delta_budget > 0
+            )
+            if entry is not None:
+                backend = entry.backend
+                self._remember(digest, method, backend)
+                if method == "exact":
+                    parent_adjacency = (
+                        entry.adjacency if entry.adjacency is not None
+                        else snapshot.adjacency
+                    )
+                    self._delta_parent = (parent_adjacency, backend)
+                return backend
+            if (method == "exact" and self._delta_budget > 0
+                    and self._delta_parent is not None):
+                backend = self._delta_updated_backend(snapshot, digest,
+                                                      shared_key)
+                if backend is not None:
+                    return backend
         add_counter("commute_backend_builds_total", method=method)
         if method == "exact":
             with trace("commute.backend_build", method=method,
@@ -284,16 +405,55 @@ class CommuteTimeCalculator:
                     solver=self._solver, tol=self._tol,
                     health=self._health,
                 )
-        self._remember(snapshot, method, backend)
+        self._remember(digest, method, backend)
+        if method == "exact":
+            self._delta_parent = (snapshot.adjacency, backend)
+        if shared_key is not None:
+            self._factor_cache.put(
+                shared_key, backend,
+                nbytes=backend_nbytes(
+                    backend,
+                    snapshot.adjacency if method == "exact" else None,
+                ),
+                exactness="cold",
+                adjacency=(snapshot.adjacency if method == "exact"
+                           else None),
+            )
         return backend
 
-    def _remember(self, snapshot: GraphSnapshot, method: str,
-                  backend) -> None:
-        """Insert one backend into the two-deep snapshot cache."""
-        key = (id(snapshot), method)
+    def _delta_updated_backend(self, snapshot: GraphSnapshot,
+                               digest: bytes, shared_key: tuple):
+        """Try advancing the last exact ``L^+`` by rank-one updates.
+
+        Returns the updated backend (remembered locally, stored in the
+        factor cache at "updated" grade, and adopted as the new delta
+        parent), or ``None`` when the transition is out of budget or
+        changes structure in a way the identities cannot absorb — the
+        caller then factorizes from scratch.
+        """
+        parent_adjacency, parent_pinv = self._delta_parent
+        backend, edits = updated_pseudoinverse(
+            parent_adjacency, parent_pinv, snapshot.adjacency,
+            self._delta_budget,
+        )
+        if backend is None:
+            return None
+        add_counter("commute_backend_delta_updates_total")
+        self._remember(digest, "exact", backend)
+        self._delta_parent = (snapshot.adjacency, backend)
+        self._factor_cache.put(
+            shared_key, backend,
+            nbytes=backend_nbytes(backend, snapshot.adjacency),
+            exactness="updated", adjacency=snapshot.adjacency,
+        )
+        return backend
+
+    def _remember(self, digest: bytes, method: str, backend) -> None:
+        """Insert one backend into the two-deep content-keyed cache."""
+        key = (digest, method)
         if key not in self._cache:
             self._cache_order.append(key)
-        self._cache[key] = (snapshot, backend)
+        self._cache[key] = backend
         while len(self._cache_order) > 2:
             evicted = self._cache_order.pop(0)
             self._cache.pop(evicted, None)

@@ -77,6 +77,12 @@ class StreamingCadDetector:
             scores match the non-incremental stream up to roundoff.
         **cad_kwargs: forwarded to :class:`~repro.core.CadDetector`
             (``method``, ``k``, ``seed``, ``solver``, ...).
+            ``factor_cache="shared"`` makes sessions share the
+            process-wide factorization cache
+            (:mod:`repro.linalg.factorcache`): a stream resumed from a
+            checkpoint — or a second stream revisiting the same
+            snapshot content — reuses the cached backend instead of
+            re-factorizing.
     """
 
     def __init__(self, anomalies_per_transition: int = 5,

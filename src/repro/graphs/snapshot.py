@@ -154,7 +154,7 @@ class GraphSnapshot:
             transition index...). Not interpreted by the library.
     """
 
-    __slots__ = ("_adjacency", "_universe", "_time")
+    __slots__ = ("_adjacency", "_universe", "_time", "_digest")
 
     def __init__(self, adjacency: Any,
                  universe: NodeUniverse | None = None,
@@ -167,6 +167,7 @@ class GraphSnapshot:
         self._adjacency = matrix
         self._universe = universe
         self._time = time
+        self._digest: bytes | None = None
 
     @classmethod
     def _from_canonical(cls, matrix: sp.csr_matrix,
@@ -184,6 +185,7 @@ class GraphSnapshot:
         snapshot._adjacency = matrix
         snapshot._universe = universe
         snapshot._time = time
+        snapshot._digest = None
         return snapshot
 
     def __reduce__(self):
@@ -264,7 +266,13 @@ class GraphSnapshot:
         which is what lets the parallel engine derive *content-keyed*
         randomness (the same snapshot gets the same JL projection in
         every worker) and lets checkpoints fingerprint their input.
+
+        Memoized: snapshots are immutable, so the digest is computed at
+        most once per instance (the backend cache and the factor cache
+        both key on it, often several times per transition).
         """
+        if self._digest is not None:
+            return self._digest
         matrix = self._adjacency
         digest = hashlib.blake2b(digest_size=16)
         digest.update(np.int64(matrix.shape[0]).tobytes())
@@ -274,7 +282,8 @@ class GraphSnapshot:
                                            dtype=np.int64).tobytes())
         digest.update(np.ascontiguousarray(matrix.data,
                                            dtype=np.float64).tobytes())
-        return digest.digest()
+        self._digest = digest.digest()
+        return self._digest
 
     def density(self) -> float:
         """Fraction of possible undirected edges that are present."""

@@ -33,20 +33,41 @@ from .pseudoinverse import (
     effective_resistance_matrix,
     laplacian_pseudoinverse,
 )
-from .solvers import LaplacianSolver, conjugate_gradient, make_solver
+from .factorcache import (
+    FactorCache,
+    resolve_factor_cache,
+    shared_cache,
+    updated_pseudoinverse,
+)
+from .solvers import (
+    LaplacianSolver,
+    block_conjugate_gradient,
+    conjugate_gradient,
+    make_solver,
+)
 from .sparsify import effective_resistances, sparsify
-from .updates import IncrementalPseudoinverse, rank_one_update
+from .updates import (
+    IncrementalPseudoinverse,
+    rank_one_merge_update,
+    rank_one_update,
+)
 
 __all__ = [
     "CommuteTimeEmbedding",
     "DISTANCE_REGISTRY",
+    "FactorCache",
     "IncrementalPseudoinverse",
     "LaplacianSolver",
+    "block_conjugate_gradient",
     "commute_distance_matrix",
     "effective_resistances",
     "estimate_embedding_error",
     "forest_distance_matrix",
+    "rank_one_merge_update",
     "rank_one_update",
+    "resolve_factor_cache",
+    "shared_cache",
+    "updated_pseudoinverse",
     "resistance_distance_matrix",
     "shortest_path_distance_matrix",
     "sparsify",

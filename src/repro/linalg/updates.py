@@ -16,9 +16,19 @@ component) and the correction stays inside that range. Each update is
 O(n^2), so a transition touching ``q`` edges costs O(q n^2) instead of
 O(n^3) — a real win for the paper's sparse-change regime.
 
-The identity *fails* when an edit splits or merges components (the
-null space changes); :class:`IncrementalPseudoinverse` detects that
-via the denominator and falls back to recomputation.
+The identity *fails* when an edit changes the component structure
+(the null space changes). The two directions are not symmetric:
+
+* **Merges** — a new edge between two components — have a closed-form
+  pseudoinverse update of their own (Meyer 1973, the ``b`` outside
+  ``range(L)`` case): :func:`rank_one_merge_update` joins the two
+  component blocks in O(n^2), so growing graphs never trigger a full
+  recompute.
+* **Splits** — removing the last path inside a component — are
+  detected via the near-zero Sherman–Morrison denominator and still
+  fall back to recomputation (the split case has no comparably simple
+  update because the new null vector depends on the post-split
+  component membership).
 """
 
 from __future__ import annotations
@@ -70,13 +80,83 @@ def rank_one_update(pseudoinverse: np.ndarray,
     return pseudoinverse - np.outer(lb, lb) * (delta / denominator)
 
 
+def rank_one_merge_update(pseudoinverse: np.ndarray,
+                          i: int,
+                          j: int,
+                          weight: float,
+                          component_labels: np.ndarray) -> np.ndarray:
+    """Pseudoinverse after a new edge *merges* two components.
+
+    Adding ``weight * b b^T`` with ``b = e_i - e_j`` spanning two
+    components changes the Laplacian's null space (the two constant
+    indicator vectors collapse into one), so the Sherman–Morrison
+    identity does not apply. Meyer's rank-one pseudoinverse update for
+    the ``b`` outside ``range(L)`` case does: writing ``b_n`` for the
+    projection of ``b`` onto the null space (``1_{C_i}/n_i -
+    1_{C_j}/n_j`` for component sizes ``n_i``, ``n_j``) and ``beta = 1
+    + weight * b^T L^+ b``::
+
+        L_new^+ = L^+ - (L^+ b) b_n^T / ||b_n||^2
+                      - b_n (L^+ b)^T / ||b_n||^2
+                      + beta * b_n b_n^T / (weight * ||b_n||^4)
+
+    which joins the two pseudoinverse blocks in O(n^2) — the identity
+    the *Resistance Perturbation Distance* machinery builds on.
+
+    Args:
+        pseudoinverse: current ``L^+`` (dense, symmetric,
+            block-diagonal across components).
+        i, j: endpoints of the new edge, in different components.
+        weight: the new edge weight (> 0).
+        component_labels: per-node component ids of the *current*
+            (pre-edge) graph.
+
+    Returns:
+        The updated dense pseudoinverse (a new array).
+
+    Raises:
+        SolverError: if the endpoints coincide, share a component, or
+            the weight is not positive.
+    """
+    if i == j:
+        raise SolverError("edge endpoints must be distinct")
+    if weight <= 0.0:
+        raise SolverError(
+            f"a merging edge needs a positive weight, got {weight}"
+        )
+    labels = np.asarray(component_labels)
+    if labels[i] == labels[j]:
+        raise SolverError(
+            "endpoints share a component; use rank_one_update instead"
+        )
+    in_i = labels == labels[i]
+    in_j = labels == labels[j]
+    size_i = int(in_i.sum())
+    size_j = int(in_j.sum())
+    b_null = np.zeros(pseudoinverse.shape[0])
+    b_null[in_i] = 1.0 / size_i
+    b_null[in_j] = -1.0 / size_j
+    norm_sq = 1.0 / size_i + 1.0 / size_j
+    lb = pseudoinverse[:, i] - pseudoinverse[:, j]
+    beta = 1.0 + weight * (lb[i] - lb[j])
+    updated = pseudoinverse - (
+        np.outer(lb, b_null) + np.outer(b_null, lb)
+    ) / norm_sq
+    updated += np.outer(b_null, b_null) * (
+        beta / (weight * norm_sq * norm_sq)
+    )
+    return updated
+
+
 class IncrementalPseudoinverse:
     """Maintains ``L^+`` of an evolving graph under edge edits.
 
     Apply a batch of weight edits per transition; each costs O(n^2).
-    When an edit would change the component structure (detected by a
-    near-zero Sherman–Morrison denominator) the object transparently
-    recomputes from the adjacency, so results always match a fresh
+    Within-component edits use the Sherman–Morrison identity; edits
+    that *merge* two components use :func:`rank_one_merge_update`
+    (growing graphs never recompute). Only a component *split*
+    (detected by a near-zero Sherman–Morrison denominator) falls back
+    to recomputation, so results always match a fresh
     :func:`~repro.linalg.laplacian_pseudoinverse` up to roundoff.
 
     Args:
@@ -85,6 +165,8 @@ class IncrementalPseudoinverse:
     Attributes:
         recompute_count: how many full recomputations happened (for
             observability; the initial build counts as one).
+        merge_update_count: how many component merges were absorbed by
+            the O(n^2) merge update instead of a recompute.
     """
 
     def __init__(self, snapshot: GraphSnapshot):
@@ -92,6 +174,7 @@ class IncrementalPseudoinverse:
         self._pseudoinverse = laplacian_pseudoinverse(snapshot.adjacency)
         self._component_labels = self._current_components()
         self.recompute_count = 1
+        self.merge_update_count = 0
 
     def _current_components(self) -> np.ndarray:
         from ..graphs.operations import connected_components
@@ -131,9 +214,17 @@ class IncrementalPseudoinverse:
         self._adjacency[j, i] = new_weight
         if merges:
             # A new edge between components changes the null space;
-            # the rank-one identity does not apply (and would *not*
-            # fail loudly — its denominator stays ~1), so recompute.
-            self._recompute()
+            # the Sherman–Morrison identity does not apply (and would
+            # *not* fail loudly — its denominator stays ~1). Meyer's
+            # out-of-range rank-one update joins the two blocks in
+            # O(n^2); the components then relabel by union.
+            self._pseudoinverse = rank_one_merge_update(
+                self._pseudoinverse, i, j, new_weight,
+                self._component_labels,
+            )
+            labels = self._component_labels
+            labels[labels == labels[j]] = labels[i]
+            self.merge_update_count += 1
             return
         try:
             self._pseudoinverse = rank_one_update(

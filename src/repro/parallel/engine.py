@@ -129,6 +129,12 @@ class ParallelCadDetector(Detector):
             configuration, as in :class:`~repro.core.cad.CadDetector`.
             Randomness always runs in ``seed_mode="content"`` so worker
             scheduling cannot influence scores.
+        factor_cache, cache_budget_mb, delta_budget: factorization
+            reuse (:mod:`repro.linalg.factorcache`). Each pool worker
+            gets its own process-local cache (``"shared"`` is shared
+            *within* a worker process across its chunks); cache hit
+            counters merge back into the parent's metrics registry
+            with the rest of the worker metrics.
     """
 
     name = "CAD"
@@ -152,6 +158,9 @@ class ParallelCadDetector(Detector):
                  solver="cg",
                  exact_limit: int = DEFAULT_EXACT_LIMIT,
                  tol: float = 1e-8,
+                 factor_cache=None,
+                 cache_budget_mb: float | None = None,
+                 delta_budget: int | None = None,
                  _crash_transitions: tuple[int, ...] = ()):
         if workers is not None and workers < 1:
             raise ParallelExecutionError(
@@ -179,9 +188,14 @@ class ParallelCadDetector(Detector):
                 attempts=None,
             )
         self._chaos = chaos
+        extra = {}
+        if delta_budget is not None:
+            extra["delta_budget"] = delta_budget
         self._calculator = CommuteTimeCalculator(
             method=method, k=k, seed=seed, solver=solver,
             exact_limit=exact_limit, tol=tol, seed_mode="content",
+            factor_cache=factor_cache, cache_budget_mb=cache_budget_mb,
+            **extra,
         )
         #: Per-worker health reports of the last run, keyed by worker id
         #: (process id, or ``ckpt:``-prefixed for restored state).
@@ -328,13 +342,17 @@ class ParallelCadDetector(Detector):
         if tasks:
             store = SharedGraphSequence.publish(graph)
             try:
+                spec = self._calculator.spec()
                 config = WorkerConfig(
                     sequence=store.spec,
                     method=resolved_method,
                     k=self._calculator.k,
                     root_entropy=self._calculator.root_entropy(),
-                    solver=self._calculator.spec()["solver"],
-                    tol=self._calculator.spec()["tol"],
+                    solver=spec["solver"],
+                    tol=spec["tol"],
+                    factor_cache=spec["factor_cache"],
+                    cache_budget_mb=spec["cache_budget_mb"],
+                    delta_budget=spec["delta_budget"],
                     skip_unscorable=self._skip_unscorable,
                     unregister_shm=(
                         multiprocessing.get_start_method() != "fork"

@@ -75,6 +75,13 @@ class WorkerConfig:
             arming deterministic process faults (kill/hang/slow) on
             chosen transitions; attempt-aware, so the supervised pool's
             retries can demonstrably heal first-attempt faults.
+        factor_cache: factorization-cache mode for the worker-local
+            calculator (``"shared"``/``"private"``/``None``);
+            ``"shared"`` is the *worker process's* singleton, so a
+            worker reuses factorizations across all chunks it scores.
+        cache_budget_mb: worker-local factor-cache byte budget.
+        delta_budget: rank-one update budget
+            (see :class:`~repro.core.commute.CommuteTimeCalculator`).
     """
 
     sequence: SharedSequenceSpec
@@ -87,6 +94,9 @@ class WorkerConfig:
     unregister_shm: bool = False
     collect_metrics: bool = False
     chaos: ChaosSpec | None = None
+    factor_cache: str | None = None
+    cache_budget_mb: float | None = None
+    delta_budget: int | None = None
 
 
 _STATE: dict[str, Any] = {}
@@ -125,9 +135,15 @@ def init_worker(config: WorkerConfig) -> None:
             GraphSnapshot._from_canonical(matrix, universe, time)
             for matrix, time in zip(attached.matrices, attached.times)
         ]
+        extra = {}
+        if config.delta_budget is not None:
+            extra["delta_budget"] = config.delta_budget
         calculator = CommuteTimeCalculator(
             method=config.method, k=config.k, seed=config.root_entropy,
             solver=config.solver, tol=config.tol, seed_mode="content",
+            factor_cache=config.factor_cache,
+            cache_budget_mb=config.cache_budget_mb,
+            **extra,
         )
     _STATE.clear()
     _STATE.update(

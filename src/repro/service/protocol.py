@@ -28,7 +28,7 @@ from .errors import BadRequestError
 CONFIG_KEYS = (
     "anomalies_per_transition", "warmup", "sanitize", "incremental",
     "method", "k", "seed", "solver", "exact_limit", "seed_mode",
-    "detector_options",
+    "factor_cache", "cache_budget_mb", "detector_options",
 )
 
 #: ``method=`` values that run the CAD stream (commute-time backends;
@@ -56,6 +56,8 @@ class SessionConfig:
     solver: str = "cg"
     exact_limit: int = DEFAULT_EXACT_LIMIT
     seed_mode: str = field(default="stream")
+    factor_cache: bool = False
+    cache_budget_mb: int | None = None
     detector_options: dict | None = None
 
     @property
@@ -74,6 +76,8 @@ class SessionConfig:
             "solver": self.solver,
             "exact_limit": self.exact_limit,
             "seed_mode": self.seed_mode,
+            "factor_cache": "shared" if self.factor_cache else None,
+            "cache_budget_mb": self.cache_budget_mb,
         }
 
     def detector_kwargs(self) -> dict[str, Any]:
@@ -102,13 +106,17 @@ class SessionConfig:
     def to_document(self) -> dict[str, Any]:
         """JSON-ready form (the eviction sidecar format).
 
-        ``detector_options`` is omitted when unset so CAD sidecars stay
-        byte-compatible with ones written before registry methods
-        existed.
+        ``detector_options``, ``factor_cache`` and ``cache_budget_mb``
+        are omitted when unset so sidecars stay byte-compatible with
+        ones written before those options existed.
         """
         document = {key: getattr(self, key) for key in CONFIG_KEYS}
         if document["detector_options"] is None:
             del document["detector_options"]
+        if document["factor_cache"] is False:
+            del document["factor_cache"]
+        if document["cache_budget_mb"] is None:
+            del document["cache_budget_mb"]
         return document
 
 
@@ -164,6 +172,17 @@ def parse_session_config(document: Any) -> SessionConfig:
     if not isinstance(config.incremental, bool):
         raise BadRequestError(
             f"incremental must be a boolean, got {config.incremental!r}"
+        )
+    if not isinstance(config.factor_cache, bool):
+        raise BadRequestError(
+            f"factor_cache must be a boolean, got {config.factor_cache!r}"
+        )
+    if config.cache_budget_mb is not None:
+        _check_int(config.cache_budget_mb, "cache_budget_mb", minimum=1)
+    if config.factor_cache and not config.uses_cad:
+        raise BadRequestError(
+            "factor_cache=true requires a CAD session (method 'exact', "
+            f"'approx', 'auto' or 'cad'), got method={config.method!r}"
         )
     return config
 

@@ -294,6 +294,8 @@ def make_server(host: str = "127.0.0.1",
                 request_deadline: float | None = None,
                 breaker_threshold: int = 3,
                 breaker_cooldown: float = 30.0,
+                factor_cache: bool = False,
+                cache_budget_mb: int | None = None,
                 ) -> DetectionHTTPServer:
     """Build (but do not run) a service instance.
 
@@ -314,6 +316,8 @@ def make_server(host: str = "127.0.0.1",
         wal=wal, request_deadline=request_deadline,
         breaker_threshold=breaker_threshold,
         breaker_cooldown=breaker_cooldown,
+        factor_cache=factor_cache,
+        cache_budget_mb=cache_budget_mb,
     )
     return DetectionHTTPServer((host, port), manager, registry)
 
@@ -331,7 +335,9 @@ def run_server(host: str = "127.0.0.1",
                wal: bool = True,
                request_deadline: float | None = None,
                breaker_threshold: int = 3,
-               breaker_cooldown: float = 30.0) -> int:
+               breaker_cooldown: float = 30.0,
+               factor_cache: bool = False,
+               cache_budget_mb: int | None = None) -> int:
     """Run the service until SIGTERM/SIGINT, then drain; returns 0.
 
     The drain sequence on a signal:
@@ -350,6 +356,8 @@ def run_server(host: str = "127.0.0.1",
         workers=workers, wal=wal, request_deadline=request_deadline,
         breaker_threshold=breaker_threshold,
         breaker_cooldown=breaker_cooldown,
+        factor_cache=factor_cache,
+        cache_budget_mb=cache_budget_mb,
     )
     manager = server.manager
 

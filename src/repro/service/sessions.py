@@ -47,6 +47,7 @@ anything else falls back to serial pushes.
 
 from __future__ import annotations
 
+import dataclasses
 import io
 import json
 import tempfile
@@ -226,6 +227,12 @@ class SessionManager:
         degrade_after: consecutive pressured acquisitions before the
             manager enters degraded mode (and, symmetrically, calm
             acquisitions before it recovers).
+        factor_cache: enable the process-wide factorization cache
+            (:mod:`repro.linalg.factorcache`) for every CAD session by
+            default; individual sessions may still opt in via their
+            own config when this is off.
+        cache_budget_mb: byte budget for the shared factor cache
+            applied to sessions that don't set their own.
     """
 
     def __init__(self, max_sessions: int = 64,
@@ -241,7 +248,9 @@ class SessionManager:
                  breaker_threshold: int = 3,
                  breaker_cooldown: float = 30.0,
                  degrade_pressure: float = 0.85,
-                 degrade_after: int = 3):
+                 degrade_after: int = 3,
+                 factor_cache: bool = False,
+                 cache_budget_mb: int | None = None):
         if max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
         if max_queue < 1:
@@ -260,6 +269,8 @@ class SessionManager:
         self._breaker_cooldown = float(breaker_cooldown)
         self._degrade_pressure = float(degrade_pressure)
         self._degrade_after = max(int(degrade_after), 1)
+        self._factor_cache = bool(factor_cache)
+        self._cache_budget_mb = cache_budget_mb
         if store is not None and checkpoint_dir is not None:
             raise ValueError(
                 "pass either store= or checkpoint_dir=, not both"
@@ -350,6 +361,7 @@ class SessionManager:
         if self._draining:
             raise ShuttingDownError()
         config = parse_session_config(document)
+        config = self._apply_cache_defaults(config)
         session_id = uuid.uuid4().hex[:12]
         record = SessionRecord(session_id, config)
         if self._leases is not None:
@@ -373,6 +385,26 @@ class SessionManager:
         add_counter("service_sessions_created_total")
         _logger.info("session %s created", session_id)
         return self._info_document(record)
+
+    def _apply_cache_defaults(self, config: SessionConfig) -> SessionConfig:
+        """Fold the manager's factor-cache defaults into a new session.
+
+        Applied at creation (so the sidecar persists the *effective*
+        setting and resurrection reproduces it), never on restore.
+        Sessions that opt in themselves only inherit the byte budget.
+        """
+        if not config.uses_cad:
+            return config
+        updates: dict[str, Any] = {}
+        if self._factor_cache and not config.factor_cache:
+            updates["factor_cache"] = True
+        if (self._cache_budget_mb is not None
+                and config.cache_budget_mb is None
+                and (config.factor_cache or self._factor_cache)):
+            updates["cache_budget_mb"] = self._cache_budget_mb
+        if updates:
+            config = dataclasses.replace(config, **updates)
+        return config
 
     def push(self, session_id: str, body: Any) -> dict[str, Any]:
         """Ingest one snapshot payload (or a batch) into a session."""

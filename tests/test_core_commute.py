@@ -6,7 +6,8 @@ import pytest
 from repro.core import CommuteTimeCalculator
 from repro.exceptions import DetectionError
 from repro.graphs import GraphSnapshot
-from repro.linalg import commute_time_matrix
+from repro.linalg import FactorCache, commute_time_matrix
+from repro.observability import collecting
 
 
 class TestDispatch:
@@ -95,3 +96,167 @@ class TestCaching:
         first = calculator.pairwise(random_connected_graph, rows, cols)
         second = calculator.pairwise(random_connected_graph, rows, cols)
         np.testing.assert_array_equal(first, second)
+
+    def test_content_equal_snapshot_hits_cache(self,
+                                               random_connected_graph):
+        # Regression: the cache used to key on id(snapshot), so a
+        # content-identical snapshot rebuilt after a checkpoint restore
+        # (a different object) re-solved from scratch — and a recycled
+        # id() could even alias a stale entry. Content keying makes the
+        # rebuilt object a hit.
+        calculator = CommuteTimeCalculator(method="exact")
+        rows, cols = np.array([0]), np.array([1])
+        rebuilt = GraphSnapshot(random_connected_graph.adjacency.copy(),
+                                random_connected_graph.universe)
+        assert rebuilt is not random_connected_graph
+        with collecting() as registry:
+            first = calculator.pairwise(random_connected_graph, rows,
+                                        cols)
+            second = calculator.pairwise(rebuilt, rows, cols)
+        np.testing.assert_array_equal(first, second)
+        assert len(calculator._cache) == 1
+        assert registry.counter_value(
+            "commute_backend_builds_total", {"method": "exact"}
+        ) == 1
+        assert registry.counter_value(
+            "commute_backend_cache_hits_total"
+        ) == 1
+
+
+class TestFactorCache:
+    def test_restored_calculator_hits_shared_cache(
+            self, random_connected_graph):
+        # A checkpoint-restored session builds a *new* calculator; with
+        # the factor cache enabled it must reuse the old session's
+        # factorization bit-for-bit instead of re-solving.
+        cache = FactorCache(budget_mb=64)
+        rows, cols = np.array([0, 4]), np.array([1, 9])
+        before = CommuteTimeCalculator(method="exact",
+                                       factor_cache=cache)
+        first = before.pairwise(random_connected_graph, rows, cols)
+        restored = CommuteTimeCalculator(method="exact",
+                                         factor_cache=cache)
+        with collecting() as registry:
+            second = restored.pairwise(random_connected_graph, rows,
+                                       cols)
+        np.testing.assert_array_equal(first, second)
+        assert cache.stats()["hits"] == 1
+        assert registry.counter_value(
+            "commute_backend_builds_total", {"method": "exact"}
+        ) == 0
+
+    def test_identity_hit_is_bit_for_bit(self, random_connected_graph):
+        cache = FactorCache(budget_mb=64)
+        writer = CommuteTimeCalculator(method="exact",
+                                       factor_cache=cache)
+        writer.pairwise(random_connected_graph, np.array([0]),
+                        np.array([1]))
+        digest = random_connected_graph.content_digest()
+        entry = cache.get((digest, "exact"))
+        reader = CommuteTimeCalculator(method="exact",
+                                       factor_cache=cache)
+        backend = reader._backend_for(random_connected_graph, "exact")
+        assert backend is entry.backend  # the very same array object
+
+    def test_small_delta_uses_rank_one_update(self,
+                                              random_connected_graph):
+        cache = FactorCache(budget_mb=64)
+        calculator = CommuteTimeCalculator(method="exact",
+                                           factor_cache=cache,
+                                           delta_budget=8)
+        rows, cols = np.array([0, 2]), np.array([1, 3])
+        calculator.pairwise(random_connected_graph, rows, cols)
+        edited = random_connected_graph.adjacency.tolil()
+        j = random_connected_graph.neighbors(0)[0]
+        edited[0, j] = edited[j, 0] = float(edited[0, j]) + 1.0
+        drifted = GraphSnapshot(edited.tocsr(),
+                                random_connected_graph.universe)
+        with collecting() as registry:
+            values = calculator.pairwise(drifted, rows, cols)
+        assert registry.counter_value(
+            "commute_backend_delta_updates_total"
+        ) == 1
+        assert registry.counter_value(
+            "commute_backend_builds_total", {"method": "exact"}
+        ) == 0
+        cold = CommuteTimeCalculator(method="exact")
+        expected = cold.pairwise(drifted, rows, cols)
+        np.testing.assert_allclose(values, expected, atol=1e-8)
+
+    def test_zero_delta_budget_disables_updates(
+            self, random_connected_graph):
+        cache = FactorCache(budget_mb=64)
+        calculator = CommuteTimeCalculator(method="exact",
+                                           factor_cache=cache,
+                                           delta_budget=0)
+        rows, cols = np.array([0]), np.array([1])
+        calculator.pairwise(random_connected_graph, rows, cols)
+        edited = random_connected_graph.adjacency.tolil()
+        edited[0, 5] = edited[5, 0] = 2.0
+        drifted = GraphSnapshot(edited.tocsr(),
+                                random_connected_graph.universe)
+        with collecting() as registry:
+            calculator.pairwise(drifted, rows, cols)
+        assert registry.counter_value(
+            "commute_backend_delta_updates_total"
+        ) == 0
+        assert registry.counter_value(
+            "commute_backend_builds_total", {"method": "exact"}
+        ) == 1
+
+    def test_corrupt_entry_falls_back_to_cold_solve(
+            self, random_connected_graph):
+        cache = FactorCache(budget_mb=64)
+        writer = CommuteTimeCalculator(method="exact",
+                                       factor_cache=cache)
+        rows, cols = np.array([0]), np.array([1])
+        expected = writer.pairwise(random_connected_graph, rows, cols)
+        digest = random_connected_graph.content_digest()
+        cache.get((digest, "exact")).backend[0, 0] = np.inf
+        reader = CommuteTimeCalculator(method="exact",
+                                       factor_cache=cache)
+        values = reader.pairwise(random_connected_graph, rows, cols)
+        np.testing.assert_allclose(values, expected, atol=1e-8)
+        assert cache.stats()["corrupt"] == 1
+
+    def test_approx_cacheable_only_in_content_mode(
+            self, random_connected_graph):
+        cache = FactorCache(budget_mb=64)
+        stream = CommuteTimeCalculator(method="approx", k=16, seed=1,
+                                       factor_cache=cache,
+                                       seed_mode="stream")
+        stream.pairwise(random_connected_graph, np.array([0]),
+                        np.array([1]))
+        assert len(cache) == 0  # stream-mode embeddings never cached
+        content = CommuteTimeCalculator(method="approx", k=16, seed=1,
+                                        factor_cache=cache,
+                                        seed_mode="content")
+        content.pairwise(random_connected_graph, np.array([0]),
+                         np.array([1]))
+        assert len(cache) == 1
+
+    def test_exact_and_approx_keys_disjoint(self,
+                                            random_connected_graph):
+        # A degraded-mode method_override flips the resolved method;
+        # the cache key carries the method, so the exact entry can
+        # never satisfy the approx request (and vice versa).
+        cache = FactorCache(budget_mb=64)
+        calculator = CommuteTimeCalculator(method="exact",
+                                           factor_cache=cache, k=16,
+                                           seed=3, seed_mode="content")
+        rows, cols = np.array([0]), np.array([1])
+        calculator.pairwise(random_connected_graph, rows, cols)
+        calculator.method_override = "approx"
+        with collecting() as registry:
+            calculator.pairwise(random_connected_graph, rows, cols)
+        assert registry.counter_value(
+            "commute_backend_builds_total", {"method": "approx"}
+        ) == 1
+        digest = random_connected_graph.content_digest()
+        keys = {key[:2] for key in cache._entries}
+        assert (digest, "exact") in keys
+        assert any(key[1] == "approx" for key in cache._entries)
+
+    def test_rejects_negative_delta_budget(self):
+        with pytest.raises(DetectionError, match="delta_budget"):
+            CommuteTimeCalculator(method="exact", delta_budget=-1)

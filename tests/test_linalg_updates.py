@@ -8,6 +8,7 @@ from repro.graphs import GraphSnapshot, random_sparse_graph
 from repro.linalg import (
     IncrementalPseudoinverse,
     laplacian_pseudoinverse,
+    rank_one_merge_update,
     rank_one_update,
 )
 
@@ -59,6 +60,40 @@ class TestRankOneUpdate:
             rank_one_update(pseudo, 1, 2, -1.0)
 
 
+class TestRankOneMergeUpdate:
+    def test_matches_recompute(self, disconnected_graph):
+        pseudo = laplacian_pseudoinverse(disconnected_graph.adjacency)
+        labels = np.array([0, 0, 1, 1])
+        updated = rank_one_merge_update(pseudo, 1, 2, 1.3, labels)
+        edited = disconnected_graph.adjacency.tolil()
+        edited[1, 2] = edited[2, 1] = 1.3
+        expected = laplacian_pseudoinverse(edited.tocsr())
+        np.testing.assert_allclose(updated, expected, atol=1e-10)
+
+    def test_isolated_node_joining(self):
+        # Merging a singleton component exercises size-1 null blocks.
+        adjacency = np.zeros((3, 3))
+        adjacency[0, 1] = adjacency[1, 0] = 2.0
+        pseudo = laplacian_pseudoinverse(adjacency)
+        updated = rank_one_merge_update(pseudo, 1, 2, 0.5,
+                                        np.array([0, 0, 1]))
+        adjacency[1, 2] = adjacency[2, 1] = 0.5
+        expected = laplacian_pseudoinverse(adjacency)
+        np.testing.assert_allclose(updated, expected, atol=1e-10)
+
+    def test_same_component_rejected(self, disconnected_graph):
+        pseudo = laplacian_pseudoinverse(disconnected_graph.adjacency)
+        with pytest.raises(SolverError, match="share a component"):
+            rank_one_merge_update(pseudo, 0, 1, 1.0,
+                                  np.array([0, 0, 1, 1]))
+
+    def test_non_positive_weight_rejected(self, disconnected_graph):
+        pseudo = laplacian_pseudoinverse(disconnected_graph.adjacency)
+        with pytest.raises(SolverError, match="positive"):
+            rank_one_merge_update(pseudo, 1, 2, 0.0,
+                                  np.array([0, 0, 1, 1]))
+
+
 class TestIncrementalPseudoinverse:
     def test_tracks_many_edits(self, graph):
         incremental = IncrementalPseudoinverse(graph)
@@ -75,11 +110,46 @@ class TestIncrementalPseudoinverse:
         np.testing.assert_allclose(incremental.pseudoinverse, expected,
                                    atol=1e-7)
 
-    def test_component_merge_recomputes(self, disconnected_graph):
+    def test_component_merge_updates_without_recompute(
+            self, disconnected_graph):
         incremental = IncrementalPseudoinverse(disconnected_graph)
         before = incremental.recompute_count
         incremental.apply_edit(1, 2, 1.0)  # joins the two components
-        assert incremental.recompute_count == before + 1
+        assert incremental.recompute_count == before  # no fallback
+        assert incremental.merge_update_count == 1
+        expected = laplacian_pseudoinverse(incremental.adjacency)
+        np.testing.assert_allclose(incremental.pseudoinverse, expected,
+                                   atol=1e-9)
+
+    def test_growing_disconnected_graph_never_recomputes(self):
+        # Regression: a graph assembled component by component used to
+        # trigger a full O(n^3) recompute on *every* joining edge; the
+        # Meyer merge update absorbs them all. Start from 8 isolated
+        # pairs and stitch them into one path.
+        adjacency = np.zeros((16, 16))
+        for i in range(0, 16, 2):
+            adjacency[i, i + 1] = adjacency[i + 1, i] = 1.0
+        incremental = IncrementalPseudoinverse(GraphSnapshot(adjacency))
+        rng = np.random.default_rng(21)
+        for i in range(1, 15, 2):
+            incremental.apply_edit(i, i + 1,
+                                   float(rng.uniform(0.5, 2.0)))
+        assert incremental.recompute_count == 1  # only the initial build
+        assert incremental.merge_update_count == 7
+        expected = laplacian_pseudoinverse(incremental.adjacency)
+        np.testing.assert_allclose(incremental.pseudoinverse, expected,
+                                   atol=1e-8)
+
+    def test_merge_then_within_component_edits_stay_consistent(self):
+        # After a merge the relabelled components must feed later
+        # Sherman–Morrison updates correctly.
+        adjacency = np.zeros((6, 6))
+        for i, j in [(0, 1), (1, 2), (3, 4), (4, 5)]:
+            adjacency[i, j] = adjacency[j, i] = 1.0
+        incremental = IncrementalPseudoinverse(GraphSnapshot(adjacency))
+        incremental.apply_edit(2, 3, 1.5)  # merge the two paths
+        incremental.apply_edit(0, 5, 0.7)  # now within one component
+        assert incremental.recompute_count == 1
         expected = laplacian_pseudoinverse(incremental.adjacency)
         np.testing.assert_allclose(incremental.pseudoinverse, expected,
                                    atol=1e-9)

@@ -267,6 +267,53 @@ class TestDegradedMode:
         assert len(report["transitions"]) == 9
         assert report["degraded_pushes"] == 5
 
+    def test_shedding_with_factor_cache_never_crosses_tiers(
+            self, tmp_path):
+        # Cache-enabled variant of the shedding regression: while the
+        # manager is degraded the override scores on the approx
+        # backend, and the factor cache must keep the exact entries
+        # from ever satisfying those approx requests (and vice versa
+        # after recovery) — the keys are method-tagged.
+        from repro.linalg.factorcache import reset_shared_cache, shared_cache
+
+        reset_shared_cache()
+        try:
+            payloads = random_payloads(steps=12)
+            manager = self.make_manager(tmp_path)
+            sid = manager.create_session({
+                "seed": 3, "factor_cache": True, "seed_mode": "content",
+            })["session"]
+            manager.push(sid, {"snapshots": payloads[:4]})
+            second = manager.push(sid, {"snapshots": payloads[4:8]})
+            assert second.get("degraded") is True
+            record = manager._get(sid)
+            calculator = record.detector.detector.calculator
+            assert calculator.method_override is None
+            assert calculator.factor_cache is shared_cache()
+            keys = list(shared_cache()._entries)
+            assert keys, "factor cache never populated"
+            # Both backends cached, every key method-tagged, and the
+            # two tiers never share a key even for one digest.
+            methods = {key[1] for key in keys}
+            assert methods == {"exact", "approx"}
+            assert len(keys) == len(set(keys))
+            exact_keys = {k for k in keys if k[1] == "exact"}
+            approx_keys = {k for k in keys if k[1] == "approx"}
+            assert not exact_keys & approx_keys
+            # Approx keys pin the projection inputs, so an override
+            # flip can never be handed an entry built for other
+            # parameters.
+            assert all(len(k) > 2 for k in approx_keys)
+            # Recovery: the next pushes are scored exact again and the
+            # session still reports coherently.
+            manager.push(sid, payloads[8])
+            fourth = manager.push(sid, payloads[9])
+            assert "degraded" not in fourth
+            report = manager.report(sid)
+            assert len(report["transitions"]) == 9
+        finally:
+            reset_shared_cache()
+
     def test_explicit_method_is_never_shed(self, tmp_path, payloads):
         manager = self.make_manager(tmp_path)
         sid = manager.create_session({"seed": 3,
