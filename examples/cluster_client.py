@@ -1,0 +1,148 @@
+"""Route a session across service replicas and survive an owner kill.
+
+Boots **two** ``repro.service`` replicas in-process on ephemeral
+ports, sharing one ``shared:`` store with short leases, then streams
+a simulated interaction network through a
+:class:`repro.cluster.ClusterClient` — which picks the first replica
+by rendezvous hashing, learns the real owner from ``307`` ownership
+redirects, and, when the owner is killed mid-stream, fails over to
+the survivor that adopts the session lease. The finalized report must
+match an undisturbed single-replica run entry for entry.
+
+Run with ``PYTHONPATH=src python examples/cluster_client.py``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.cluster import ClusterClient, ClusterClientError, ServiceResponseError
+from repro.graphs.dynamic import DynamicGraph
+from repro.graphs.snapshot import GraphSnapshot, NodeUniverse
+from repro.pipeline.serialize import snapshot_to_payload
+from repro.service import SessionManager, make_server
+from repro.store import SharedStore
+
+LEASE_TTL = 1.0
+CONFIG = {"anomalies_per_transition": 3, "warmup": 3, "seed": 11}
+
+
+def simulated_stream(n=24, steps=10, seed=2024):
+    rng = np.random.default_rng(seed)
+    universe = NodeUniverse([f"user{i:02d}" for i in range(n)])
+    weights = np.triu(
+        (rng.random((n, n)) < 0.3) * rng.integers(1, 6, (n, n)), 1
+    ).astype(float)
+    snapshots = []
+    for t in range(steps):
+        w = weights.copy()
+        for _ in range(4):
+            i, j = rng.integers(0, n, 2)
+            if i != j:
+                w[min(i, j), max(i, j)] = float(rng.integers(0, 9))
+        weights = w
+        snapshots.append(
+            GraphSnapshot(sp.csr_matrix(w + w.T), universe, time=t)
+        )
+    return DynamicGraph(snapshots)
+
+
+def boot_replica(shared_dir: Path, name: str):
+    server = make_server(
+        port=0, replica_id=name, lease_ttl=LEASE_TTL,
+        store=SharedStore(shared_dir, fsync=False),
+    )
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    server.advertise()
+    print(f"replica {name} serving at http://127.0.0.1:{server.port}")
+    return server
+
+
+def kill(server) -> None:
+    """SIGKILL stand-in: stop serving and abandon all in-memory state
+    without releasing the lease — it must age out on its own."""
+    server.manager.abandon()
+    server.shutdown()
+    server.server_close()
+
+
+def push_until_adopted(client, session, payload, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return client.push(session, payload)
+        except (ClusterClientError, ServiceResponseError):
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.1)
+
+
+def anomaly_sets(document):
+    return [
+        (
+            entry["index"],
+            sorted((e["source"], e["target"]) for e in entry["edges"]),
+            sorted(entry["nodes"]),
+        )
+        for entry in document["transitions"]
+    ]
+
+
+def main() -> int:
+    graph = simulated_stream()
+    payloads = [snapshot_to_payload(snapshot) for snapshot in graph]
+
+    with tempfile.TemporaryDirectory() as scratch:
+        scratch = Path(scratch)
+        a = boot_replica(scratch / "shared", "replica-a")
+        b = boot_replica(scratch / "shared", "replica-b")
+        replicas = {f"http://127.0.0.1:{a.port}": a,
+                    f"http://127.0.0.1:{b.port}": b}
+        client = ClusterClient(list(replicas), quarantine=0.2)
+
+        for probe in client.health():
+            print(f"  {probe.replica_id}: healthy={probe.healthy}")
+
+        session = client.create_session(CONFIG)["session"]
+        owner_url = client._owners[session]
+        print(f"session {session} owned by {owner_url}")
+
+        half = len(payloads) // 2
+        for payload in payloads[:half]:
+            client.push(session, payload)
+
+        print(f"killing the owner {owner_url} mid-stream ...")
+        kill(replicas.pop(owner_url))
+        push_until_adopted(client, session, payloads[half])
+        survivor_url = client._owners[session]
+        print(f"survivor {survivor_url} adopted the session")
+        for payload in payloads[half + 1:]:
+            client.push(session, payload)
+
+        online = client.report(session)
+        client.delete(session)
+        for server in replicas.values():
+            server.manager.drain()
+            server.shutdown()
+            server.server_close()
+
+        baseline_manager = SessionManager(
+            checkpoint_dir=scratch / "baseline")
+        sid = baseline_manager.create_session(CONFIG)["session"]
+        for payload in payloads:
+            baseline_manager.push(sid, payload)
+        offline = baseline_manager.report(sid)
+
+    match = anomaly_sets(online) == anomaly_sets(offline)
+    print(f"failed-over stream == undisturbed run: {match}")
+    return 0 if match else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

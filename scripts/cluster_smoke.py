@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Cluster smoke gate: remote workers must be invisible in the scores.
+
+Two gates over real processes, both required to land **bit-for-bit**
+identical to a serial baseline:
+
+1. **parity** — a coordinator plus two ``cad-detect cluster-worker``
+   subprocesses score a sharded detection over localhost sockets; the
+   merged report must equal serial ``detect()`` byte for byte (same
+   content-keyed seeding, same merge order).
+2. **worker-kill** — the same topology, but one worker subprocess is
+   SIGKILLed mid-run (the run is stretched with a deterministic
+   straggler plan so "mid-run" is not a race). The supervised pool
+   requeues the dead worker's shards onto the survivor and the result
+   must still equal the serial baseline byte for byte. The gate also
+   requires that the kill actually landed mid-run (the victim died by
+   SIGKILL, and the survivor finished alone).
+
+Usage::
+
+    PYTHONPATH=src python scripts/cluster_smoke.py [gate ...]
+
+where ``gate`` is any of ``parity``, ``worker-kill`` (default: all).
+Exit code 0 when the selected gates hold, 1 with the failure on
+stderr otherwise. Stdlib + numpy/scipy only; CI runs this as the
+``cluster-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import CadDetector, DynamicGraph  # noqa: E402
+from repro.cluster import ClusterCoordinator, ClusterEngine  # noqa: E402
+from repro.graphs import perturb_weights, random_sparse_graph  # noqa: E402
+from repro.resilience.chaos import ChaosSpec  # noqa: E402
+
+SEED = 13
+WORKERS = 2
+
+
+def make_sequence(num_snapshots=6, n=60) -> DynamicGraph:
+    snapshot = random_sparse_graph(n, mean_degree=4.0, seed=SEED,
+                                   connected=True)
+    snapshots = [snapshot]
+    for step in range(num_snapshots - 1):
+        snapshots.append(perturb_weights(
+            snapshots[-1], relative_noise=0.15, seed=SEED + step + 1,
+        ))
+    return DynamicGraph(snapshots)
+
+
+def serial_baseline(graph: DynamicGraph):
+    return CadDetector(method="exact", seed=SEED,
+                       seed_mode="content").detect(
+        graph, anomalies_per_transition=3)
+
+
+def assert_bitwise_equal(remote, serial, gate: str) -> None:
+    assert remote.threshold == serial.threshold, \
+        f"[{gate}] thresholds differ"
+    for ours, theirs in zip(remote.transitions, serial.transitions):
+        assert ours.anomalous_edges == theirs.anomalous_edges, gate
+        assert ours.anomalous_nodes == theirs.anomalous_nodes, gate
+        assert np.array_equal(ours.scores.edge_scores,
+                              theirs.scores.edge_scores), \
+            f"[{gate}] edge scores diverged at transition {ours.index}"
+        assert np.array_equal(ours.scores.node_scores,
+                              theirs.scores.node_scores), \
+            f"[{gate}] node scores diverged at transition {ours.index}"
+    print(f"[{gate}] bit-for-bit parity over "
+          f"{len(remote.transitions)} transitions")
+
+
+def spawn_workers(coordinator: ClusterCoordinator,
+                  count: int) -> list[subprocess.Popen]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep \
+        + env.get("PYTHONPATH", "")
+    return [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "cluster-worker",
+             coordinator.host, str(coordinator.port),
+             "--worker-id", f"smoke-{index}"],
+            env=env,
+        )
+        for index in range(count)
+    ]
+
+
+def reap(coordinator: ClusterCoordinator,
+         procs: list[subprocess.Popen]) -> None:
+    coordinator.close()
+    for proc in procs:
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def gate_parity() -> None:
+    graph = make_sequence()
+    serial = serial_baseline(graph)
+    with ClusterCoordinator() as coordinator:
+        procs = spawn_workers(coordinator, WORKERS)
+        try:
+            coordinator.wait_for_workers(WORKERS, timeout=60)
+            remote = ClusterEngine(
+                coordinator, workers=WORKERS, min_workers=WORKERS,
+                shard_by="transition", chunk_size=1,
+                method="exact", seed=SEED,
+            ).detect(graph, anomalies_per_transition=3)
+        finally:
+            reap(coordinator, procs)
+    assert_bitwise_equal(remote, serial, "parity")
+
+
+def gate_worker_kill() -> None:
+    graph = make_sequence()
+    serial = serial_baseline(graph)
+    # Stretch every shard so the SIGKILL below lands mid-run by
+    # construction, not by racing the scheduler.
+    chaos = ChaosSpec(slow_transitions=tuple(range(len(graph) - 1)),
+                      slow_seconds=0.4, attempts=None)
+    with ClusterCoordinator() as coordinator:
+        procs = spawn_workers(coordinator, WORKERS)
+        try:
+            coordinator.wait_for_workers(WORKERS, timeout=60)
+            pids = sorted(w["pid"] for w in coordinator.workers())
+            engine = ClusterEngine(
+                coordinator, workers=WORKERS, min_workers=WORKERS,
+                shard_by="transition", chunk_size=1,
+                method="exact", seed=SEED, chaos=chaos,
+            )
+            outcome: dict = {}
+
+            def run():
+                outcome["report"] = engine.detect(
+                    graph, anomalies_per_transition=3)
+
+            thread = threading.Thread(target=run)
+            thread.start()
+            time.sleep(1.0)  # well inside the stretched run
+            assert thread.is_alive(), \
+                "[worker-kill] run finished before the kill; " \
+                "slow_seconds too small"
+            victim = pids[0]
+            os.kill(victim, signal.SIGKILL)
+            print(f"[worker-kill] SIGKILLed worker pid {victim} "
+                  "mid-run")
+            thread.join(timeout=300)
+            assert not thread.is_alive(), \
+                "[worker-kill] run did not finish after the kill"
+            statuses = {proc.pid: proc.wait(timeout=10)
+                        for proc in procs if proc.pid == victim}
+            assert statuses.get(victim) == -signal.SIGKILL, \
+                f"[worker-kill] victim exit {statuses}, expected SIGKILL"
+        finally:
+            reap(coordinator, procs)
+    assert_bitwise_equal(outcome["report"], serial, "worker-kill")
+    print("[worker-kill] survivor absorbed the dead worker's shards")
+
+
+GATES = {
+    "parity": gate_parity,
+    "worker-kill": gate_worker_kill,
+}
+
+
+def main(argv: list[str]) -> int:
+    names = argv or list(GATES)
+    unknown = [name for name in names if name not in GATES]
+    if unknown:
+        print(f"unknown gate(s): {unknown}; known: {sorted(GATES)}",
+              file=sys.stderr)
+        return 1
+    for name in names:
+        print(f"=== gate: {name} ===", flush=True)
+        try:
+            GATES[name]()
+        except AssertionError as error:
+            print(f"GATE FAILED ({name}): {error}", file=sys.stderr)
+            return 1
+    print(f"all gates passed: {', '.join(names)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

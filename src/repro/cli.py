@@ -8,6 +8,7 @@ Usage::
     cad-detect explain graph.csv --transition 3 --node alice
     cad-detect convert graph.csv graph.npz
     cad-detect detect graph.csv -l 5 --json-out detections.json
+    cad-detect cluster-worker 127.0.0.1 9500
 
 The primary input format is the temporal edge CSV of
 :func:`repro.graphs.io.read_temporal_edge_csv`
@@ -225,7 +226,8 @@ def build_parser() -> argparse.ArgumentParser:
                        "lease lapses is adopted by any replica)")
     serve.add_argument("--replica-id", default=None,
                        help="stable replica identity recorded in lease "
-                       "records (default: a fresh replica-<hex>)")
+                       "records, log lines and /healthz "
+                       "(default: <hostname>-<pid>)")
     serve.add_argument("--workers", type=int, default=1,
                        help="score eligible snapshot batches with this "
                        "many worker processes (repro.parallel)")
@@ -252,6 +254,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="factor-cache byte budget in MiB for "
                        "sessions that don't set their own "
                        "(default 512; implies --factor-cache)")
+
+    worker = sub.add_parser(
+        "cluster-worker", help="join a detection cluster: connect to a "
+        "coordinator and score shards it sends (see docs/distribution.md)"
+    )
+    worker.add_argument("host", help="coordinator host to connect to")
+    worker.add_argument("port", type=int,
+                        help="coordinator registration port")
+    worker.add_argument("--worker-id", default=None,
+                        help="stable worker identity stamped into shard "
+                        "results (default: <hostname>-<pid>)")
+    worker.add_argument("--max-runs", type=int, default=None,
+                        help="exit after serving this many detection "
+                        "runs (default: serve until released)")
+    worker.add_argument("--connect-attempts", type=int, default=20,
+                        help="connection attempts before giving up "
+                        "(0.25s apart; default 20)")
     return parser
 
 
@@ -266,6 +285,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "explain": _cmd_explain,
         "convert": _cmd_convert,
         "serve": _cmd_serve,
+        "cluster-worker": _cmd_cluster_worker,
         "list-methods": _cmd_list_methods,
     }
     try:
@@ -461,6 +481,30 @@ def _cmd_serve(args) -> int:
         factor_cache=args.factor_cache or args.cache_budget_mb is not None,
         cache_budget_mb=args.cache_budget_mb,
     )
+
+
+def _cmd_cluster_worker(args) -> int:
+    from .cluster import run_worker
+
+    if not 0 < args.port <= 65535:
+        raise _UsageError(f"port must lie in [1, 65535], got {args.port}")
+    if args.max_runs is not None and args.max_runs < 1:
+        raise _UsageError(
+            f"--max-runs must be >= 1, got {args.max_runs}"
+        )
+    if args.connect_attempts < 1:
+        raise _UsageError(
+            f"--connect-attempts must be >= 1, got {args.connect_attempts}"
+        )
+    try:
+        return run_worker(
+            args.host, args.port,
+            worker_id=args.worker_id,
+            max_runs=args.max_runs,
+            connect_attempts=args.connect_attempts,
+        )
+    except KeyboardInterrupt:  # operator Ctrl-C is a clean exit
+        return 0
 
 
 def _cmd_score(args) -> int:

@@ -1,0 +1,45 @@
+"""Multi-machine execution: remote shard workers + session routing.
+
+Two independent scale-out axes live here, both stdlib-socket only:
+
+* **detection scale-out** — :class:`ClusterCoordinator` accepts
+  ``cad-detect cluster-worker`` registrations and
+  :class:`ClusterEngine` runs CAD over them with the supervised
+  pool's retry/requeue machinery and bit-for-bit serial parity;
+* **service scale-out** — :class:`ClusterClient` routes session
+  requests across ``cad-detect serve`` replicas sharing a ``shared:``
+  store, via rendezvous hashing plus ownership redirects.
+
+See ``docs/distribution.md`` for the topology and failover walkthrough.
+"""
+
+from .client import (
+    ClusterClient,
+    ClusterClientError,
+    ReplicaHealth,
+    ServiceResponseError,
+    rendezvous_order,
+)
+from .coordinator import (
+    ClusterCoordinator,
+    ClusterEngine,
+    RemoteWorkerChannel,
+    SocketShardTransport,
+)
+from .protocol import ProtocolError
+from .worker import default_worker_id, run_worker
+
+__all__ = [
+    "ClusterClient",
+    "ClusterClientError",
+    "ClusterCoordinator",
+    "ClusterEngine",
+    "ProtocolError",
+    "RemoteWorkerChannel",
+    "ReplicaHealth",
+    "ServiceResponseError",
+    "SocketShardTransport",
+    "default_worker_id",
+    "rendezvous_order",
+    "run_worker",
+]

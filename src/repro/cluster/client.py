@@ -1,0 +1,322 @@
+"""Client-side session routing across service replicas.
+
+:class:`ClusterClient` fronts a static list of ``cad-detect serve``
+replicas that share a ``shared:`` store (and therefore lease and
+adopt each other's sessions). Routing is three-layered:
+
+1. **learned owners** — the replica that created (or last served) a
+   session is tried first;
+2. **rendezvous hashing** — when no owner is known, replicas are tried
+   in highest-random-weight order of ``blake2b(replica | session)``.
+   Every client computes the same order from the same replica list,
+   with no coordination and minimal reshuffling when the list changes;
+3. **redirect following** — a ``307`` (ownership hint with a
+   ``Location``) or a ``503 not_session_owner`` body naming an
+   ``owner_url`` re-targets the request at the owning replica; a
+   connection failure quarantines the replica briefly and falls
+   through to the next candidate, which — after the lease TTL — will
+   adopt the session. That is the whole failover story from the
+   client's side: no request is lost unless every replica is down.
+
+Only stdlib ``urllib`` underneath; 307s are followed manually because
+``urllib`` refuses to re-send request bodies across redirects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any
+
+from ..exceptions import ReproError
+from ..observability import add_counter, get_logger
+
+_logger = get_logger("cluster.client")
+
+#: How long a connection-refused replica sits out (seconds).
+DEFAULT_QUARANTINE = 2.0
+
+
+class ClusterClientError(ReproError):
+    """Every candidate replica failed the request."""
+
+
+class ServiceResponseError(ReproError):
+    """A replica answered with a non-retryable error status."""
+
+    def __init__(self, status: int, code: str, message: str, url: str):
+        super().__init__(
+            f"{code} ({status}) from {url}: {message}"
+        )
+        self.status = status
+        self.code = code
+        self.url = url
+
+
+@dataclass
+class ReplicaHealth:
+    """One replica's ``/healthz`` probe outcome."""
+
+    url: str
+    healthy: bool
+    replica_id: str | None = None
+    draining: bool = False
+    error: str | None = None
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "url": self.url,
+            "healthy": self.healthy,
+            "replica": self.replica_id,
+            "draining": self.draining,
+            "error": self.error,
+        }
+
+
+def rendezvous_order(replicas: list[str], key: str) -> list[str]:
+    """Highest-random-weight order of ``replicas`` for ``key``."""
+    def weight(replica: str) -> bytes:
+        return hashlib.blake2b(
+            f"{replica}|{key}".encode(), digest_size=16
+        ).digest()
+    return sorted(replicas, key=weight, reverse=True)
+
+
+class ClusterClient:
+    """Route session requests across service replicas; see module doc.
+
+    Args:
+        replicas: base URLs (``http://host:port``) of every replica.
+        timeout: per-request socket timeout in seconds.
+        max_redirects: ownership-redirect hops tolerated per request.
+        quarantine: seconds an unreachable replica is skipped before
+            being retried.
+    """
+
+    def __init__(self, replicas: list[str], timeout: float = 10.0,
+                 max_redirects: int = 4,
+                 quarantine: float = DEFAULT_QUARANTINE):
+        if not replicas:
+            raise ClusterClientError(
+                "a cluster client needs at least one replica URL"
+            )
+        self._replicas = [url.rstrip("/") for url in replicas]
+        self._timeout = float(timeout)
+        self._max_redirects = max(int(max_redirects), 0)
+        self._quarantine = float(quarantine)
+        #: session id -> base URL of the replica last seen owning it.
+        self._owners: dict[str, str] = {}
+        #: base URL -> monotonic time until which it is skipped.
+        self._down_until: dict[str, float] = {}
+
+    # -- session API ---------------------------------------------------------
+
+    def create_session(self, document: Any = None,
+                       routing_key: str | None = None) -> dict[str, Any]:
+        """``POST /sessions``; learns the creator as the owner."""
+        key = routing_key if routing_key is not None else repr(document)
+        result = self._request_over(
+            self._candidates(key), "POST", "/sessions", document,
+        )
+        session_id = result.get("session")
+        if session_id:
+            self._owners[str(session_id)] = result["_replica_url"]
+        result.pop("_replica_url", None)
+        return result
+
+    def push(self, session_id: str, payload: Any) -> dict[str, Any]:
+        """``POST /sessions/{id}/snapshots`` on the owning replica."""
+        return self._session_request(
+            session_id, "POST", f"/sessions/{session_id}/snapshots",
+            payload,
+        )
+
+    def report(self, session_id: str,
+               include_scores: bool = False) -> dict[str, Any]:
+        """``GET /sessions/{id}/report``."""
+        suffix = "?include_scores=true" if include_scores else ""
+        return self._session_request(
+            session_id, "GET", f"/sessions/{session_id}/report{suffix}",
+            None,
+        )
+
+    def finalize(self, session_id: str,
+                 include_scores: bool = False) -> dict[str, Any]:
+        """``POST /sessions/{id}/finalize``."""
+        suffix = "?include_scores=true" if include_scores else ""
+        return self._session_request(
+            session_id, "POST",
+            f"/sessions/{session_id}/finalize{suffix}", None,
+        )
+
+    def session_info(self, session_id: str) -> dict[str, Any]:
+        """``GET /sessions/{id}``."""
+        return self._session_request(
+            session_id, "GET", f"/sessions/{session_id}", None,
+        )
+
+    def delete(self, session_id: str) -> dict[str, Any]:
+        """``DELETE /sessions/{id}``."""
+        result = self._session_request(
+            session_id, "DELETE", f"/sessions/{session_id}", None,
+        )
+        self._owners.pop(session_id, None)
+        return result
+
+    # -- fleet API -----------------------------------------------------------
+
+    def health(self) -> list[ReplicaHealth]:
+        """Probe every replica's ``/healthz``."""
+        probes = []
+        for url in self._replicas:
+            try:
+                document, _ = self._one_request(
+                    url, "GET", "/healthz", None
+                )
+                probes.append(ReplicaHealth(
+                    url=url, healthy=True,
+                    replica_id=document.get("replica"),
+                    draining=bool(document.get("draining")),
+                ))
+            except Exception as error:  # noqa: BLE001 - health probe
+                probes.append(ReplicaHealth(
+                    url=url, healthy=False, error=str(error),
+                ))
+        return probes
+
+    def replica_catalogue(self) -> dict[str, Any]:
+        """``GET /replicas`` from the first replica that answers."""
+        return self._request_over(
+            self._candidates("catalogue"), "GET", "/replicas", None,
+        )
+
+    # -- routing internals ---------------------------------------------------
+
+    def _candidates(self, key: str) -> list[str]:
+        """Rendezvous order with quarantined replicas pushed last."""
+        now = time.monotonic()
+        ranked = rendezvous_order(self._replicas, key)
+        up = [u for u in ranked
+              if self._down_until.get(u, 0.0) <= now]
+        down = [u for u in ranked if u not in up]
+        return up + down
+
+    def _session_request(self, session_id: str, method: str,
+                         path: str, body: Any) -> dict[str, Any]:
+        candidates = self._candidates(session_id)
+        owner = self._owners.get(session_id)
+        if owner in candidates:
+            candidates = [owner] + [u for u in candidates
+                                    if u != owner]
+        result = self._request_over(candidates, method, path, body)
+        served_by = result.pop("_replica_url", None)
+        if served_by:
+            self._owners[session_id] = served_by
+        return result
+
+    def _request_over(self, candidates: list[str], method: str,
+                      path: str, body: Any) -> dict[str, Any]:
+        """Try candidates in order, following ownership redirects."""
+        failures: list[str] = []
+        for url in candidates:
+            target = url
+            for _hop in range(self._max_redirects + 1):
+                try:
+                    document, final_url = self._one_request(
+                        target, method, path, body
+                    )
+                except _Redirect as redirect:
+                    add_counter("cluster_client_redirects_total")
+                    target = redirect.base_url
+                    _logger.info("redirected to session owner at %s",
+                                 target)
+                    continue
+                except (urllib.error.URLError, ConnectionError,
+                        TimeoutError, OSError) as error:
+                    self._down_until[target] = (
+                        time.monotonic() + self._quarantine
+                    )
+                    add_counter("cluster_client_failovers_total")
+                    failures.append(f"{target}: {error}")
+                    break  # next candidate
+                document["_replica_url"] = final_url
+                return document
+            else:
+                failures.append(
+                    f"{target}: redirect limit "
+                    f"({self._max_redirects}) exceeded"
+                )
+        raise ClusterClientError(
+            f"{method} {path} failed on every replica: "
+            + "; ".join(failures)
+        )
+
+    def _one_request(self, base_url: str, method: str, path: str,
+                     body: Any) -> tuple[dict[str, Any], str]:
+        """One HTTP exchange; raises :class:`_Redirect` on ownership
+        hints and :class:`ServiceResponseError` on definite errors."""
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            base_url + path, data=data, headers=headers, method=method,
+        )
+        opener = _OPENER
+        try:
+            with opener.open(request, timeout=self._timeout) as response:
+                payload = json.loads(response.read() or b"{}")
+                return payload, base_url
+        except urllib.error.HTTPError as error:
+            payload = _json_body(error)
+            location = error.headers.get("Location")
+            owner_url = payload.get("owner_url")
+            if error.code == 307 and location:
+                raise _Redirect(_base_of(location)) from None
+            if payload.get("error") == "not_session_owner" \
+                    and owner_url:
+                raise _Redirect(owner_url.rstrip("/")) from None
+            raise ServiceResponseError(
+                error.code, str(payload.get("error", "http_error")),
+                str(payload.get("message", error.reason)), base_url,
+            ) from None
+
+
+class _Redirect(Exception):
+    """Internal control flow: retry the request at ``base_url``."""
+
+    def __init__(self, base_url: str):
+        super().__init__(base_url)
+        self.base_url = base_url
+
+
+class _NoRedirectHandler(urllib.request.HTTPRedirectHandler):
+    """Surface 3xx as HTTPError so 307 bodies can be re-sent manually."""
+
+    def redirect_request(self, *args, **kwargs):
+        return None
+
+
+_OPENER = urllib.request.build_opener(_NoRedirectHandler())
+
+
+def _json_body(error: urllib.error.HTTPError) -> dict[str, Any]:
+    try:
+        return json.loads(error.read() or b"{}")
+    except ValueError:
+        return {}
+
+
+def _base_of(location: str) -> str:
+    """``http://host:port`` of an absolute Location header."""
+    from urllib.parse import urlparse
+
+    parsed = urlparse(location)
+    if parsed.scheme and parsed.netloc:
+        return f"{parsed.scheme}://{parsed.netloc}"
+    return location.rstrip("/")

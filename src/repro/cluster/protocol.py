@@ -1,0 +1,334 @@
+"""Length-prefixed, checksummed framing for the cluster transport.
+
+Everything rides on stdlib ``socket``/``struct``: a fixed 20-byte
+header (``RPRO`` magic, protocol version, message type, CRC-32 and
+payload length) followed by a self-describing payload. Payloads are a
+hybrid encoding chosen for the traffic this link actually carries:
+
+* **numpy arrays** (CSR snapshot data, score payloads) travel as raw
+  dtype-tagged bytes — bit-for-bit, no text round-trip, so the remote
+  merge preserves the serial-parity contract;
+* **plain structure** (dicts/lists/strings/numbers) travels as JSON;
+* **trusted control objects** (solver fallback policies, chaos specs,
+  pickled worker exceptions) fall back to pickle blobs, exactly like
+  the multiprocessing queues they replace. The transport is therefore
+  only for trusted networks — same trust model as a
+  ``multiprocessing`` pool, just with the cable made visible.
+
+A corrupted frame (bad magic, bad CRC, truncated stream) raises
+:class:`ProtocolError`; the supervisor treats the worker as lost and
+requeues its shard, so a flaky link degrades into the same retry path
+as a killed process.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import socket
+import struct
+import zlib
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import ReproError
+from ..observability import add_counter
+
+#: Frame header: magic, version, message type, reserved, CRC-32,
+#: payload length.
+_HEADER = struct.Struct(">4sBBHIQ")
+MAGIC = b"RPRO"
+VERSION = 1
+
+#: Hard cap on one frame (16 GiB); anything larger is a corrupt length.
+MAX_FRAME_BYTES = 16 << 30
+
+# -- message types -----------------------------------------------------------
+
+REGISTER = 1     # worker -> coordinator: hello (worker_id, pid, host)
+WELCOME = 2      # coordinator -> worker: registration accepted
+CONFIGURE = 3    # coordinator -> worker: run config + graph arrays
+TASK = 4         # coordinator -> worker: one shard/chunk to score
+RESULT = 5       # worker -> coordinator: task result payload
+ERROR = 6        # worker -> coordinator: task raised (pickled exc)
+INIT_ERROR = 7   # worker -> coordinator: configure failed (pickled exc)
+HEARTBEAT = 8    # worker -> coordinator: liveness beacon
+RELEASE = 9      # coordinator -> worker: run over, await next CONFIGURE
+SHUTDOWN = 10    # coordinator -> worker: exit the process
+
+MESSAGE_NAMES = {
+    REGISTER: "register", WELCOME: "welcome", CONFIGURE: "configure",
+    TASK: "task", RESULT: "result", ERROR: "error",
+    INIT_ERROR: "init_error", HEARTBEAT: "heartbeat",
+    RELEASE: "release", SHUTDOWN: "shutdown",
+}
+
+
+class ProtocolError(ReproError):
+    """A malformed, corrupt, or truncated cluster frame."""
+
+
+# -- payload codec -----------------------------------------------------------
+#
+# An object becomes (json document, [arrays], [pickle blobs]): arrays
+# and unserialisable leaves are replaced in the JSON skeleton by
+# {"__nd__": i} / {"__pkl__": i} markers; tuples and non-string-keyed
+# dicts get {"__seq__"} / {"__map__"} wrappers so they decode to the
+# exact python shapes the in-process queues would have carried.
+
+def _encode_value(value: Any, arrays: list, blobs: list) -> Any:
+    if isinstance(value, np.ndarray):
+        arrays.append(np.ascontiguousarray(value))
+        return {"__nd__": len(arrays) - 1}
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (bytes, bytearray)):
+        blobs.append(bytes(value))
+        return {"__b__": len(blobs) - 1}
+    if isinstance(value, (list, tuple)):
+        return {
+            "__seq__": [_encode_value(v, arrays, blobs) for v in value],
+            "__t__": "tuple" if isinstance(value, tuple) else "list",
+        }
+    if isinstance(value, dict):
+        if all(
+            isinstance(key, str) and not key.startswith("__")
+            for key in value
+        ):
+            return {
+                key: _encode_value(item, arrays, blobs)
+                for key, item in value.items()
+            }
+        return {"__map__": [
+            [_encode_value(key, arrays, blobs),
+             _encode_value(item, arrays, blobs)]
+            for key, item in value.items()
+        ]}
+    blobs.append(pickle.dumps(value))
+    return {"__pkl__": len(blobs) - 1}
+
+
+def _decode_value(value: Any, arrays: list, blobs: list) -> Any:
+    if isinstance(value, dict):
+        if "__nd__" in value:
+            return arrays[value["__nd__"]]
+        if "__pkl__" in value:
+            return pickle.loads(blobs[value["__pkl__"]])
+        if "__b__" in value:
+            return blobs[value["__b__"]]
+        if "__seq__" in value:
+            items = [
+                _decode_value(v, arrays, blobs) for v in value["__seq__"]
+            ]
+            return tuple(items) if value.get("__t__") == "tuple" \
+                else items
+        if "__map__" in value:
+            return {
+                _decode_value(key, arrays, blobs):
+                    _decode_value(item, arrays, blobs)
+                for key, item in value["__map__"]
+            }
+        return {
+            key: _decode_value(item, arrays, blobs)
+            for key, item in value.items()
+        }
+    return value
+
+
+def encode_payload(obj: Any) -> bytes:
+    """Serialise ``obj`` into one frame payload."""
+    arrays: list[np.ndarray] = []
+    blobs: list[bytes] = []
+    skeleton = _encode_value(obj, arrays, blobs)
+    document = json.dumps(skeleton, separators=(",", ":")).encode()
+    parts = [struct.pack(">I", len(document)), document,
+             struct.pack(">H", len(arrays))]
+    for array in arrays:
+        dtype = array.dtype.str.encode()
+        raw = array.tobytes()
+        parts.append(struct.pack(">HB", len(dtype), array.ndim))
+        parts.append(dtype)
+        parts.append(struct.pack(f">{array.ndim}Q", *array.shape))
+        parts.append(struct.pack(">Q", len(raw)))
+        parts.append(raw)
+    parts.append(struct.pack(">H", len(blobs)))
+    for blob in blobs:
+        parts.append(struct.pack(">Q", len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+class _Reader:
+    """Bounds-checked cursor over one payload buffer."""
+
+    __slots__ = ("data", "offset")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.offset = 0
+
+    def take(self, count: int) -> bytes:
+        end = self.offset + count
+        if end > len(self.data):
+            raise ProtocolError(
+                f"truncated payload: wanted {count} byte(s) at offset "
+                f"{self.offset}, have {len(self.data)}"
+            )
+        chunk = self.data[self.offset:end]
+        self.offset = end
+        return chunk
+
+    def unpack(self, fmt: str) -> tuple:
+        return struct.unpack(fmt, self.take(struct.calcsize(fmt)))
+
+
+def decode_payload(payload: bytes) -> Any:
+    """Inverse of :func:`encode_payload`."""
+    reader = _Reader(payload)
+    (document_length,) = reader.unpack(">I")
+    skeleton = json.loads(reader.take(document_length).decode())
+    (num_arrays,) = reader.unpack(">H")
+    arrays: list[np.ndarray] = []
+    for _ in range(num_arrays):
+        dtype_length, ndim = reader.unpack(">HB")
+        dtype = np.dtype(reader.take(dtype_length).decode())
+        shape = reader.unpack(f">{ndim}Q") if ndim else ()
+        (raw_length,) = reader.unpack(">Q")
+        raw = reader.take(raw_length)
+        arrays.append(
+            np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+        )
+    (num_blobs,) = reader.unpack(">H")
+    blobs = []
+    for _ in range(num_blobs):
+        (blob_length,) = reader.unpack(">Q")
+        blobs.append(reader.take(blob_length))
+    return _decode_value(skeleton, arrays, blobs)
+
+
+# -- framing -----------------------------------------------------------------
+
+def pack_frame(message_type: int, obj: Any) -> bytes:
+    """One wire frame: header (with CRC-32 of the payload) + payload."""
+    payload = encode_payload(obj)
+    header = _HEADER.pack(MAGIC, VERSION, message_type, 0,
+                          zlib.crc32(payload), len(payload))
+    return header + payload
+
+
+def send_frame(sock: socket.socket, message_type: int, obj: Any,
+               lock=None) -> int:
+    """Frame and send one message; returns bytes written.
+
+    ``lock`` serialises concurrent senders (a worker's heartbeat
+    thread vs. its result path) so frames can never interleave.
+    """
+    frame = pack_frame(message_type, obj)
+    if lock is not None:
+        with lock:
+            sock.sendall(frame)
+    else:
+        sock.sendall(frame)
+    add_counter("cluster_bytes_sent_total", len(frame))
+    add_counter("cluster_messages_sent_total",
+                type=MESSAGE_NAMES.get(message_type, str(message_type)))
+    return len(frame)
+
+
+def _parse_header(header: bytes) -> tuple[int, int, int]:
+    magic, version, message_type, _, crc, length = \
+        _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if version != VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} "
+            f"(speaking {VERSION})"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte "
+            "cap (corrupt stream?)"
+        )
+    return message_type, crc, length
+
+
+def _checked_decode(message_type: int, crc: int,
+                    payload: bytes) -> tuple[int, Any]:
+    if zlib.crc32(payload) != crc:
+        raise ProtocolError(
+            f"CRC mismatch on a "
+            f"{MESSAGE_NAMES.get(message_type, message_type)} frame"
+        )
+    add_counter("cluster_bytes_received_total",
+                _HEADER.size + len(payload))
+    return message_type, decode_payload(payload)
+
+
+def recv_frame(sock: socket.socket) -> tuple[int, Any]:
+    """Blocking read of one complete frame from ``sock``.
+
+    Raises:
+        EOFError: the peer closed the connection cleanly.
+        ProtocolError: the stream is corrupt or truncated mid-frame.
+    """
+    header = _recv_exact(sock, _HEADER.size, eof_ok=True)
+    message_type, crc, length = _parse_header(header)
+    payload = _recv_exact(sock, length, eof_ok=False)
+    return _checked_decode(message_type, crc, payload)
+
+
+def _recv_exact(sock: socket.socket, count: int,
+                eof_ok: bool) -> bytes:
+    chunks = []
+    got = 0
+    while got < count:
+        chunk = sock.recv(min(count - got, 1 << 20))
+        if not chunk:
+            if eof_ok and got == 0:
+                raise EOFError("peer closed the connection")
+            raise ProtocolError(
+                f"connection closed mid-frame ({got}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+class FrameDecoder:
+    """Incremental decoder for the coordinator's non-blocking reads.
+
+    Feed it whatever ``recv`` returned; it buffers partial frames and
+    yields complete ``(message_type, object)`` pairs as they close.
+    """
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[tuple[int, Any]]:
+        self._buffer.extend(data)
+        messages = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                break
+            message_type, crc, length = _parse_header(
+                bytes(self._buffer[:_HEADER.size])
+            )
+            total = _HEADER.size + length
+            if len(self._buffer) < total:
+                break
+            payload = bytes(self._buffer[_HEADER.size:total])
+            del self._buffer[:total]
+            messages.append(_checked_decode(message_type, crc, payload))
+        return messages
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)

@@ -1,0 +1,319 @@
+"""The ``cad-detect cluster-worker`` process.
+
+A cluster worker is the remote twin of one
+:class:`~repro.parallel.transport.LocalProcessTransport` slot: it
+dials the coordinator, registers, and then serves *runs* — each run
+starts with a ``CONFIGURE`` frame carrying the resolved calculator
+spec plus the full snapshot sequence as raw CSR arrays, after which
+``TASK`` frames are executed with the **existing**
+:mod:`repro.parallel.worker` task functions
+(:func:`~repro.parallel.worker.score_transition_chunk` /
+:func:`~repro.parallel.worker.score_component_shard`) on exactly the
+worker-local state a shared-memory pool worker would hold. Same code
+path, same content-keyed randomness, therefore the same bit-for-bit
+payload arrays a local run produces.
+
+Liveness mirrors the local pool too: a daemon thread heartbeats every
+``heartbeat_interval`` while a run is active, and any socket failure
+ends the process — the coordinator's supervisor requeues whatever
+shard this worker held.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.commute import CommuteTimeCalculator
+from ..graphs.snapshot import GraphSnapshot, NodeUniverse
+from ..observability import MetricsRegistry, enable, get_logger, trace
+from ..parallel import worker as parallel_worker
+from ..parallel.sharding import ComponentShard
+from ..parallel.transport import encode_error
+from ..parallel.worker import (
+    WorkerConfig,
+    score_component_shard,
+    score_transition_chunk,
+    set_task_attempt,
+)
+from . import protocol
+
+_logger = get_logger("cluster.worker")
+
+
+def default_worker_id() -> str:
+    """Stable per-process identity: ``<hostname>-<pid>``."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def snapshots_from_wire(graph_doc: dict[str, Any]) -> list[GraphSnapshot]:
+    """Rebuild canonical snapshots from a ``CONFIGURE`` graph payload.
+
+    The arrays arrive exactly as the shared-memory tier stores them
+    (``float64`` data, ``int64`` indices), so the rebuilt matrices are
+    indistinguishable from an attached sequence.
+    """
+    num_nodes = int(graph_doc["num_nodes"])
+    universe = NodeUniverse.of_size(num_nodes)
+    snapshots = []
+    for entry in graph_doc["snapshots"]:
+        matrix = sp.csr_matrix(
+            (np.asarray(entry["data"], dtype=np.float64),
+             np.asarray(entry["indices"], dtype=np.int64),
+             np.asarray(entry["indptr"], dtype=np.int64)),
+            shape=(num_nodes, num_nodes),
+        )
+        snapshots.append(
+            GraphSnapshot._from_canonical(matrix, universe,
+                                          entry["time"])
+        )
+    return snapshots
+
+
+def graph_to_wire(graph) -> dict[str, Any]:
+    """The ``CONFIGURE`` graph payload for a dynamic graph."""
+    return {
+        "num_nodes": graph.num_nodes,
+        "snapshots": [
+            {
+                "data": np.asarray(s.adjacency.data, dtype=np.float64),
+                "indices": np.asarray(s.adjacency.indices,
+                                      dtype=np.int64),
+                "indptr": np.asarray(s.adjacency.indptr,
+                                     dtype=np.int64),
+                "time": s.time,
+            }
+            for s in graph
+        ],
+    }
+
+
+def _configure_state(document: dict[str, Any]) -> None:
+    """Populate :data:`repro.parallel.worker._STATE` for this run.
+
+    Mirrors :func:`repro.parallel.worker.init_worker`, with the
+    shared-memory attachment replaced by the wire-shipped snapshots.
+    """
+    spec = document["spec"]
+    registry = None
+    if spec.get("collect_metrics"):
+        registry = MetricsRegistry()
+        enable(registry)
+    with trace("cluster.worker.configure", pid=os.getpid()):
+        snapshots = snapshots_from_wire(document["graph"])
+        config = WorkerConfig(
+            sequence=None,
+            method=spec["method"],
+            k=spec["k"],
+            root_entropy=spec["root_entropy"],
+            solver=spec["solver"],
+            tol=spec["tol"],
+            skip_unscorable=spec.get("skip_unscorable", False),
+            collect_metrics=bool(spec.get("collect_metrics")),
+            chaos=spec.get("chaos"),
+            factor_cache=spec.get("factor_cache"),
+            cache_budget_mb=spec.get("cache_budget_mb"),
+            delta_budget=spec.get("delta_budget"),
+        )
+        extra = {}
+        if config.delta_budget is not None:
+            extra["delta_budget"] = config.delta_budget
+        calculator = CommuteTimeCalculator(
+            method=config.method, k=config.k,
+            seed=config.root_entropy, solver=config.solver,
+            tol=config.tol, seed_mode="content",
+            factor_cache=config.factor_cache,
+            cache_budget_mb=config.cache_budget_mb,
+            **extra,
+        )
+    parallel_worker._STATE.clear()
+    parallel_worker._STATE.update(
+        config=config,
+        attached=None,
+        snapshots=snapshots,
+        calculator=calculator,
+        registry=registry,
+    )
+
+
+def _execute_task(task: dict[str, Any]) -> dict[str, Any]:
+    set_task_attempt(int(task.get("attempt", 0)))
+    if task["kind"] == "chunk":
+        return score_transition_chunk(tuple(task["transitions"]))
+    shard = ComponentShard(
+        shard_id=int(task["shard_id"]),
+        transition=int(task["transition"]),
+        nodes=task["nodes"],
+        rows=task["rows"],
+        cols=task["cols"],
+        positions=task["positions"],
+    )
+    return score_component_shard(shard)
+
+
+class _Heartbeat:
+    """Daemon thread beating over the shared socket during a run."""
+
+    def __init__(self, sock: socket.socket, lock: threading.Lock,
+                 run_token: str, interval: float | None):
+        self._sock = sock
+        self._lock = lock
+        self._token = run_token
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        if not self._interval:
+            return
+        self._thread = threading.Thread(
+            target=self._beat, daemon=True, name="cluster-heartbeat"
+        )
+        self._thread.start()
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                protocol.send_frame(self._sock, protocol.HEARTBEAT,
+                                    {"run": self._token},
+                                    lock=self._lock)
+            except Exception:
+                # Socket gone: the run is over one way or another.
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+            self._thread = None
+
+
+def connect(host: str, port: int, attempts: int = 20,
+            delay: float = 0.25) -> socket.socket:
+    """Dial the coordinator, retrying while it finishes binding."""
+    last_error: Exception | None = None
+    for attempt in range(max(attempts, 1)):
+        try:
+            sock = socket.create_connection((host, port), timeout=30.0)
+            sock.settimeout(None)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError as error:
+            last_error = error
+            time.sleep(delay)
+    raise ConnectionError(
+        f"could not reach coordinator at {host}:{port} after "
+        f"{attempts} attempt(s): {last_error}"
+    )
+
+
+def run_worker(host: str, port: int, worker_id: str | None = None,
+               max_runs: int | None = None,
+               connect_attempts: int = 20) -> int:
+    """Register with a coordinator and serve runs until released.
+
+    Returns a process exit code: 0 after a clean ``SHUTDOWN`` or
+    coordinator EOF, 1 on a protocol failure.
+
+    Args:
+        host / port: the coordinator's listening address.
+        worker_id: identity advertised at registration (default
+            ``<hostname>-<pid>``).
+        max_runs: serve at most this many runs, then exit (test hook).
+        connect_attempts: dial retries while the coordinator binds.
+    """
+    worker_id = worker_id or default_worker_id()
+    sock = connect(host, port, attempts=connect_attempts)
+    lock = threading.Lock()
+    runs_served = 0
+    try:
+        protocol.send_frame(sock, protocol.REGISTER, {
+            "worker_id": worker_id,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+        }, lock=lock)
+        kind, _ = protocol.recv_frame(sock)
+        if kind != protocol.WELCOME:
+            raise protocol.ProtocolError(
+                f"expected a welcome frame, got "
+                f"{protocol.MESSAGE_NAMES.get(kind, kind)}"
+            )
+        _logger.info("worker %s registered with %s:%d",
+                     worker_id, host, port)
+        while True:
+            kind, document = protocol.recv_frame(sock)
+            if kind == protocol.SHUTDOWN:
+                return 0
+            if kind != protocol.CONFIGURE:
+                raise protocol.ProtocolError(
+                    f"expected a configure frame, got "
+                    f"{protocol.MESSAGE_NAMES.get(kind, kind)}"
+                )
+            _serve_run(sock, lock, worker_id, document)
+            runs_served += 1
+            if max_runs is not None and runs_served >= max_runs:
+                return 0
+    except EOFError:
+        return 0
+    except protocol.ProtocolError as error:
+        _logger.error("worker %s: protocol failure: %s",
+                      worker_id, error)
+        return 1
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def _serve_run(sock: socket.socket, lock: threading.Lock,
+               worker_id: str, configure: dict[str, Any]) -> None:
+    """One run: configure state, then execute tasks until RELEASE."""
+    run_token = configure.get("run", "")
+    try:
+        _configure_state(configure)
+    except BaseException as error:  # noqa: BLE001 - shipped to parent
+        protocol.send_frame(sock, protocol.INIT_ERROR, {
+            "run": run_token, "error": encode_error(error),
+        }, lock=lock)
+        return
+    heartbeat = _Heartbeat(sock, lock, run_token,
+                           configure.get("heartbeat_interval"))
+    heartbeat.start()
+    try:
+        while True:
+            kind, document = protocol.recv_frame(sock)
+            if kind == protocol.RELEASE:
+                return
+            if kind == protocol.SHUTDOWN:
+                raise EOFError("shutdown during a run")
+            if kind != protocol.TASK:
+                raise protocol.ProtocolError(
+                    f"expected a task frame, got "
+                    f"{protocol.MESSAGE_NAMES.get(kind, kind)}"
+                )
+            task_id = document["task_id"]
+            try:
+                result = _execute_task(document)
+            except BaseException as error:  # noqa: BLE001 - to parent
+                protocol.send_frame(sock, protocol.ERROR, {
+                    "run": run_token, "task_id": task_id,
+                    "error": encode_error(error),
+                }, lock=lock)
+            else:
+                # The parent keys health/metrics by worker identity;
+                # a bare pid is ambiguous across machines.
+                result["worker"] = worker_id
+                protocol.send_frame(sock, protocol.RESULT, {
+                    "run": run_token, "task_id": task_id,
+                    "result": result,
+                }, lock=lock)
+    finally:
+        heartbeat.stop()
+        parallel_worker._STATE.clear()

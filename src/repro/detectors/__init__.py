@@ -21,6 +21,7 @@ from .invariants import (
     invariant_matrix,
     scan_statistics,
 )
+from .graphdist import DISTANCE_METHODS, GraphDistanceDetector
 from .lad import LadDetector, laplacian_signature, robust_zscore
 from .registry import (
     DetectorMethod,
@@ -36,8 +37,10 @@ from .streaming import StreamingDetector
 __all__ = [
     "COMBINE_MODES",
     "DEFAULT_MEMBERS",
+    "DISTANCE_METHODS",
     "DetectorMethod",
     "FusionDetector",
+    "GraphDistanceDetector",
     "INVARIANT_NAMES",
     "InvariantDetector",
     "LadDetector",

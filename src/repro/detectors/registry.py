@@ -22,6 +22,7 @@ from ..baselines.com import ComDetector
 from .lad import LadDetector
 from .invariants import InvariantDetector
 from .fusion import FusionDetector
+from .graphdist import DISTANCE_METHODS, _distance_factory
 
 
 @dataclass(frozen=True)
@@ -167,3 +168,13 @@ register_method(DetectorMethod(
     streaming=True,
     node_only=True,
 ))
+# The section 2.4.2 whole-graph distances: event-only (the paper's
+# point is that they cannot localize), hence streaming=False.
+for _distance, (_name, _description) in sorted(DISTANCE_METHODS.items()):
+    register_method(DetectorMethod(
+        name=_name,
+        family="distances",
+        description=_description,
+        factory=_distance_factory(_distance),
+        node_only=True,
+    ))

@@ -42,6 +42,8 @@ from .logging import (
     JsonLogFormatter,
     configure_logging,
     get_logger,
+    log_context,
+    set_log_context,
 )
 from .metrics import DEFAULT_BUCKETS, MetricsRegistry
 from .tracing import (
@@ -76,9 +78,11 @@ __all__ = [
     "enable",
     "enabled",
     "get_logger",
+    "log_context",
     "observe",
     "render_prometheus",
     "set_gauge",
+    "set_log_context",
     "summarize_metrics",
     "trace",
     "traced",

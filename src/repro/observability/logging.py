@@ -28,6 +28,43 @@ LOG_LEVELS = {
 
 logging.getLogger(LOGGER_NAME).addHandler(logging.NullHandler())
 
+#: Process-wide fields stamped onto every ``repro`` log record (e.g.
+#: ``replica=<hostname>-<pid>``), maintained via :func:`set_log_context`.
+_LOG_CONTEXT: dict[str, Any] = {}
+
+
+class _ContextFilter(logging.Filter):
+    """Injects :data:`_LOG_CONTEXT` fields into each record."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        for key, value in _LOG_CONTEXT.items():
+            if not hasattr(record, key):
+                setattr(record, key, value)
+        return True
+
+
+logging.getLogger(LOGGER_NAME).addFilter(_ContextFilter())
+
+
+def set_log_context(**fields: Any) -> None:
+    """Stamp process-wide fields onto every ``repro`` log record.
+
+    A field set to ``None`` is removed. The JSON formatter emits the
+    fields verbatim; the text formatter prefixes them as
+    ``[key=value]``. Used by the service to make multi-replica logs
+    attributable (``set_log_context(replica=...)``).
+    """
+    for key, value in fields.items():
+        if value is None:
+            _LOG_CONTEXT.pop(key, None)
+        else:
+            _LOG_CONTEXT[key] = value
+
+
+def log_context() -> dict[str, Any]:
+    """The current process-wide log fields (a copy)."""
+    return dict(_LOG_CONTEXT)
+
 
 class JsonLogFormatter(logging.Formatter):
     """One JSON object per line: machine-readable structured logs."""
@@ -39,6 +76,10 @@ class JsonLogFormatter(logging.Formatter):
             "logger": record.name,
             "message": record.getMessage(),
         }
+        for key in _LOG_CONTEXT:
+            value = getattr(record, key, None)
+            if value is not None:
+                document[key] = value
         if record.exc_info and record.exc_info[0] is not None:
             document["exception"] = self.formatException(record.exc_info)
         return json.dumps(document)
@@ -84,7 +125,7 @@ def configure_logging(level: str = "warning",
     if json_output:
         handler.setFormatter(JsonLogFormatter())
     else:
-        formatter = logging.Formatter(
+        formatter = _TextLogFormatter(
             "%(asctime)s %(levelname)s %(name)s: %(message)s"
         )
         formatter.converter = time.gmtime
@@ -92,6 +133,19 @@ def configure_logging(level: str = "warning",
     logger.addHandler(handler)
     logger.setLevel(resolved)
     return logger
+
+
+class _TextLogFormatter(logging.Formatter):
+    """Text formatter appending ``[key=value]`` context fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = super().format(record)
+        tags = " ".join(
+            f"[{key}={getattr(record, key)}]"
+            for key in _LOG_CONTEXT
+            if getattr(record, key, None) is not None
+        )
+        return f"{line} {tags}" if tags else line
 
 
 class _ConfiguredHandler(logging.StreamHandler):

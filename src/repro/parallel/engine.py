@@ -276,6 +276,27 @@ class ParallelCadDetector(Detector):
 
     # -- pool orchestration --------------------------------------------------
 
+    def _publish_sequence(self, graph: DynamicGraph):
+        """Transport hook: make the snapshots reachable by workers.
+
+        Returns ``(sequence_spec, cleanup)``. The default publishes
+        the sequence to shared memory; remote transports (which ship
+        the CSR arrays over the wire instead) return ``(None, noop)``.
+        """
+        store = SharedGraphSequence.publish(graph)
+        return store.spec, store.cleanup
+
+    def _make_transport(self, config: WorkerConfig,
+                        graph: DynamicGraph, pool_size: int):
+        """Transport hook: where the pool draws its workers from.
+
+        ``None`` keeps the default
+        :class:`~repro.parallel.transport.LocalProcessTransport`;
+        :class:`~repro.cluster.ClusterEngine` overrides this to adopt
+        registered remote workers over the socket transport.
+        """
+        return None
+
     def _run(self, graph: DynamicGraph,
              ) -> tuple[dict[int, dict[str, np.ndarray]],
                         dict[str, dict[str, Any]]]:
@@ -340,11 +361,12 @@ class ParallelCadDetector(Detector):
         newly_completed = 0
         worker_metrics: dict[str, dict[str, Any]] = {}
         if tasks:
-            store = SharedGraphSequence.publish(graph)
+            sequence_spec, sequence_cleanup = \
+                self._publish_sequence(graph)
             try:
                 spec = self._calculator.spec()
                 config = WorkerConfig(
-                    sequence=store.spec,
+                    sequence=sequence_spec,
                     method=resolved_method,
                     k=self._calculator.k,
                     root_entropy=self._calculator.root_entropy(),
@@ -369,6 +391,8 @@ class ParallelCadDetector(Detector):
                     shard_deadline=self._shard_deadline,
                     heartbeat_interval=self._heartbeat_interval,
                     heartbeat_timeout=self._heartbeat_timeout,
+                    transport=self._make_transport(config, graph,
+                                                   pool_size),
                 )
                 with trace("parallel.run", mode=mode,
                            tasks=len(tasks), workers=pool_size), pool:
@@ -419,7 +443,7 @@ class ParallelCadDetector(Detector):
                     )
                 raise
             finally:
-                store.cleanup()
+                sequence_cleanup()
 
         if accumulators:
             incomplete = sorted(accumulators)

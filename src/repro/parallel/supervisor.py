@@ -1,11 +1,13 @@
-"""A supervised process pool that survives worker death and hangs.
+"""A supervised worker pool that survives worker death and hangs.
 
 ``concurrent.futures.ProcessPoolExecutor`` fails closed: one dead
 worker breaks the pool and every pending task with it. This module
 replaces it for the parallel CAD engine with explicit supervision:
 
-* each worker is a ``multiprocessing.Process`` with a private inbox
-  and outbox queue, so the parent always knows which shard a dead
+* each worker sits behind a private
+  :class:`~repro.parallel.transport.WorkerChannel` — a local process
+  with inbox/outbox queues by default, or a remote socket worker under
+  :mod:`repro.cluster` — so the parent always knows which shard a dead
   worker was holding (and a kill can never corrupt another worker's
   result channel);
 * workers emit **heartbeats** from a daemon thread; a silent worker
@@ -34,10 +36,7 @@ re-raised in the parent exactly like the plain pool did.
 
 from __future__ import annotations
 
-import multiprocessing
 import pickle
-import queue as queue_module
-import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -45,7 +44,12 @@ from typing import Any, Callable, Iterator
 
 from ..exceptions import ParallelExecutionError
 from ..observability import add_counter, get_logger
-from .worker import WorkerConfig, init_worker, set_task_attempt
+from .transport import (
+    LocalProcessTransport,
+    ShardTransport,
+    WorkerChannel,
+)
+from .worker import WorkerConfig
 
 _logger = get_logger("parallel.supervisor")
 
@@ -72,74 +76,22 @@ class _Task:
 
 
 class _WorkerHandle:
-    """Parent-side view of one worker process."""
+    """Supervision state wrapped around one worker channel."""
 
-    __slots__ = ("slot", "process", "inbox", "outbox", "task",
-                 "dispatched_at", "last_seen")
+    __slots__ = ("channel", "task", "dispatched_at", "last_seen")
 
-    def __init__(self, slot: int, process, inbox, outbox):
-        self.slot = slot
-        self.process = process
-        self.inbox = inbox
-        self.outbox = outbox
+    def __init__(self, channel: WorkerChannel):
+        self.channel = channel
         self.task: _Task | None = None
         self.dispatched_at = 0.0
         self.last_seen = time.monotonic()
-
-
-def _encode_error(error: BaseException) -> bytes:
-    """Pickle an exception for the result channel, downgrading
-    unpicklable ones to a summary (a queue must never choke on them)."""
-    try:
-        payload = pickle.dumps(error)
-        pickle.loads(payload)  # round-trip: some exceptions lie
-        return payload
-    except Exception:
-        return pickle.dumps(ParallelExecutionError(
-            f"worker task failed with unpicklable "
-            f"{type(error).__name__}: {error}"
-        ))
-
-
-def _worker_main(slot: int, config: WorkerConfig, inbox, outbox,
-                 heartbeat_interval: float | None) -> None:
-    """Worker process body: init once, then execute tasks until the
-    ``None`` sentinel arrives."""
-    try:
-        init_worker(config)
-    except BaseException as error:  # noqa: BLE001 - shipped to parent
-        outbox.put(("init_error", _encode_error(error)))
-        return
-    stop = threading.Event()
-    if heartbeat_interval:
-        def _beat() -> None:
-            while not stop.wait(heartbeat_interval):
-                try:
-                    outbox.put(("heartbeat",))
-                except Exception:
-                    return
-        threading.Thread(target=_beat, daemon=True,
-                         name=f"heartbeat-{slot}").start()
-    while True:
-        message = inbox.get()
-        if message is None:
-            stop.set()
-            return
-        task_id, attempt, function, argument = message
-        set_task_attempt(attempt)
-        try:
-            result = function(argument)
-        except BaseException as error:  # noqa: BLE001 - shipped to parent
-            outbox.put(("error", task_id, _encode_error(error)))
-        else:
-            outbox.put(("result", task_id, result))
 
 
 class SupervisedPool:
     """Run pool tasks under supervision; see the module docstring.
 
     Args:
-        workers: worker-slot count (live processes never exceed it).
+        workers: worker-slot count (live workers never exceed it).
         config: the :class:`~repro.parallel.worker.WorkerConfig` every
             worker initialises with.
         max_worker_restarts: total respawn budget across the run.
@@ -154,6 +106,11 @@ class SupervisedPool:
         backoff_base / backoff_cap: respawn delays follow
             ``min(cap, base * 2**n)`` for the n-th restart.
         poll_interval: parent supervision-loop tick.
+        transport: the :class:`~repro.parallel.transport.ShardTransport`
+            supplying workers; defaults to local processes
+            (:class:`~repro.parallel.transport.LocalProcessTransport`).
+            A transport may decline a (re)spawn by returning ``None``
+            — the pool then continues on survivors.
     """
 
     def __init__(self, workers: int, config: WorkerConfig,
@@ -165,7 +122,8 @@ class SupervisedPool:
                  heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
                  backoff_base: float = 0.05,
                  backoff_cap: float = 2.0,
-                 poll_interval: float = 0.02):
+                 poll_interval: float = 0.02,
+                 transport: ShardTransport | None = None):
         if workers < 1:
             raise ParallelExecutionError(
                 f"pool needs at least one worker slot, got {workers}"
@@ -180,7 +138,9 @@ class SupervisedPool:
         self._backoff_base = float(backoff_base)
         self._backoff_cap = float(backoff_cap)
         self._poll_interval = float(poll_interval)
-        self._context = multiprocessing.get_context()
+        self._transport = transport or LocalProcessTransport(
+            config, self._heartbeat_interval
+        )
         self._live: list[_WorkerHandle] = []
         self._pending: deque[_Task] = deque()
         #: Results rescued from a dead worker's outbox (sent just
@@ -246,36 +206,28 @@ class SupervisedPool:
     def shutdown(self) -> None:
         """Stop every worker; graceful first, then terminate."""
         for handle in self._live:
-            try:
-                handle.inbox.put_nowait(None)
-            except Exception:
-                pass
+            handle.channel.stop()
         deadline = time.monotonic() + 1.0
         for handle in self._live:
-            handle.process.join(max(deadline - time.monotonic(), 0.05))
-            if handle.process.is_alive():
-                handle.process.terminate()
-                handle.process.join(1.0)
-            self._close_queues(handle)
+            handle.channel.join(max(deadline - time.monotonic(), 0.05))
+            handle.channel.close()
         self._live = []
         self._respawn_at = []
 
     # -- supervision internals -----------------------------------------------
 
-    def _spawn(self) -> None:
+    def _spawn(self) -> bool:
         slot = self._worker_seq
         self._worker_seq += 1
-        inbox = self._context.Queue()
-        outbox = self._context.Queue()
-        process = self._context.Process(
-            target=_worker_main,
-            args=(slot, self._config, inbox, outbox,
-                  self._heartbeat_interval),
-            name=f"repro-worker-{slot}",
-            daemon=True,
-        )
-        process.start()
-        self._live.append(_WorkerHandle(slot, process, inbox, outbox))
+        channel = self._transport.open_channel(slot)
+        if channel is None:
+            _logger.warning(
+                "transport has no worker for slot %d; continuing with "
+                "%d live worker(s)", slot, len(self._live),
+            )
+            return False
+        self._live.append(_WorkerHandle(channel))
+        return True
 
     def _spawn_due(self) -> None:
         """Start respawns whose backoff delay has elapsed."""
@@ -285,22 +237,22 @@ class SupervisedPool:
         due = [t for t in self._respawn_at if t <= now]
         self._respawn_at = [t for t in self._respawn_at if t > now]
         for _ in due:
-            self.restarts += 1
-            add_counter("parallel_worker_restarts_total")
-            self._spawn()
-            _logger.info("respawned a worker (%d/%d restarts used)",
-                         self.restarts, self._max_worker_restarts)
+            if self._spawn():
+                self.restarts += 1
+                add_counter("parallel_worker_restarts_total")
+                _logger.info("respawned a worker (%d/%d restarts used)",
+                             self.restarts, self._max_worker_restarts)
 
     def _dispatch(self) -> None:
         for handle in self._live:
             if not self._pending:
                 return
-            if handle.task is None and handle.process.is_alive():
+            if handle.task is None and handle.channel.alive():
                 task = self._pending.popleft()
                 handle.task = task
                 handle.dispatched_at = time.monotonic()
-                handle.inbox.put((task.task_id, task.attempts,
-                                  task.function, task.argument))
+                handle.channel.send_task(task.task_id, task.attempts,
+                                         task.function, task.argument)
 
     def _drain_messages(self) -> list[dict[str, Any]]:
         """Pull every queued worker message; return completed results."""
@@ -312,13 +264,7 @@ class SupervisedPool:
     def _drain_handle(self, handle: _WorkerHandle,
                       ) -> list[dict[str, Any]]:
         results = []
-        while True:
-            try:
-                message = handle.outbox.get_nowait()
-            except queue_module.Empty:
-                break
-            except (EOFError, OSError):
-                break  # channel torn down mid-kill; liveness check reaps
+        for message in handle.channel.poll():
             handle.last_seen = time.monotonic()
             kind = message[0]
             if kind == "heartbeat":
@@ -341,18 +287,14 @@ class SupervisedPool:
         """Reap dead, over-deadline, and heartbeat-silent workers."""
         now = time.monotonic()
         for handle in list(self._live):
-            if not handle.process.is_alive():
+            if not handle.channel.alive():
                 # A final result may have been sent just before death.
                 self._rescued.extend(self._drain_handle(handle))
-                self._reap(
-                    handle,
-                    f"worker exited unexpectedly (exit code "
-                    f"{handle.process.exitcode})",
-                )
+                self._reap(handle, "worker exited unexpectedly")
             elif (handle.task is not None
                   and self._shard_deadline is not None
                   and now - handle.dispatched_at > self._shard_deadline):
-                handle.process.terminate()
+                handle.channel.kill()
                 self._reap(
                     handle,
                     f"shard exceeded its {self._shard_deadline:g}s "
@@ -360,7 +302,7 @@ class SupervisedPool:
                 )
             elif (self._heartbeat_interval is not None
                   and now - handle.last_seen > self._heartbeat_timeout):
-                handle.process.terminate()
+                handle.channel.kill()
                 self._reap(
                     handle,
                     f"no heartbeat for {self._heartbeat_timeout:g}s",
@@ -369,9 +311,10 @@ class SupervisedPool:
     def _reap(self, handle: _WorkerHandle, reason: str) -> None:
         """Remove a failed worker: requeue its shard, plan a respawn."""
         self._live.remove(handle)
-        self._close_queues(handle)
+        handle.channel.close()
         task = handle.task
-        _logger.warning("worker %d lost: %s%s", handle.slot, reason,
+        _logger.warning("%s lost: %s%s", handle.channel.describe(),
+                        reason,
                         f" (held shard {task.task_id})" if task else "")
         if task is not None:
             task.attempts += 1
@@ -419,12 +362,3 @@ class SupervisedPool:
             f"({self._max_worker_restarts}) is exhausted. Rerun with "
             "checkpoint_path to resume completed work"
         )
-
-    @staticmethod
-    def _close_queues(handle: _WorkerHandle) -> None:
-        for channel in (handle.inbox, handle.outbox):
-            try:
-                channel.close()
-                channel.cancel_join_thread()
-            except Exception:
-                pass

@@ -134,9 +134,16 @@ class NotOwnerError(ServiceError):
     status = 503
     code = "not_session_owner"
 
-    def __init__(self, message: str, retry_after: float = 1.0):
+    def __init__(self, message: str, retry_after: float = 1.0,
+                 owner: str | None = None,
+                 owner_url: str | None = None):
         super().__init__(message)
         self.retry_after = float(retry_after)
+        #: The holding replica's id, when the lease record names one.
+        self.owner = owner
+        #: The holder's advertised base URL, when catalogued — lets
+        #: the server answer 307 with a Location instead of a bare 503.
+        self.owner_url = owner_url
 
 
 class StoreUnavailableServiceError(ServiceError):

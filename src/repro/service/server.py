@@ -6,9 +6,10 @@ A :class:`ThreadingHTTPServer` exposes a
 ========  =============================  =====================================
 Method    Path                           Meaning
 ========  =============================  =====================================
-GET       ``/healthz``                   liveness (always 200 while up)
+GET       ``/healthz``                   liveness + replica identity
 GET       ``/readyz``                    readiness (503 while draining)
 GET       ``/metrics``                   Prometheus text exposition
+GET       ``/replicas``                  live replica catalogue
 POST      ``/sessions``                  create a session
 GET       ``/sessions``                  list sessions
 GET       ``/sessions/{id}``             one session's summary
@@ -145,12 +146,22 @@ class DetectionRequestHandler(BaseHTTPRequestHandler):
         retry_after = getattr(error, "retry_after", None)
         if retry_after is not None:
             headers["Retry-After"] = f"{retry_after:g}"
+        status = error.status
+        document = {"error": error.code, "message": str(error)}
+        owner_url = getattr(error, "owner_url", None)
+        owner = getattr(error, "owner", None)
+        if owner is not None:
+            document["owner"] = owner
+        if owner_url is not None:
+            # The session's owner is known *and* reachable: answer 307
+            # so the client repeats the same request there. 307 (not
+            # 302) because the method and body must be preserved.
+            status = 307
+            headers["Location"] = owner_url.rstrip("/") + self.path
+            document["owner_url"] = owner_url
+            add_counter("service_ownership_redirects_total")
         add_counter("service_http_errors_total", code=error.code)
-        self._respond(
-            error.status,
-            {"error": error.code, "message": str(error)},
-            headers=headers,
-        )
+        self._respond(status, document, headers=headers)
 
     def _dispatch(self, handler, *args: Any) -> None:
         try:
@@ -181,7 +192,14 @@ class DetectionRequestHandler(BaseHTTPRequestHandler):
         parts = [p for p in url.path.split("/") if p]
         manager = self.server.manager
         if parts == ["healthz"]:
-            self._respond(200, {"status": "ok"})
+            self._respond(200, {
+                "status": "ok",
+                "replica": manager.replica_id,
+                "draining": manager.draining,
+            })
+            return
+        if parts == ["replicas"]:
+            self._respond(200, manager.replica_catalogue())
             return
         if parts == ["readyz"]:
             if manager.draining:
@@ -279,6 +297,12 @@ class DetectionHTTPServer(ThreadingHTTPServer):
         """The bound port (useful with ``port=0`` ephemeral binds)."""
         return self.server_address[1]
 
+    def advertise(self) -> None:
+        """Publish this replica's bound address to the catalogue so
+        peers sharing the store (and their clients) can route to it."""
+        host, port = self.server_address[:2]
+        self.manager.advertise(f"http://{host}:{port}")
+
 
 def make_server(host: str = "127.0.0.1",
                 port: int = 0,
@@ -296,6 +320,7 @@ def make_server(host: str = "127.0.0.1",
                 breaker_cooldown: float = 30.0,
                 factor_cache: bool = False,
                 cache_budget_mb: int | None = None,
+                catalog_ttl: float = 15.0,
                 ) -> DetectionHTTPServer:
     """Build (but do not run) a service instance.
 
@@ -318,6 +343,7 @@ def make_server(host: str = "127.0.0.1",
         breaker_cooldown=breaker_cooldown,
         factor_cache=factor_cache,
         cache_budget_mb=cache_budget_mb,
+        catalog_ttl=catalog_ttl,
     )
     return DetectionHTTPServer((host, port), manager, registry)
 
@@ -360,6 +386,7 @@ def run_server(host: str = "127.0.0.1",
         cache_budget_mb=cache_budget_mb,
     )
     manager = server.manager
+    server.advertise()
 
     def _drain_signal(signum: int, frame: Any) -> None:
         _logger.info("signal %d: draining", signum)

@@ -50,6 +50,8 @@ from __future__ import annotations
 import dataclasses
 import io
 import json
+import os
+import socket
 import tempfile
 import threading
 import time
@@ -71,7 +73,13 @@ from ..exceptions import (
 )
 from ..graphs.dynamic import DynamicGraph
 from ..graphs.snapshot import GraphSnapshot, NodeUniverse
-from ..observability import add_counter, get_logger, set_gauge, trace
+from ..observability import (
+    add_counter,
+    get_logger,
+    set_gauge,
+    set_log_context,
+    trace,
+)
 from ..parallel import ParallelCadDetector
 from ..pipeline.serialize import (
     raw_snapshot_from_payload,
@@ -84,6 +92,7 @@ from ..store import (
     Lease,
     LeaseManager,
     LocalDirStore,
+    ReplicaCatalog,
     SessionStore,
     StoreError,
     StoreUnavailableError,
@@ -112,6 +121,13 @@ _logger = get_logger("service.sessions")
 
 #: Either stream flavor a session may run (CAD or a registry detector).
 SessionStream = StreamingCadDetector | StreamingDetector
+
+
+def default_replica_id() -> str:
+    """``<hostname>-<pid>``: stable for the process's lifetime and
+    distinguishable across replicas, so lease records and failover
+    logs from different replicas never collide on a generic default."""
+    return f"{socket.gethostname()}-{os.getpid()}"
 
 
 def build_stream(config: SessionConfig) -> SessionStream:
@@ -202,8 +218,9 @@ class SessionManager:
             lease records — a :class:`~repro.store.SessionStore` or a
             ``local:<dir>`` / ``shared:<dir>`` spec string. Mutually
             exclusive with ``checkpoint_dir``.
-        replica_id: this replica's stable identity for lease records
-            (default: a fresh ``replica-<hex>`` per process).
+        replica_id: this replica's stable identity for lease records,
+            log context, ``/healthz``, and the replica catalogue
+            (default: ``<hostname>-<pid>``).
         lease_ttl: enable per-session ownership leases with this TTL
             in seconds. Required for multi-replica deployments on a
             shared store; ``None`` (default) keeps the single-writer
@@ -233,6 +250,9 @@ class SessionManager:
             own config when this is off.
         cache_budget_mb: byte budget for the shared factor cache
             applied to sessions that don't set their own.
+        catalog_ttl: lifetime of this replica's catalogue record
+            (``replicas/<id>.json``); refreshed at a third of it once
+            :meth:`advertise` has run.
     """
 
     def __init__(self, max_sessions: int = 64,
@@ -250,7 +270,8 @@ class SessionManager:
                  degrade_pressure: float = 0.85,
                  degrade_after: int = 3,
                  factor_cache: bool = False,
-                 cache_budget_mb: int | None = None):
+                 cache_budget_mb: int | None = None,
+                 catalog_ttl: float = 15.0):
         if max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
         if max_queue < 1:
@@ -283,11 +304,18 @@ class SessionManager:
                 _logger.info("checkpoint dir not given; using %s",
                              checkpoint_dir)
             self._store = LocalDirStore(checkpoint_dir)
-        self._replica_id = replica_id or f"replica-{uuid.uuid4().hex[:8]}"
+        self._replica_id = replica_id or default_replica_id()
+        # Every log record this process emits now carries the replica
+        # identity, so interleaved multi-replica logs stay attributable.
+        set_log_context(replica=self._replica_id)
         self._leases: LeaseManager | None = None
         if lease_ttl is not None:
             self._leases = LeaseManager(self._store, self._replica_id,
                                         float(lease_ttl))
+        self._catalog = ReplicaCatalog(self._store, self._replica_id,
+                                       ttl=float(catalog_ttl))
+        self._catalog_stop = threading.Event()
+        self._catalog_thread: threading.Thread | None = None
         self._sessions: dict[str, SessionRecord] = {}
         self._table_lock = threading.Lock()
         # Serializes store-adoption probes so two concurrent requests
@@ -333,6 +361,53 @@ class SessionManager:
     def replica_id(self) -> str:
         """This replica's identity in lease records."""
         return self._replica_id
+
+    @property
+    def advertised_url(self) -> str | None:
+        """The base URL advertised to the catalogue (``None`` before
+        :meth:`advertise`)."""
+        return self._catalog.url
+
+    def advertise(self, url: str) -> None:
+        """Publish this replica's address to the shared catalogue.
+
+        Called once the HTTP server knows its bound address; the
+        record is refreshed on a daemon thread at a third of the
+        catalogue TTL, so a SIGKILLed replica ages out within one TTL
+        while live ones stay listed.
+        """
+        self._catalog.advertise(url)
+        if self._catalog_thread is None:
+            self._catalog_thread = threading.Thread(
+                target=self._catalog_loop, daemon=True,
+                name="replica-catalog",
+            )
+            self._catalog_thread.start()
+        _logger.info("advertised %s in the replica catalogue", url)
+
+    def replica_catalogue(self) -> dict[str, Any]:
+        """The live replica catalogue, for ``GET /replicas``."""
+        return {
+            "replica": self._replica_id,
+            "url": self._catalog.url,
+            "store": self._store.describe(),
+            "replicas": [
+                record.describe() for record in self._catalog.live()
+            ],
+        }
+
+    def _catalog_loop(self) -> None:
+        interval = max(self._catalog.ttl / 3.0, 0.05)
+        while not self._catalog_stop.wait(interval):
+            self._catalog.refresh()
+
+    def _stop_catalog(self, withdraw: bool) -> None:
+        self._catalog_stop.set()
+        if self._catalog_thread is not None:
+            self._catalog_thread.join(timeout=2.0)
+            self._catalog_thread = None
+        if withdraw:
+            self._catalog.withdraw()
 
     @property
     def draining(self) -> bool:
@@ -545,6 +620,7 @@ class SessionManager:
         """
         self._draining = True
         self._stop_heartbeat()
+        self._stop_catalog(withdraw=True)
         with self._table_lock:
             records = list(self._sessions.values())
         drained = 0
@@ -578,6 +654,9 @@ class SessionManager:
         TTL) and a WAL holding every acknowledged push.
         """
         self._stop_heartbeat()
+        # The catalogue record is deliberately *not* withdrawn: a
+        # SIGKILLed replica leaves its advertisement to age out.
+        self._stop_catalog(withdraw=False)
         self._draining = True
         with self._table_lock:
             self._sessions.clear()
@@ -967,11 +1046,20 @@ class SessionManager:
                 retry_after=bounded_retry_after(
                     max(holder.remaining(), 0.5)
                 ),
+                owner=holder.owner,
+                owner_url=self._owner_url(holder.owner),
             )
         return NotOwnerError(
             f"session {session_id} could not be leased (contention)",
             retry_after=bounded_retry_after(0.5),
         )
+
+    def _owner_url(self, owner: str) -> str | None:
+        """The owning replica's advertised address, if catalogued."""
+        if owner == self._replica_id:
+            return None
+        record = self._catalog.lookup(owner)
+        return None if record is None else record.url
 
     def _fenced(self, record: SessionRecord,
                 error: FencedWriteError) -> NotOwnerError:
@@ -985,10 +1073,16 @@ class SessionManager:
         with self._table_lock:
             self._sessions.pop(record.session_id, None)
             self._update_gauges()
+        holder = None
+        if self._leases is not None:
+            holder = self._leases.peek(record.session_id)
         return NotOwnerError(
             f"session {record.session_id} moved to another replica: "
             f"{error}",
             retry_after=bounded_retry_after(1.0),
+            owner=None if holder is None else holder.owner,
+            owner_url=None if holder is None
+            else self._owner_url(holder.owner),
         )
 
     def _guard_for(self, record: SessionRecord):

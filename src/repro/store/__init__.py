@@ -24,6 +24,7 @@ from .base import (
     atomic_write_bytes,
     atomic_writer,
 )
+from .catalog import ReplicaCatalog, ReplicaRecord, replica_key
 from .lease import Lease, LeaseManager, LeaseRecord, lease_key
 from .local import LocalDirStore
 from .shared import SharedStore
@@ -63,6 +64,8 @@ __all__ = [
     "LeaseManager",
     "LeaseRecord",
     "LocalDirStore",
+    "ReplicaCatalog",
+    "ReplicaRecord",
     "STORE_SCHEMES",
     "SessionStore",
     "SharedStore",
@@ -73,5 +76,6 @@ __all__ = [
     "atomic_write_bytes",
     "atomic_writer",
     "lease_key",
+    "replica_key",
     "resolve_store",
 ]

@@ -1,0 +1,182 @@
+"""The replica catalogue: who is alive, and where to reach them.
+
+Replicas that share a ``shared:`` store advertise themselves as
+TTL-stamped records under ``replicas/<id>.json`` — the same
+store-as-coordination-plane idiom as :mod:`repro.store.lease`, minus
+the fencing: each replica owns its *own* key, so plain last-writer-wins
+puts suffice. A record is refreshed on the advertising replica's
+heartbeat cadence and considered live until its TTL elapses, which
+means a SIGKILLed replica vanishes from the catalogue within one TTL
+without any cleanup of its own.
+
+Consumers:
+
+* ``GET /replicas`` surfaces the live catalogue to clients;
+* :class:`~repro.cluster.client.ClusterClient` uses it to learn a
+  session owner's address after a ``not_session_owner`` rejection;
+* :class:`~repro.service.sessions.SessionManager` embeds the owner's
+  advertised URL in 503/307 ownership hints.
+
+Expiry uses wall-clock time across replicas, under the same
+NTP-synchronised-clocks assumption the lease tier documents.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from ..observability import get_logger
+from .base import SessionStore, StoreCorruptError, StoreError, StoreKeyError
+
+_logger = get_logger("store.catalog")
+
+#: Format marker on catalogue records.
+CATALOG_FORMAT = "repro-replica-record"
+CATALOG_VERSION = 1
+
+#: Store-key prefix of the catalogue.
+CATALOG_PREFIX = "replicas/"
+
+#: Default record TTL (seconds); refreshed at a third of this.
+DEFAULT_CATALOG_TTL = 15.0
+
+
+def replica_key(replica_id: str) -> str:
+    """Store key of one replica's catalogue record."""
+    return f"{CATALOG_PREFIX}{replica_id}.json"
+
+
+@dataclass(frozen=True)
+class ReplicaRecord:
+    """One replica's advertisement, as stored."""
+
+    replica_id: str
+    url: str
+    expires_at: float
+    updated_at: float
+
+    def expired(self, now: float | None = None) -> bool:
+        return (time.time() if now is None else now) >= self.expires_at
+
+    def to_bytes(self) -> bytes:
+        return json.dumps({
+            "format": CATALOG_FORMAT,
+            "version": CATALOG_VERSION,
+            "replica": self.replica_id,
+            "url": self.url,
+            "expires_at": self.expires_at,
+            "updated_at": self.updated_at,
+        }, sort_keys=True).encode()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ReplicaRecord":
+        try:
+            document = json.loads(data)
+            if document.get("format") != CATALOG_FORMAT:
+                raise ValueError(
+                    f"not a replica record: format="
+                    f"{document.get('format')!r}"
+                )
+            return cls(
+                replica_id=str(document["replica"]),
+                url=str(document["url"]),
+                expires_at=float(document["expires_at"]),
+                updated_at=float(document["updated_at"]),
+            )
+        except (ValueError, KeyError, TypeError) as error:
+            raise StoreCorruptError(
+                f"corrupt replica record: {error}"
+            ) from error
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "replica": self.replica_id,
+            "url": self.url,
+            "expires_in": round(max(self.expires_at - time.time(), 0.0),
+                                3),
+        }
+
+
+class ReplicaCatalog:
+    """Advertise this replica and read the others' advertisements.
+
+    Args:
+        store: the (ideally shared) session store.
+        replica_id: this replica's identity.
+        ttl: record lifetime; refresh at ``ttl / 3`` to survive two
+            missed refreshes.
+    """
+
+    def __init__(self, store: SessionStore, replica_id: str,
+                 ttl: float = DEFAULT_CATALOG_TTL):
+        if ttl <= 0:
+            raise ValueError(f"catalog ttl must be > 0, got {ttl}")
+        self._store = store
+        self._replica_id = replica_id
+        self.ttl = float(ttl)
+        self._url: str | None = None
+
+    @property
+    def url(self) -> str | None:
+        """This replica's advertised URL (``None`` until advertised)."""
+        return self._url
+
+    def advertise(self, url: str) -> ReplicaRecord:
+        """Write (or refresh) this replica's record."""
+        self._url = url
+        now = time.time()
+        record = ReplicaRecord(
+            replica_id=self._replica_id, url=url,
+            expires_at=now + self.ttl, updated_at=now,
+        )
+        self._store.put(replica_key(self._replica_id),
+                        record.to_bytes())
+        return record
+
+    def refresh(self) -> None:
+        """Re-advertise the current URL (heartbeat-cadence call)."""
+        if self._url is not None:
+            try:
+                self.advertise(self._url)
+            except StoreError as error:
+                # Partitioned from the store: the record will expire;
+                # re-advertising resumes once the store heals.
+                _logger.warning("catalogue refresh failed: %s", error)
+
+    def withdraw(self) -> None:
+        """Remove this replica's record (graceful shutdown)."""
+        self._url = None
+        try:
+            self._store.delete(replica_key(self._replica_id))
+        except (StoreKeyError, StoreError):
+            pass
+
+    def live(self) -> list[ReplicaRecord]:
+        """Every unexpired record, sorted by replica id."""
+        records = []
+        now = time.time()
+        try:
+            keys = self._store.list(CATALOG_PREFIX)
+        except StoreError:
+            return []
+        for key in keys:
+            try:
+                record = ReplicaRecord.from_bytes(self._store.get(key))
+            except (StoreError, StoreCorruptError):
+                continue
+            if not record.expired(now):
+                records.append(record)
+        return sorted(records, key=lambda r: r.replica_id)
+
+    def lookup(self, replica_id: str) -> ReplicaRecord | None:
+        """One replica's live record, or ``None``."""
+        try:
+            record = ReplicaRecord.from_bytes(
+                self._store.get(replica_key(replica_id))
+            )
+        except (StoreError, StoreCorruptError):
+            return None
+        return None if record.expired() else record

@@ -1,0 +1,216 @@
+"""Remote shard execution: registration, parity, failure healing.
+
+The contract under test is the tentpole one: a coordinator plus remote
+``cluster-worker`` processes produce **bit-for-bit** the same scores as
+a serial ``detect()`` — including when a worker is killed mid-run and
+its shards requeue onto survivors. In-process worker threads keep the
+fast cases cheap; the kill scenario uses real subprocesses (a chaos
+kill is ``os._exit``, which would take the test process with it).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro import CadDetector
+from repro.cluster import ClusterCoordinator, ClusterEngine, run_worker
+from repro.exceptions import ParallelExecutionError
+from repro.resilience.chaos import ChaosSpec
+
+from .test_parallel_determinism import (
+    assert_reports_bitwise_equal,
+    disconnected_sequence,
+    make_sequence,
+)
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+@contextlib.contextmanager
+def thread_workers(coordinator, count: int, max_runs: int = 1):
+    """In-process workers — cheap, but unkillable (shared process)."""
+    threads = []
+    for index in range(count):
+        thread = threading.Thread(
+            target=run_worker,
+            args=(coordinator.host, coordinator.port),
+            kwargs={"worker_id": f"thread-{index}",
+                    "max_runs": max_runs},
+            daemon=True, name=f"cluster-worker-{index}",
+        )
+        thread.start()
+        threads.append(thread)
+    coordinator.wait_for_workers(count, timeout=30)
+    try:
+        yield
+    finally:
+        coordinator.close()
+        for thread in threads:
+            thread.join(timeout=10)
+
+
+@contextlib.contextmanager
+def process_workers(coordinator, count: int):
+    """Real ``cad-detect cluster-worker`` subprocesses via the CLI."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "cluster-worker",
+             coordinator.host, str(coordinator.port),
+             "--worker-id", f"proc-{index}"],
+            env=env,
+        )
+        for index in range(count)
+    ]
+    coordinator.wait_for_workers(count, timeout=60)
+    try:
+        yield procs
+    finally:
+        coordinator.close()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+class TestParity:
+    def test_transition_sharding_is_bitwise_serial(self):
+        graph = make_sequence(num_snapshots=5)
+        serial = CadDetector(
+            method="exact", seed=13, seed_mode="content",
+        ).detect(graph, anomalies_per_transition=3)
+        with ClusterCoordinator() as coordinator, \
+                thread_workers(coordinator, 2):
+            remote = ClusterEngine(
+                coordinator, workers=2, min_workers=2,
+                shard_by="transition", chunk_size=1,
+                method="exact", seed=13,
+            ).detect(graph, anomalies_per_transition=3)
+        assert_reports_bitwise_equal(serial, remote)
+
+    def test_approx_backend_is_bitwise_serial(self):
+        graph = make_sequence(num_snapshots=4)
+        serial = CadDetector(
+            method="approx", k=12, seed=21, seed_mode="content",
+        ).detect(graph, anomalies_per_transition=3)
+        with ClusterCoordinator() as coordinator, \
+                thread_workers(coordinator, 2):
+            remote = ClusterEngine(
+                coordinator, workers=2, min_workers=2,
+                shard_by="transition", method="approx", k=12, seed=21,
+            ).detect(graph, anomalies_per_transition=3)
+        assert_reports_bitwise_equal(serial, remote)
+
+    def test_component_sharding_matches_local_engine_bitwise(self):
+        """Component shards round identically local and remote — the
+        remote worker runs the same per-component code on the same
+        arrays, so the two parallel modes agree bit for bit."""
+        from repro import ParallelCadDetector
+
+        graph = disconnected_sequence()
+        local = ParallelCadDetector(
+            workers=2, shard_by="component", method="exact", seed=3,
+        ).detect(graph, anomalies_per_transition=3)
+        with ClusterCoordinator() as coordinator, \
+                thread_workers(coordinator, 2):
+            remote = ClusterEngine(
+                coordinator, workers=2, min_workers=2,
+                shard_by="component", method="exact", seed=3,
+            ).detect(graph, anomalies_per_transition=3)
+        assert_reports_bitwise_equal(local, remote)
+
+    def test_workers_are_reused_across_runs(self):
+        """RELEASE parks workers back in the ready pool; a second run
+        adopts them under a fresh run token with full parity."""
+        graph = make_sequence(num_snapshots=4)
+        serial = CadDetector(
+            method="exact", seed=7, seed_mode="content",
+        ).detect(graph, anomalies_per_transition=3)
+        with ClusterCoordinator() as coordinator, \
+                thread_workers(coordinator, 2, max_runs=2):
+            engine = ClusterEngine(
+                coordinator, workers=2, min_workers=2,
+                shard_by="transition", method="exact", seed=7,
+            )
+            first = engine.detect(graph, anomalies_per_transition=3)
+            assert coordinator.ready_count() == 2
+            second = engine.detect(graph, anomalies_per_transition=3)
+        assert_reports_bitwise_equal(serial, first)
+        assert_reports_bitwise_equal(serial, second)
+
+
+class TestFailure:
+    def test_killed_worker_requeues_onto_survivor_bitwise(self):
+        """A worker SIGKILLed mid-shard (chaos ``os._exit``) costs
+        nothing but time: the supervisor requeues its shard onto the
+        survivor and the merged result still matches serial exactly."""
+        graph = make_sequence(num_snapshots=5)
+        serial = CadDetector(
+            method="exact", seed=13, seed_mode="content",
+        ).detect(graph, anomalies_per_transition=3)
+        chaos = ChaosSpec(kill_transitions=(1,), attempts=1)
+        with ClusterCoordinator() as coordinator, \
+                process_workers(coordinator, 2) as procs:
+            remote = ClusterEngine(
+                coordinator, workers=2, min_workers=2,
+                shard_by="transition", chunk_size=1,
+                method="exact", seed=13, chaos=chaos,
+            ).detect(graph, anomalies_per_transition=3)
+            # Exactly one worker died (first attempt at transition 1).
+            exits = [proc.poll() for proc in procs]
+            assert exits.count(ChaosSpec().exit_code) == 1
+        assert_reports_bitwise_equal(serial, remote)
+
+    def test_permanent_fault_escalates(self):
+        """A fault that survives every retry exhausts the shard budget
+        and surfaces as ParallelExecutionError, not a hang."""
+        graph = make_sequence(num_snapshots=4)
+        chaos = ChaosSpec(kill_transitions=(1,), attempts=None)
+        with ClusterCoordinator() as coordinator, \
+                process_workers(coordinator, 2):
+            engine = ClusterEngine(
+                coordinator, workers=2, min_workers=2,
+                shard_by="transition", chunk_size=1,
+                method="exact", seed=13, chaos=chaos,
+                max_shard_retries=1,
+            )
+            with pytest.raises(ParallelExecutionError):
+                engine.detect(graph, anomalies_per_transition=3)
+
+    def test_registration_timeout_escalates(self):
+        graph = make_sequence(num_snapshots=3)
+        with ClusterCoordinator() as coordinator:
+            engine = ClusterEngine(
+                coordinator, workers=2, min_workers=2,
+                registration_timeout=0.2, seed=1,
+            )
+            with pytest.raises(ParallelExecutionError,
+                               match="registered"):
+                engine.detect(graph, anomalies_per_transition=3)
+
+
+class TestCoordinator:
+    def test_ready_pool_inventory(self):
+        with ClusterCoordinator() as coordinator, \
+                thread_workers(coordinator, 2):
+            inventory = coordinator.workers()
+            assert sorted(w["worker_id"] for w in inventory) \
+                == ["thread-0", "thread-1"]
+            for worker in inventory:
+                assert worker["pid"] == os.getpid()
+
+    def test_default_pool_size_tracks_registrations(self):
+        with ClusterCoordinator() as coordinator, \
+                thread_workers(coordinator, 2):
+            engine = ClusterEngine(coordinator, min_workers=1)
+            assert engine.workers == 2

@@ -1,0 +1,183 @@
+"""The cluster wire protocol: codec fidelity, framing, corruption.
+
+The codec must round-trip everything the engine actually ships —
+CSR arrays, int-keyed score dicts, tuples, pickled exceptions — with
+dtypes and container types intact, because the deterministic merge
+treats remote results exactly like local ones. Framing must survive
+arbitrary TCP segmentation (byte-at-a-time feeds) and reject
+corruption loudly (CRC) rather than scoring garbage.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+
+import numpy as np
+import pytest
+
+from repro.cluster import protocol
+from repro.cluster.protocol import (
+    FrameDecoder,
+    ProtocolError,
+    decode_payload,
+    encode_payload,
+    pack_frame,
+    recv_frame,
+    send_frame,
+)
+from repro.exceptions import ParallelExecutionError
+from repro.parallel.transport import encode_error
+
+
+def round_trip(obj):
+    return decode_payload(encode_payload(obj))
+
+
+class TestCodec:
+    def test_scalars_and_strings(self):
+        doc = {"a": 1, "b": 2.5, "c": "text", "d": None,
+               "e": True, "f": False}
+        assert round_trip(doc) == doc
+
+    def test_arrays_keep_dtype_and_shape(self):
+        doc = {
+            "data": np.linspace(0, 1, 7),
+            "indices": np.arange(5, dtype=np.int64),
+            "matrix": np.arange(6, dtype=np.float64).reshape(2, 3),
+            "flags": np.array([True, False]),
+        }
+        out = round_trip(doc)
+        for key, value in doc.items():
+            assert out[key].dtype == value.dtype
+            assert out[key].shape == value.shape
+            np.testing.assert_array_equal(out[key], value)
+
+    def test_array_values_are_bit_identical(self):
+        values = np.random.default_rng(3).random(100)
+        assert round_trip({"v": values})["v"].tobytes() \
+            == values.tobytes()
+
+    def test_tuples_and_lists_stay_distinct(self):
+        out = round_trip({"t": (1, 2, 3), "l": [4, 5]})
+        assert out["t"] == (1, 2, 3)
+        assert isinstance(out["t"], tuple)
+        assert out["l"] == [4, 5]
+        assert isinstance(out["l"], list)
+
+    def test_int_keyed_dicts(self):
+        """Per-transition result maps are keyed by int — the JSON
+        skeleton must not stringify them."""
+        doc = {0: {"score": 1.0}, 3: {"score": 2.0}}
+        out = round_trip(doc)
+        assert set(out) == {0, 3}
+        assert out[3]["score"] == 2.0
+
+    def test_bytes_pass_through(self):
+        payload = b"\x00\xffpickled"
+        assert round_trip({"blob": payload})["blob"] == payload
+
+    def test_numpy_scalars_become_python(self):
+        out = round_trip({"n": np.int64(7), "x": np.float64(0.5)})
+        assert out["n"] == 7 and out["x"] == 0.5
+        assert isinstance(out["n"], int)
+        assert isinstance(out["x"], float)
+
+    def test_arbitrary_objects_pickle_through(self):
+        out = round_trip({"s": {1, 2, 3}})
+        assert out["s"] == {1, 2, 3}
+
+    def test_deep_nesting(self):
+        doc = {"runs": [({"a": np.arange(3)}, (1, "x"))]}
+        out = round_trip(doc)
+        np.testing.assert_array_equal(out["runs"][0][0]["a"],
+                                      np.arange(3))
+        assert out["runs"][0][1] == (1, "x")
+
+
+class TestFraming:
+    def test_decoder_handles_multiple_frames_per_feed(self):
+        data = pack_frame(protocol.TASK, {"task_id": 1}) \
+            + pack_frame(protocol.RESULT, {"task_id": 1, "ok": True})
+        frames = FrameDecoder().feed(data)
+        assert [kind for kind, _ in frames] \
+            == [protocol.TASK, protocol.RESULT]
+        assert frames[1][1]["ok"] is True
+
+    def test_decoder_survives_byte_at_a_time(self):
+        frame = pack_frame(protocol.CONFIGURE,
+                           {"graph": np.arange(10.0)})
+        decoder = FrameDecoder()
+        collected = []
+        for position in range(len(frame)):
+            collected.extend(
+                decoder.feed(frame[position:position + 1])
+            )
+        assert len(collected) == 1
+        kind, document = collected[0]
+        assert kind == protocol.CONFIGURE
+        np.testing.assert_array_equal(document["graph"],
+                                      np.arange(10.0))
+
+    def test_crc_corruption_is_rejected(self):
+        frame = bytearray(pack_frame(protocol.TASK, {"task_id": 9}))
+        frame[-1] ^= 0xFF  # flip one payload byte
+        with pytest.raises(ProtocolError, match="CRC"):
+            FrameDecoder().feed(bytes(frame))
+
+    def test_bad_magic_is_rejected(self):
+        frame = bytearray(pack_frame(protocol.TASK, {}))
+        frame[0] = 0x58
+        with pytest.raises(ProtocolError):
+            FrameDecoder().feed(bytes(frame))
+
+    def test_send_and_recv_over_a_socket(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, protocol.HEARTBEAT, {"run": "abc"})
+            kind, document = recv_frame(right)
+            assert kind == protocol.HEARTBEAT
+            assert document["run"] == "abc"
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_close_is_eof(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            with pytest.raises(EOFError):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_mid_frame_close_is_protocol_error(self):
+        left, right = socket.socketpair()
+        try:
+            frame = pack_frame(protocol.TASK, {"task_id": 2})
+            left.sendall(frame[:len(frame) - 3])
+            left.close()
+            with pytest.raises(ProtocolError):
+                recv_frame(right)
+        finally:
+            right.close()
+
+
+class TestErrorEncoding:
+    def test_exception_round_trip(self):
+        try:
+            raise ValueError("boom with context")
+        except ValueError as error:
+            payload = encode_error(error)
+        revived = pickle.loads(payload)
+        assert isinstance(revived, ValueError)
+        assert "boom with context" in str(revived)
+
+    def test_unpicklable_errors_degrade_to_parallel_error(self):
+        class Unpicklable(Exception):
+            def __reduce__(self):
+                raise TypeError("nope")
+
+        revived = pickle.loads(encode_error(Unpicklable("lost")))
+        assert isinstance(revived, ParallelExecutionError)
+        assert "lost" in str(revived)

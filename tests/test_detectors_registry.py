@@ -73,12 +73,28 @@ class TestRegistry:
         assert set(ALL_METHODS) == {
             "act", "adj", "afm", "cad", "clc", "com",
             "fusion", "invariant", "lad",
+            "dist-mcs", "dist-edit", "dist-modality", "dist-spectral",
         }
 
     def test_streaming_subset(self):
         streaming = set(streaming_method_names())
         assert {"cad", "act", "lad", "invariant", "fusion"} <= streaming
         assert streaming <= set(ALL_METHODS)
+
+    def test_graph_distances_are_event_only(self):
+        """The 2.4.2 distances register as non-streaming node-only
+        methods (the paper's point: they detect events, not edges)."""
+        for name in ("dist-mcs", "dist-edit", "dist-modality",
+                     "dist-spectral"):
+            entry = get_method(name)
+            assert entry.family == "distances"
+            assert not entry.streaming
+            assert entry.node_only
+
+    def test_graph_distance_factory_binds_measure(self):
+        detector = create_detector("dist-edit")
+        assert detector.distance == "edit"
+        assert detector.name == "DIST-EDIT"
 
     def test_entries_are_described(self):
         for entry in list_methods():
@@ -185,6 +201,13 @@ class TestStreamingConformance:
         with pytest.raises(DetectionError):
             StreamingDetector("adj")
 
+    @pytest.mark.parametrize(
+        "name", ["dist-mcs", "dist-edit", "dist-modality",
+                 "dist-spectral"])
+    def test_graph_distances_rejected_by_wrapper(self, name):
+        with pytest.raises(DetectionError):
+            StreamingDetector(name)
+
 
 class TestServiceParity:
     """``method=lad|fusion`` sessions behave exactly like CAD sessions
@@ -241,6 +264,18 @@ class TestServiceParity:
         message = str(excinfo.value)
         for name in ("auto", "exact", "approx", "cad",
                      "act", "lad", "invariant", "fusion"):
+            assert name in message
+
+    def test_event_only_distance_rejected_with_catalogue(self,
+                                                         tmp_path):
+        """dist-* methods are registered but not streaming-capable, so
+        a session asking for one gets the regular 400 catalogue."""
+        manager = SessionManager(checkpoint_dir=tmp_path)
+        with pytest.raises(BadRequestError) as excinfo:
+            manager.create_session({"method": "dist-spectral"})
+        message = str(excinfo.value)
+        assert "dist-spectral" in message
+        for name in ("cad", "act", "lad", "invariant", "fusion"):
             assert name in message
 
     def test_bad_detector_options_rejected_at_create(self, tmp_path):

@@ -159,6 +159,43 @@ class TestOwnership:
         assert entries(revived.report(sid)) == expected
 
 
+class TestSlowStoreHeartbeat:
+    def test_slow_lease_writes_do_not_fence_owner(self, tmp_path,
+                                                  payloads, registry):
+        """Slow (but succeeding) lease renewals near TTL/3 must not
+        cost the rightful owner its sessions.
+
+        The heartbeat fires every TTL/3; here every store write eats
+        half that interval in latency, so renewals land late — but they
+        do land, and the lease must never lapse: no spurious fencing of
+        the owner, no adoption by a peer, pushes keep succeeding.
+        """
+        chaos = ChaosStore(SharedStore(tmp_path / "shared",
+                                       fsync=False))
+        chaos.write_latency = TTL / 6.0
+        a = replica(tmp_path, "replica-a", store=chaos)
+        sid = a.create_session(CONFIG)["session"]
+        for payload in payloads[:3]:
+            a.push(sid, payload)
+        # Ride through several full lease terms of slow renewals.
+        time.sleep(TTL * 3)
+        assert registry.counter_value(
+            "service_lease_renewals_total") >= 3
+        # A peer on the same (healthy) store sees a live lease: the
+        # session must NOT be adoptable.
+        b = replica(tmp_path, "replica-b")
+        with pytest.raises(NotOwnerError):
+            b.push(sid, payloads[3])
+        # The owner is unharmed and finishes the stream bit-for-bit.
+        for payload in payloads[3:]:
+            a.push(sid, payload)
+        assert registry.counter_value(
+            "service_fenced_writes_total") == 0
+        assert registry.counter_value(
+            "service_lease_expiries_total") == 0
+        assert entries(a.report(sid)) == baseline(tmp_path, payloads)
+
+
 class TestStoreFaults:
     def test_transient_partition_is_retried(self, tmp_path, payloads,
                                             registry):
