@@ -136,14 +136,17 @@ def http(method: str, port: int, path: str, body=None, timeout=60):
 
 def http_retry(method: str, port: int, path: str, body=None,
                deadline: float = 30.0):
-    """Like :func:`http`, but retries 503s (the honest answer while a
-    dead replica's lease has not expired yet) until ``deadline``."""
+    """Like :func:`http`, but retries "not the owner yet" answers
+    until ``deadline``: 503 (the dead replica's lease has not expired)
+    and 307 (this replica still redirects to the advertised owner —
+    a corpse here; a smart client would follow and fail over, this
+    bare one just asks again until the survivor adopts)."""
     end = time.monotonic() + deadline
     while True:
         try:
             return http(method, port, path, body)
         except urllib.error.HTTPError as error:
-            if error.code == 503 and time.monotonic() < end:
+            if error.code in (503, 307) and time.monotonic() < end:
                 error.read()
                 time.sleep(0.25)
                 continue

@@ -106,12 +106,28 @@ def validate_document(document: dict, schema: dict) -> list[str]:
     ]
 
 
+def counter_names(document: dict) -> set[str]:
+    """Every counter name present, top-level or per-worker."""
+    names = {c["name"] for c in document.get("counters", [])
+             if isinstance(c, dict) and "name" in c}
+    for state in document.get("workers", {}).values():
+        names.update(c["name"] for c in state.get("counters", [])
+                     if isinstance(c, dict) and "name" in c)
+    return names
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("document", help="metrics JSON file to validate")
     parser.add_argument("--schema", default=str(DEFAULT_SCHEMA),
                         help="JSON Schema file "
                         "(default: schemas/metrics_schema.json)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless a counter with this name is "
+                        "present (repeatable); checked after schema "
+                        "validation, across top-level and per-worker "
+                        "counters")
     args = parser.parse_args(argv)
 
     document = json.loads(Path(args.document).read_text())
@@ -120,6 +136,12 @@ def main(argv=None) -> int:
     if errors:
         for error in errors:
             print(f"invalid: {error}", file=sys.stderr)
+        return 1
+    missing = sorted(set(args.require) - counter_names(document))
+    if missing:
+        for name in missing:
+            print(f"invalid: required counter {name!r} not present",
+                  file=sys.stderr)
         return 1
     spans = len(document.get("spans", {}))
     workers = len(document.get("workers", {}))

@@ -269,8 +269,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit after serving this many detection "
                         "runs (default: serve until released)")
     worker.add_argument("--connect-attempts", type=int, default=20,
-                        help="connection attempts before giving up "
-                        "(0.25s apart; default 20)")
+                        help="initial connection attempts before giving "
+                        "up (exponential backoff; default 20)")
+    worker.add_argument("--reconnect-attempts", type=int, default=5,
+                        help="consecutive failed reconnection cycles "
+                        "tolerated after a dropped coordinator link "
+                        "before exiting; 0 disables reconnection "
+                        "(default 5)")
+    worker.add_argument("--reconnect-backoff", type=float, default=0.25,
+                        help="base delay in seconds between "
+                        "reconnection cycles, doubled per consecutive "
+                        "failure up to a 4s cap, with jitter "
+                        "(default 0.25)")
     return parser
 
 
@@ -496,12 +506,24 @@ def _cmd_cluster_worker(args) -> int:
         raise _UsageError(
             f"--connect-attempts must be >= 1, got {args.connect_attempts}"
         )
+    if args.reconnect_attempts < 0:
+        raise _UsageError(
+            f"--reconnect-attempts must be >= 0, "
+            f"got {args.reconnect_attempts}"
+        )
+    if args.reconnect_backoff < 0:
+        raise _UsageError(
+            f"--reconnect-backoff must be >= 0, "
+            f"got {args.reconnect_backoff}"
+        )
     try:
         return run_worker(
             args.host, args.port,
             worker_id=args.worker_id,
             max_runs=args.max_runs,
             connect_attempts=args.connect_attempts,
+            reconnect_attempts=args.reconnect_attempts,
+            reconnect_backoff=args.reconnect_backoff,
         )
     except KeyboardInterrupt:  # operator Ctrl-C is a clean exit
         return 0

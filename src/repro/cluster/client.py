@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -37,8 +38,25 @@ from ..observability import add_counter, get_logger
 
 _logger = get_logger("cluster.client")
 
-#: How long a connection-refused replica sits out (seconds).
+#: Base quarantine for a connection-refused replica (seconds). The
+#: hold doubles per consecutive failure (up to :data:`QUARANTINE_CAP`)
+#: with up to 25% jitter, and the failure streak decays back to zero
+#: once :data:`QUARANTINE_DECAY` passes without a new failure.
 DEFAULT_QUARANTINE = 2.0
+
+#: Longest a replica can be quarantined, however long its streak.
+QUARANTINE_CAP = 30.0
+
+#: Seconds without a failure after which a streak is forgotten.
+QUARANTINE_DECAY = 60.0
+
+#: Clamp on a server-provided ``Retry-After`` wait (seconds): a
+#: replica cannot park a client for minutes.
+RETRY_AFTER_CAP = 5.0
+
+#: Honored ``Retry-After`` waits per candidate per request before the
+#: underlying error surfaces.
+RETRY_AFTER_BUDGET = 2
 
 
 class ClusterClientError(ReproError):
@@ -112,6 +130,11 @@ class ClusterClient:
         self._owners: dict[str, str] = {}
         #: base URL -> monotonic time until which it is skipped.
         self._down_until: dict[str, float] = {}
+        #: base URL -> consecutive connection failures (drives the
+        #: exponential quarantine; reset on success or after decay).
+        self._fail_streak: dict[str, int] = {}
+        #: base URL -> monotonic time of its last connection failure.
+        self._last_failure: dict[str, float] = {}
 
     # -- session API ---------------------------------------------------------
 
@@ -218,38 +241,74 @@ class ClusterClient:
             self._owners[session_id] = served_by
         return result
 
+    def _note_failure(self, url: str) -> None:
+        """Quarantine ``url`` with a jittered exponential hold."""
+        now = time.monotonic()
+        if now - self._last_failure.get(url, now) > QUARANTINE_DECAY:
+            self._fail_streak[url] = 0
+        streak = self._fail_streak.get(url, 0) + 1
+        self._fail_streak[url] = streak
+        self._last_failure[url] = now
+        hold = min(QUARANTINE_CAP,
+                   self._quarantine * (2 ** (streak - 1)))
+        hold *= 1.0 + random.uniform(0.0, 0.25)
+        self._down_until[url] = now + hold
+
+    def _note_success(self, url: str) -> None:
+        self._fail_streak.pop(url, None)
+        self._last_failure.pop(url, None)
+        self._down_until.pop(url, None)
+
     def _request_over(self, candidates: list[str], method: str,
                       path: str, body: Any) -> dict[str, Any]:
-        """Try candidates in order, following ownership redirects."""
+        """Try candidates in order, following ownership redirects and
+        honoring (clamped) ``Retry-After`` pushback."""
         failures: list[str] = []
         for url in candidates:
             target = url
-            for _hop in range(self._max_redirects + 1):
+            hops = 0
+            waits = 0
+            while True:
                 try:
                     document, final_url = self._one_request(
                         target, method, path, body
                     )
                 except _Redirect as redirect:
+                    hops += 1
+                    if hops > self._max_redirects:
+                        failures.append(
+                            f"{target}: redirect limit "
+                            f"({self._max_redirects}) exceeded"
+                        )
+                        break  # next candidate
                     add_counter("cluster_client_redirects_total")
                     target = redirect.base_url
                     _logger.info("redirected to session owner at %s",
                                  target)
                     continue
+                except _RetryLater as later:
+                    waits += 1
+                    if waits > RETRY_AFTER_BUDGET:
+                        # The replica is reachable but keeps pushing
+                        # back; that is its definitive answer.
+                        raise later.error from None
+                    add_counter("client_retry_after_honored_total")
+                    _logger.info(
+                        "replica %s sent Retry-After %.2fs (%d); "
+                        "waiting (%d/%d)", target, later.seconds,
+                        later.error.status, waits, RETRY_AFTER_BUDGET,
+                    )
+                    time.sleep(later.seconds)
+                    continue
                 except (urllib.error.URLError, ConnectionError,
                         TimeoutError, OSError) as error:
-                    self._down_until[target] = (
-                        time.monotonic() + self._quarantine
-                    )
+                    self._note_failure(target)
                     add_counter("cluster_client_failovers_total")
                     failures.append(f"{target}: {error}")
                     break  # next candidate
+                self._note_success(final_url)
                 document["_replica_url"] = final_url
                 return document
-            else:
-                failures.append(
-                    f"{target}: redirect limit "
-                    f"({self._max_redirects}) exceeded"
-                )
         raise ClusterClientError(
             f"{method} {path} failed on every replica: "
             + "; ".join(failures)
@@ -281,10 +340,20 @@ class ClusterClient:
             if payload.get("error") == "not_session_owner" \
                     and owner_url:
                 raise _Redirect(owner_url.rstrip("/")) from None
-            raise ServiceResponseError(
+            service_error = ServiceResponseError(
                 error.code, str(payload.get("error", "http_error")),
                 str(payload.get("message", error.reason)), base_url,
-            ) from None
+            )
+            if error.code in (429, 503):
+                retry_after = _retry_after_seconds(
+                    error.headers.get("Retry-After"), payload
+                )
+                if retry_after is not None:
+                    raise _RetryLater(
+                        min(retry_after, RETRY_AFTER_CAP),
+                        service_error,
+                    ) from None
+            raise service_error from None
 
 
 class _Redirect(Exception):
@@ -293,6 +362,32 @@ class _Redirect(Exception):
     def __init__(self, base_url: str):
         super().__init__(base_url)
         self.base_url = base_url
+
+
+class _RetryLater(Exception):
+    """Internal control flow: the replica asked for a clamped wait
+    before retrying (``429``/``503`` with ``Retry-After``)."""
+
+    def __init__(self, seconds: float, error: ServiceResponseError):
+        super().__init__(f"retry after {seconds:g}s")
+        self.seconds = seconds
+        self.error = error
+
+
+def _retry_after_seconds(header: str | None,
+                         payload: dict[str, Any]) -> float | None:
+    """Seconds from a ``Retry-After`` header (delta form) or a
+    ``retry_after`` body field; ``None`` when absent or malformed."""
+    for value in (header, payload.get("retry_after")):
+        if value is None:
+            continue
+        try:
+            seconds = float(str(value).strip())
+        except ValueError:
+            continue  # HTTP-date form (or garbage): ignore
+        if seconds >= 0:
+            return seconds
+    return None
 
 
 class _NoRedirectHandler(urllib.request.HTTPRedirectHandler):

@@ -107,8 +107,25 @@ class ClusterCoordinator:
         while not self._closed:
             try:
                 conn, address = self._listener.accept()
-            except OSError:
-                return  # listener closed
+            except OSError as error:
+                if self._closed:
+                    return  # listener closed by close()/crash()
+                # Transient accept failure — ECONNABORTED (the peer
+                # reset while queued in the backlog), EMFILE/ENFILE
+                # under fd pressure. The listener is still live: one
+                # bad connection must not kill registration forever,
+                # so log, breathe, and keep accepting.
+                _logger.warning("accept failed (transient): %s", error)
+                time.sleep(0.05)
+                continue
+            if self._closed:
+                # Raced with close()/crash(): this connection belongs
+                # to whoever binds the port next, not to us.
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                return
             try:
                 conn.settimeout(_HANDSHAKE_TIMEOUT)
                 kind, info = protocol.recv_frame(conn)
@@ -121,6 +138,7 @@ class ClusterCoordinator:
                 conn.settimeout(None)
                 conn.setsockopt(socket.IPPROTO_TCP,
                                 socket.TCP_NODELAY, 1)
+                protocol.enable_keepalive(conn)
             except Exception as error:
                 _logger.warning("rejected a connection from %s: %s",
                                 address, error)
@@ -135,6 +153,13 @@ class ClusterCoordinator:
                 self._ever_registered += 1
                 self._registered.notify_all()
             add_counter("cluster_worker_registrations_total")
+            if info.get("reconnect"):
+                # The worker survived a dropped link or a coordinator
+                # restart and elastically rejoined the pool.
+                add_counter("cluster_reconnects_total",
+                            worker=worker.worker_id)
+                _logger.info("worker %s reconnected from %s:%d",
+                             worker.worker_id, *address[:2])
             _logger.info("worker %s registered from %s:%d",
                          worker.worker_id, *address[:2])
 
@@ -207,10 +232,43 @@ class ClusterCoordinator:
                 worker.conn.close()
             except OSError:
                 pass
+        self._stop_listening()
+
+    def crash(self) -> None:
+        """Die like a SIGKILL would: no ``SHUTDOWN`` frames, every
+        connection just drops. Workers must treat this as a lost link
+        and reconnect to a replacement coordinator — the netchaos
+        restart-survival scenario."""
+        self._closed = True
+        self._stop_listening()
+        with self._lock:
+            parked = list(self._ready)
+            self._ready.clear()
+        for worker in parked:
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    def _stop_listening(self) -> None:
+        """Wake a blocked ``accept()`` *before* closing the listener.
+
+        ``close()`` alone does not reliably interrupt another thread
+        parked in ``accept()``; its file descriptor can then be reused
+        (e.g. by a replacement coordinator binding the same port) and
+        the stale accept thread would steal that listener's
+        connections. ``shutdown()`` wakes the thread while the
+        descriptor is still ours."""
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._listener.close()
         except OSError:
             pass
+        if self._thread is not threading.current_thread():
+            self._thread.join(timeout=2.0)
 
     def __enter__(self) -> "ClusterCoordinator":
         return self
@@ -290,7 +348,19 @@ class RemoteWorkerChannel(WorkerChannel):
                     pass
         except (BlockingIOError, InterruptedError):
             pass
-        except (protocol.ProtocolError, OSError) as error:
+        except protocol.ProtocolError as error:
+            # A CRC-failed or undecodable frame condemns only this
+            # worker connection: the channel dies, the supervisor
+            # requeues its shard, and the run carries on. The worker
+            # process itself reconnects and re-registers.
+            add_counter("cluster_corrupt_frames_total",
+                        worker=self._worker.worker_id)
+            _logger.warning(
+                "corrupt frame from %s: %s (evicting the connection, "
+                "requeueing its shard)", self._worker.worker_id, error,
+            )
+            self._dead = True
+        except OSError as error:
             _logger.warning("channel to %s failed: %s",
                             self._worker.worker_id, error)
             self._dead = True
@@ -354,6 +424,14 @@ class RemoteWorkerChannel(WorkerChannel):
     def describe(self) -> str:
         return (f"remote worker {self._worker.worker_id} "
                 f"(slot {self.slot})")
+
+    def notify_lost(self, kind: str) -> None:
+        if kind == "heartbeat":
+            # Heartbeat-idle deadline fired on a connection that never
+            # closed: the half-open signature (peer vanished without
+            # FIN/RST, or the path went black).
+            add_counter("cluster_half_open_evictions_total",
+                        worker=self._worker.worker_id)
 
 
 class SocketShardTransport(ShardTransport):

@@ -190,7 +190,25 @@ class _Reader:
 
 
 def decode_payload(payload: bytes) -> Any:
-    """Inverse of :func:`encode_payload`."""
+    """Inverse of :func:`encode_payload`.
+
+    Raises :class:`ProtocolError` for *any* malformed payload — a
+    frame that passed its CRC can still be garbage (a corrupt frame
+    re-sent with a recomputed checksum, a buggy peer), and the caller
+    contract is "decode or ProtocolError", never a stray
+    ``ValueError`` aborting a run.
+    """
+    try:
+        return _decode_payload(payload)
+    except ProtocolError:
+        raise
+    except Exception as error:
+        raise ProtocolError(
+            f"undecodable payload ({type(error).__name__}: {error})"
+        ) from error
+
+
+def _decode_payload(payload: bytes) -> Any:
     reader = _Reader(payload)
     (document_length,) = reader.unpack(">I")
     skeleton = json.loads(reader.take(document_length).decode())
@@ -300,6 +318,42 @@ def _recv_exact(sock: socket.socket, count: int,
         chunks.append(chunk)
         got += len(chunk)
     return b"".join(chunks)
+
+
+#: Conservative keepalive timers (seconds): probe an idle peer after
+#: ``KEEPALIVE_IDLE``, every ``KEEPALIVE_INTERVAL``, and declare it
+#: dead after ``KEEPALIVE_COUNT`` missed probes — a half-open
+#: connection (peer vanished without FIN/RST) errors out of blocking
+#: reads in bounded time instead of hanging forever.
+KEEPALIVE_IDLE = 5
+KEEPALIVE_INTERVAL = 5
+KEEPALIVE_COUNT = 4
+
+
+def enable_keepalive(sock: socket.socket,
+                     idle: int = KEEPALIVE_IDLE,
+                     interval: int = KEEPALIVE_INTERVAL,
+                     count: int = KEEPALIVE_COUNT) -> None:
+    """Arm TCP keepalive on ``sock`` (best effort, platform-gated).
+
+    Keepalive is the kernel-level backstop for half-open peers; the
+    application-level heartbeat deadlines remain the primary signal.
+    """
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+    except OSError:
+        return
+    for option, value in (
+        (getattr(socket, "TCP_KEEPIDLE", None), idle),
+        (getattr(socket, "TCP_KEEPINTVL", None), interval),
+        (getattr(socket, "TCP_KEEPCNT", None), count),
+    ):
+        if option is None:
+            continue
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, option, value)
+        except OSError:
+            pass
 
 
 class FrameDecoder:

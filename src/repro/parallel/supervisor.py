@@ -290,7 +290,8 @@ class SupervisedPool:
             if not handle.channel.alive():
                 # A final result may have been sent just before death.
                 self._rescued.extend(self._drain_handle(handle))
-                self._reap(handle, "worker exited unexpectedly")
+                self._reap(handle, "worker exited unexpectedly",
+                           kind="exited")
             elif (handle.task is not None
                   and self._shard_deadline is not None
                   and now - handle.dispatched_at > self._shard_deadline):
@@ -299,6 +300,7 @@ class SupervisedPool:
                     handle,
                     f"shard exceeded its {self._shard_deadline:g}s "
                     "deadline",
+                    kind="deadline",
                 )
             elif (self._heartbeat_interval is not None
                   and now - handle.last_seen > self._heartbeat_timeout):
@@ -306,11 +308,14 @@ class SupervisedPool:
                 self._reap(
                     handle,
                     f"no heartbeat for {self._heartbeat_timeout:g}s",
+                    kind="heartbeat",
                 )
 
-    def _reap(self, handle: _WorkerHandle, reason: str) -> None:
+    def _reap(self, handle: _WorkerHandle, reason: str,
+              kind: str = "exited") -> None:
         """Remove a failed worker: requeue its shard, plan a respawn."""
         self._live.remove(handle)
+        handle.channel.notify_lost(kind)
         handle.channel.close()
         task = handle.task
         _logger.warning("%s lost: %s%s", handle.channel.describe(),

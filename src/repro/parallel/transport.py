@@ -93,6 +93,16 @@ class WorkerChannel(abc.ABC):
         """Human-readable identity for supervision logs."""
         return f"slot {self.slot}"
 
+    def notify_lost(self, kind: str) -> None:
+        """Supervision hook: the pool reaped this worker.
+
+        ``kind`` is ``"exited"`` (process/connection gone),
+        ``"deadline"`` (shard overran its deadline), or
+        ``"heartbeat"`` (heartbeat-idle deadline — the half-open
+        signature on remote transports). The default does nothing;
+        transports override it to keep fault-class counters.
+        """
+
 
 class ShardTransport(abc.ABC):
     """Factory for :class:`WorkerChannel` instances."""

@@ -15,7 +15,11 @@ resilience layer:
 * :mod:`~repro.resilience.chaos` — process-, file-, and store-layer
   chaos (kill/hang/slow a worker, truncate a WAL, drop a checkpoint,
   partition the session store, stall lease renewals) driving
-  deterministic self-healing scenarios in tests and CI.
+  deterministic self-healing scenarios in tests and CI;
+* :mod:`~repro.resilience.netchaos` — the socket-layer sibling: a
+  deterministic TCP chaos proxy (latency, throttling, corruption,
+  mid-frame cuts, half-open stalls, timed partitions) placed between
+  cluster workers/clients and their coordinator/replicas.
 
 Snapshot sanitization itself lives next to the graph model in
 :mod:`repro.graphs.sanitize`.
@@ -37,10 +41,12 @@ from .health import (
     HealthReport,
     QuarantineRecord,
 )
+from .netchaos import ChaosProxy, NetChaosSpec, NetFault
 
 __all__ = [
     "CHAOS_EXIT_CODE",
     "CORRUPTION_KINDS",
+    "ChaosProxy",
     "ChaosSpec",
     "ChaosStore",
     "DEFAULT_POLICY",
@@ -49,6 +55,8 @@ __all__ = [
     "FaultInjector",
     "HealthMonitor",
     "HealthReport",
+    "NetChaosSpec",
+    "NetFault",
     "QuarantineRecord",
     "corrupt_adjacency",
     "drop_file",

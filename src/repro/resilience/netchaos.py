@@ -1,0 +1,448 @@
+"""Deterministic TCP chaos between cluster peers.
+
+:class:`~repro.resilience.chaos.ChaosSpec` breaks processes and
+:class:`~repro.resilience.chaos.ChaosStore` breaks the session store;
+this module breaks the *cable*. :class:`ChaosProxy` is a tiny
+man-in-the-middle TCP proxy that sits between cluster workers (or
+service clients) and the coordinator/replica they dial, and injects
+the network faults a real deployment sees:
+
+* **latency** — a fixed delay before every forwarded chunk;
+* **bandwidth throttling** — forwarding paced to a byte budget;
+* **byte corruption** — seeded bit flips inside a forwarded chunk, so
+  a CRC-protected frame arrives damaged exactly once per plan;
+* **mid-frame cuts** — the connection is severed after an exact byte
+  count, tearing a frame in half;
+* **half-open stalls** — one direction silently stops being read
+  (backpressure, no FIN, no RST): the peer believes the connection is
+  alive until keepalive/heartbeat deadlines say otherwise;
+* **timed partitions** — :meth:`ChaosProxy.partition` freezes every
+  connection (nothing is read, nothing is lost) and refuses new ones
+  until :meth:`ChaosProxy.heal`.
+
+Faults are declared up front as a :class:`NetChaosSpec` — a tuple of
+:class:`NetFault` entries keyed by accept order and cumulative byte
+offset — and corruption positions come from a seeded generator, so
+the same spec over the same traffic produces the same damage: network
+chaos scenarios are ordinary deterministic tests
+(``tests/test_resilience_netchaos.py``, ``scripts/cluster_smoke.py``
+in CI).
+
+The proxy never inspects frames; it damages byte streams. Everything
+that makes the cluster survive it lives in the real code paths:
+CRC-32 eviction in the coordinator, reconnect loops in the worker,
+heartbeat deadlines in the supervised pool.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+#: Directions a fault can apply to: client->server ("up"),
+#: server->client ("down"), or both.
+DIRECTIONS = ("up", "down", "both")
+
+_CHUNK = 1 << 16
+_GATE_POLL = 0.02
+
+
+@dataclass(frozen=True)
+class NetFault:
+    """One armed network fault.
+
+    Attributes:
+        kind: ``"corrupt"`` (flip bytes in one chunk), ``"cut"``
+            (sever the connection mid-stream), or ``"stall"`` (stop
+            reading one direction forever — the half-open scenario).
+        connection: 0-based accept index the fault applies to;
+            ``None`` arms it on every connection.
+        after_bytes: cumulative bytes forwarded in ``direction``
+            before the fault fires. A cut forwards exactly this many
+            bytes first, so a value inside a frame tears that frame.
+        direction: ``"up"`` (client->server), ``"down"``, or
+            ``"both"``.
+        flips: for ``"corrupt"``: how many bytes are XOR-flipped at
+            seeded positions inside the triggering chunk.
+    """
+
+    kind: str
+    connection: int | None = None
+    after_bytes: int = 0
+    direction: str = "up"
+    flips: int = 8
+
+    def __post_init__(self):
+        if self.kind not in ("corrupt", "cut", "stall"):
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected corrupt, "
+                "cut, or stall"
+            )
+        if self.direction not in DIRECTIONS:
+            raise ValueError(
+                f"unknown direction {self.direction!r}; expected one "
+                f"of {DIRECTIONS}"
+            )
+        if self.after_bytes < 0:
+            raise ValueError(
+                f"after_bytes must be >= 0, got {self.after_bytes}"
+            )
+
+    def applies(self, connection: int, direction: str) -> bool:
+        """Whether this fault is armed for one pump."""
+        if self.connection is not None \
+                and self.connection != connection:
+            return False
+        return self.direction in (direction, "both")
+
+
+@dataclass(frozen=True)
+class NetChaosSpec:
+    """A deterministic network-fault plan for one :class:`ChaosProxy`.
+
+    Attributes:
+        latency: seconds slept before forwarding each chunk (both
+            directions; 0 disables).
+        bandwidth: forwarding budget in bytes/second (``None``
+            disables throttling).
+        faults: the armed :class:`NetFault` entries.
+    """
+
+    latency: float = 0.0
+    bandwidth: float | None = None
+    faults: tuple[NetFault, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "faults", tuple(self.faults))
+        if self.latency < 0:
+            raise ValueError(
+                f"latency must be >= 0, got {self.latency}"
+            )
+        if self.bandwidth is not None and self.bandwidth <= 0:
+            raise ValueError(
+                f"bandwidth must be > 0 bytes/s, got {self.bandwidth}"
+            )
+
+    @property
+    def empty(self) -> bool:
+        """Whether the spec injects nothing at all."""
+        return not (self.latency or self.bandwidth or self.faults)
+
+
+@dataclass
+class _Link:
+    """One proxied connection: the two sockets and pump bookkeeping."""
+
+    index: int
+    client: socket.socket
+    server: socket.socket
+    pumps_running: int = 2
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def pump_done(self) -> bool:
+        """Mark one pump finished; True when both are."""
+        with self.lock:
+            self.pumps_running -= 1
+            return self.pumps_running <= 0
+
+
+class ChaosProxy:
+    """A seeded fault-injecting TCP proxy; see the module docstring.
+
+    Args:
+        target_host / target_port: where real traffic goes (the
+            coordinator or replica).
+        host / port: the proxy's own listening address; port 0 picks a
+            free one (read it back from :attr:`port`). Clients dial
+            *this* address instead of the target.
+        spec: the armed :class:`NetChaosSpec` (default: forward
+            faithfully).
+        seed: root entropy for corruption positions; the same seed,
+            spec, and traffic produce the same damage.
+    """
+
+    def __init__(self, target_host: str, target_port: int,
+                 host: str = "127.0.0.1", port: int = 0,
+                 spec: NetChaosSpec | None = None, seed: int = 0):
+        self.target = (target_host, int(target_port))
+        self.spec = spec or NetChaosSpec()
+        self.seed = int(seed)
+        self._listener = socket.socket(socket.AF_INET,
+                                       socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET,
+                                  socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(32)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._closed = False
+        self._partitioned = threading.Event()
+        self._links: list[_Link] = []
+        self._mutex = threading.Lock()
+        self._accepted = 0
+        self._stats = {
+            "connections": 0, "refused": 0, "bytes_up": 0,
+            "bytes_down": 0, "corrupt_events": 0, "cut_events": 0,
+            "stall_events": 0,
+        }
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name="chaos-proxy",
+        )
+        self._accept_thread.start()
+
+    # -- runtime controls ----------------------------------------------------
+
+    def partition(self, duration: float | None = None) -> None:
+        """Freeze the network: existing connections stop being read
+        (nothing is lost — pure backpressure, like a dead switch) and
+        new connections are refused. ``duration`` schedules an
+        automatic :meth:`heal`; ``None`` partitions until healed
+        explicitly."""
+        self._partitioned.set()
+        if duration is not None:
+            timer = threading.Timer(duration, self.heal)
+            timer.daemon = True
+            timer.start()
+
+    def heal(self) -> None:
+        """Lift a partition; buffered traffic resumes flowing."""
+        self._partitioned.clear()
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partitioned.is_set()
+
+    def drop_connections(self) -> None:
+        """Abruptly close every live proxied connection (link flap)."""
+        with self._mutex:
+            links = list(self._links)
+        for link in links:
+            _close_pair(link)
+
+    def stats(self) -> dict[str, int]:
+        """A copy of the proxy's forwarding/fault counters."""
+        with self._mutex:
+            return dict(self._stats)
+
+    def _count(self, key: str, value: int = 1) -> None:
+        with self._mutex:
+            self._stats[key] += value
+
+    def close(self) -> None:
+        """Stop accepting and tear down every connection."""
+        self._closed = True
+        self._partitioned.clear()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self.drop_connections()
+        self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- forwarding ----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                if self._closed:
+                    return  # listener closed by close()
+                # Transient accept failure (ECONNABORTED, fd
+                # pressure): the listener is still live, and a dead
+                # accept thread would strand every future dial in the
+                # kernel backlog — clients would connect, send, and
+                # hang. Keep accepting.
+                time.sleep(0.05)
+                continue
+            if self._partitioned.is_set():
+                self._count("refused")
+                _close_socket(client)
+                continue
+            try:
+                server = socket.create_connection(self.target,
+                                                  timeout=5.0)
+            except OSError:
+                self._count("refused")
+                _close_socket(client)
+                continue
+            for sock in (client, server):
+                try:
+                    sock.setsockopt(socket.IPPROTO_TCP,
+                                    socket.TCP_NODELAY, 1)
+                except OSError:
+                    pass
+            index = self._accepted
+            self._accepted += 1
+            link = _Link(index, client, server)
+            with self._mutex:
+                self._links.append(link)
+                self._stats["connections"] += 1
+            for direction in ("up", "down"):
+                threading.Thread(
+                    target=self._pump, args=(link, direction),
+                    daemon=True,
+                    name=f"chaos-pump-{index}-{direction}",
+                ).start()
+
+    def _pump(self, link: _Link, direction: str) -> None:
+        src, dst = (link.client, link.server) if direction == "up" \
+            else (link.server, link.client)
+        counter = "bytes_up" if direction == "up" else "bytes_down"
+        faults = [f for f in self.spec.faults
+                  if f.applies(link.index, direction)]
+        rng = np.random.default_rng(
+            [self.seed, link.index, DIRECTIONS.index(direction)]
+        )
+        forwarded = 0
+        fired: set[int] = set()
+        try:
+            while not self._closed:
+                if not self._gate():
+                    return
+                try:
+                    chunk = src.recv(_CHUNK)
+                except OSError:
+                    # An abortive close (RST — e.g. a SIGKILLed peer
+                    # with unread data in its buffer) raises here
+                    # instead of yielding the clean-EOF b"". A real
+                    # middlebox propagates the reset; so must we, or
+                    # the other side keeps a healthy-looking socket to
+                    # a corpse and blocks on it forever.
+                    _close_pair(link)
+                    return
+                if not chunk:
+                    _half_close(dst)
+                    return
+                # A pump parked in recv() when the partition started
+                # still wakes with data; hold it here until the heal
+                # (held, not dropped — partitions are lossless).
+                if not self._gate():
+                    return
+                data = bytearray(chunk)
+                offset = 0
+                for position, fault in enumerate(faults):
+                    if position in fired:
+                        continue
+                    boundary = fault.after_bytes - forwarded
+                    if boundary > len(data):
+                        continue
+                    fired.add(position)
+                    if fault.kind == "corrupt":
+                        self._corrupt(data, max(boundary, 0),
+                                      fault.flips, rng)
+                    elif fault.kind == "cut":
+                        offset = max(boundary, 0)
+                        self._count("cut_events")
+                        self._forward(dst, data[:offset], counter)
+                        _close_pair(link)
+                        return
+                    else:  # stall: half-open from here on
+                        offset = max(boundary, 0)
+                        self._count("stall_events")
+                        self._forward(dst, data[:offset], counter)
+                        self._stall_forever()
+                        return
+                if not self._forward(dst, data, counter):
+                    # The destination refused the bytes (dead peer):
+                    # silently eating traffic would leave the source
+                    # convinced its sends are landing. Reset both
+                    # sides so it finds out now.
+                    _close_pair(link)
+                    return
+                forwarded += len(chunk)
+        finally:
+            if link.pump_done():
+                _close_pair(link)
+                with self._mutex:
+                    if link in self._links:
+                        self._links.remove(link)
+
+    def _gate(self) -> bool:
+        """Block while partitioned; False once the proxy is closed."""
+        while self._partitioned.is_set():
+            if self._closed:
+                return False
+            time.sleep(_GATE_POLL)
+        return not self._closed
+
+    def _stall_forever(self) -> None:
+        """Half-open: stop reading, never close, until proxy close."""
+        while not self._closed:
+            time.sleep(_GATE_POLL)
+
+    def _corrupt(self, data: bytearray, start: int, flips: int,
+                 rng: np.random.Generator) -> None:
+        """Seeded XOR flips at/after ``start`` in ``data``."""
+        window = len(data) - start
+        if window <= 0:
+            start, window = 0, len(data)
+        if window <= 0:
+            return
+        positions = rng.integers(start, start + window,
+                                 size=min(max(flips, 1), window))
+        for position in positions:
+            data[int(position)] ^= 0xFF
+        self._count("corrupt_events")
+
+    def _forward(self, dst: socket.socket, data: bytes | bytearray,
+                 counter: str) -> bool:
+        """Deliver ``data`` to ``dst``; False when the peer is gone."""
+        if not data:
+            return True
+        if self.spec.latency:
+            time.sleep(self.spec.latency)
+        if self.spec.bandwidth:
+            time.sleep(len(data) / self.spec.bandwidth)
+        try:
+            dst.sendall(bytes(data))
+        except OSError:
+            return False
+        self._count(counter, len(data))
+        return True
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "listen": f"{self.host}:{self.port}",
+            "target": f"{self.target[0]}:{self.target[1]}",
+            "spec": self.spec,
+            "stats": self.stats(),
+        }
+
+
+def _close_socket(sock: socket.socket) -> None:
+    # shutdown() before close(): a pump thread blocked in recv() on
+    # this socket holds the fd open — a bare close() would neither wake
+    # it nor send the peer a FIN until that recv returns (which, for an
+    # idle link, is never). shutdown() delivers both immediately.
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+def _close_pair(link: _Link) -> None:
+    _close_socket(link.client)
+    _close_socket(link.server)
+
+
+def _half_close(sock: socket.socket) -> None:
+    """Forward a FIN: stop sending, leave the reverse path open."""
+    try:
+        sock.shutdown(socket.SHUT_WR)
+    except OSError:
+        pass

@@ -11,6 +11,8 @@ single-replica run.
 
 from __future__ import annotations
 
+import http.server
+import json
 import threading
 import time
 
@@ -252,3 +254,178 @@ class TestFailover:
                 break
             assert time.monotonic() < deadline, names
             time.sleep(0.5)
+
+
+class ScriptedReplica:
+    """An HTTP stub answering from a scripted (status, headers, body)
+    queue; 200 ``{"ok": true}`` once the script runs out."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests = 0
+        stub = self
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def _answer(self):
+                stub.requests += 1
+                status, headers, body = (
+                    stub.script.pop(0) if stub.script
+                    else (200, {}, {"ok": True})
+                )
+                payload = json.dumps(body).encode()
+                self.send_response(status)
+                for key, value in headers.items():
+                    self.send_header(key, value)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            do_GET = do_POST = do_DELETE = _answer
+
+            def log_message(self, *args):
+                pass
+
+        self.server = http.server.ThreadingHTTPServer(
+            ("127.0.0.1", 0), Handler
+        )
+        self.thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True,
+        )
+        self.thread.start()
+        self.url = f"http://127.0.0.1:{self.server.server_port}"
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+        self.thread.join(timeout=5)
+
+
+class TestRetryAfter:
+    def request(self, stub, **kwargs):
+        client = ClusterClient([stub.url], **kwargs)
+        return client.replica_catalogue()
+
+    def test_retry_after_header_is_honored(self):
+        stub = ScriptedReplica([
+            (429, {"Retry-After": "0.2"}, {"error": "busy"}),
+        ])
+        try:
+            started = time.monotonic()
+            assert self.request(stub)["ok"] is True
+            assert time.monotonic() - started >= 0.2
+            assert stub.requests == 2
+        finally:
+            stub.close()
+        assert current_registry().counter_value(
+            "client_retry_after_honored_total") == 1
+
+    def test_retry_after_body_field_on_503(self):
+        stub = ScriptedReplica([
+            (503, {}, {"error": "overloaded", "retry_after": 0.05}),
+            (503, {}, {"error": "overloaded", "retry_after": 0.05}),
+        ])
+        try:
+            assert self.request(stub)["ok"] is True
+            assert stub.requests == 3
+        finally:
+            stub.close()
+        assert current_registry().counter_value(
+            "client_retry_after_honored_total") == 2
+
+    def test_exhausted_budget_raises_the_underlying_error(self):
+        from repro.cluster.client import RETRY_AFTER_BUDGET
+
+        stub = ScriptedReplica([
+            (429, {"Retry-After": "0.01"}, {"error": "busy"}),
+        ] * 10)
+        try:
+            with pytest.raises(ServiceResponseError) as info:
+                self.request(stub)
+            assert info.value.status == 429
+            assert stub.requests == RETRY_AFTER_BUDGET + 1
+        finally:
+            stub.close()
+
+    def test_429_without_retry_after_raises_immediately(self):
+        stub = ScriptedReplica([(429, {}, {"error": "busy"})])
+        try:
+            with pytest.raises(ServiceResponseError):
+                self.request(stub)
+            assert stub.requests == 1
+        finally:
+            stub.close()
+
+    def test_retry_after_wait_is_clamped(self, monkeypatch):
+        from repro.cluster import client as client_module
+
+        slept = []
+        monkeypatch.setattr(client_module.time, "sleep",
+                            lambda s: slept.append(s))
+        stub = ScriptedReplica([
+            (503, {"Retry-After": "3600"}, {"error": "maintenance"}),
+        ])
+        try:
+            assert self.request(stub)["ok"] is True
+        finally:
+            stub.close()
+        assert slept == [client_module.RETRY_AFTER_CAP]
+
+    def test_malformed_retry_after_is_ignored(self):
+        stub = ScriptedReplica([
+            (429, {"Retry-After": "soon"}, {"error": "busy"}),
+        ])
+        try:
+            with pytest.raises(ServiceResponseError):
+                self.request(stub)
+            assert stub.requests == 1
+        finally:
+            stub.close()
+
+
+class TestQuarantine:
+    def make_client(self):
+        return ClusterClient(["http://a:1", "http://b:2"],
+                             quarantine=0.5)
+
+    def test_holds_grow_exponentially_with_jitter(self):
+        from repro.cluster.client import QUARANTINE_CAP
+
+        client = self.make_client()
+        url = "http://a:1"
+        holds = []
+        for _ in range(8):
+            client._note_failure(url)
+            holds.append(client._down_until[url] - time.monotonic())
+        for index, hold in enumerate(holds):
+            base = min(QUARANTINE_CAP, 0.5 * 2 ** index)
+            assert base * 0.99 <= hold <= base * 1.26
+        assert client._fail_streak[url] == 8
+
+    def test_success_resets_the_streak(self):
+        client = self.make_client()
+        for _ in range(3):
+            client._note_failure("http://a:1")
+        client._note_success("http://a:1")
+        assert "http://a:1" not in client._fail_streak
+        assert "http://a:1" not in client._down_until
+        client._note_failure("http://a:1")
+        assert client._fail_streak["http://a:1"] == 1
+
+    def test_streak_decays_after_quiet_period(self):
+        from repro.cluster.client import QUARANTINE_DECAY
+
+        client = self.make_client()
+        for _ in range(5):
+            client._note_failure("http://a:1")
+        client._last_failure["http://a:1"] = (
+            time.monotonic() - QUARANTINE_DECAY - 1
+        )
+        client._note_failure("http://a:1")
+        assert client._fail_streak["http://a:1"] == 1
+
+    def test_quarantined_replica_is_tried_last(self):
+        client = self.make_client()
+        first = client._candidates("some-session")[0]
+        client._note_failure(first)
+        assert client._candidates("some-session")[-1] == first

@@ -163,6 +163,103 @@ class TestFraming:
             right.close()
 
 
+class TestFramingFuzz:
+    """Seeded fuzzing of the decoder: arbitrary segmentation must be
+    lossless, and any payload damage must raise ``ProtocolError`` —
+    never a garbage frame, never a hang on complete input."""
+
+    def documents(self):
+        return [
+            {"task_id": 1, "nodes": np.arange(40)},
+            {"result": {0: {"score": np.linspace(0, 1, 17)}}},
+            {"run": "tok", "blob": b"\x00\xff" * 33},
+        ]
+
+    def test_random_chunk_boundaries_are_lossless(self):
+        rng = np.random.default_rng(1234)
+        stream = b"".join(
+            pack_frame(protocol.TASK, doc) for doc in self.documents()
+        )
+        for _trial in range(20):
+            cuts = sorted(rng.integers(0, len(stream), size=9))
+            pieces = np.split(np.frombuffer(stream, dtype=np.uint8),
+                              cuts)
+            decoder = FrameDecoder()
+            frames = []
+            for piece in pieces:
+                frames.extend(decoder.feed(piece.tobytes()))
+            assert len(frames) == len(self.documents())
+            for (kind, out), doc in zip(frames, self.documents()):
+                assert kind == protocol.TASK
+                assert set(out) == set(doc)
+
+    def test_truncated_frames_stay_pending_until_completed(self):
+        frame = pack_frame(protocol.TASK, self.documents()[0])
+        rng = np.random.default_rng(99)
+        # Mid-header and mid-payload truncation points alike.
+        for cut in {3, 12, *map(int, rng.integers(1, len(frame),
+                                                  size=8))}:
+            decoder = FrameDecoder()
+            assert decoder.feed(frame[:cut]) == []
+            frames = decoder.feed(frame[cut:])
+            assert len(frames) == 1 and frames[0][0] == protocol.TASK
+
+    def test_truncation_plus_close_raises_not_hangs(self):
+        frame = pack_frame(protocol.TASK, {"task_id": 5})
+        for cut in (1, 10, len(frame) - 1):  # header and payload
+            left, right = socket.socketpair()
+            try:
+                left.sendall(frame[:cut])
+                left.close()
+                with pytest.raises(ProtocolError):
+                    recv_frame(right)
+            finally:
+                right.close()
+
+    def test_seeded_payload_flips_always_raise(self):
+        rng = np.random.default_rng(7)
+        frame = pack_frame(protocol.RESULT,
+                           {"task_id": 3, "v": np.arange(64.0)})
+        header_size = protocol._HEADER.size
+        for position in rng.integers(header_size, len(frame),
+                                     size=32):
+            damaged = bytearray(frame)
+            damaged[int(position)] ^= 0xFF
+            with pytest.raises(ProtocolError):
+                FrameDecoder().feed(bytes(damaged))
+
+    def test_crc_valid_garbage_payload_raises_protocol_error(self):
+        """A frame whose CRC is honest but whose payload is not the
+        codec's output must fail as ``ProtocolError`` (not a raw
+        ``ValueError``/``KeyError`` that would abort a run)."""
+        import zlib
+
+        for payload in (b"\x01\x02\x03garbage", b"", b"\xff" * 64):
+            header = protocol._HEADER.pack(
+                protocol.MAGIC, protocol.VERSION, protocol.TASK, 0,
+                zlib.crc32(payload), len(payload),
+            )
+            with pytest.raises(ProtocolError):
+                FrameDecoder().feed(header + payload)
+
+    def test_decode_payload_wraps_decoder_crashes(self):
+        import struct
+
+        # Well-formed length prefix, invalid JSON skeleton: the json
+        # decoder's ValueError must surface as ProtocolError.
+        payload = struct.pack(">I", 3) + b"abc"
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_payload(payload)
+        # Valid JSON, bogus ndarray dtype string.
+        document = b'{"x":{"__nd__":0}}'
+        payload = (struct.pack(">I", len(document)) + document
+                   + struct.pack(">H", 1)
+                   + struct.pack(">HB", 4, 1) + b"zzzz"
+                   + struct.pack(">Q", 0) + struct.pack(">Q", 0))
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_payload(payload)
+
+
 class TestErrorEncoding:
     def test_exception_round_trip(self):
         try:

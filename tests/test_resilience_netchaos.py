@@ -1,0 +1,580 @@
+"""Network chaos: the proxy itself, and the cluster surviving it.
+
+The proxy half proves the faults are real and deterministic: seeded
+corruption damages the same bytes twice, cuts sever after an exact
+byte count, stalls go half-open without a FIN, partitions buffer
+rather than lose.
+
+The cluster half proves the hardening: a corrupt frame evicts exactly
+one worker connection (shard requeued, run completes), a half-open
+worker is reaped by the heartbeat deadline, workers reconnect across
+a coordinator crash — and every scenario still produces scores
+bit-for-bit equal to the serial detector.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import CadDetector
+from repro.cluster import ClusterCoordinator, ClusterEngine
+from repro.cluster import protocol
+from repro.cluster.worker import run_worker
+from repro.observability import (
+    MetricsRegistry,
+    current_registry,
+    disable,
+    enable,
+)
+from repro.resilience import ChaosProxy, NetChaosSpec, NetFault
+
+from .test_parallel_determinism import (
+    assert_reports_bitwise_equal,
+    make_sequence,
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_registry():
+    previous = current_registry()
+    enable(MetricsRegistry())
+    yield
+    if previous is None:
+        disable()
+    else:
+        enable(previous)
+
+
+# -- proxy-level harness -----------------------------------------------------
+
+
+class SinkServer:
+    """Accepts connections and records every byte each one delivers."""
+
+    def __init__(self):
+        self._listener = socket.socket(socket.AF_INET,
+                                       socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET,
+                                  socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self.received: list[bytearray] = []
+        self.eof = threading.Event()
+        self._closed = False
+        threading.Thread(target=self._accept, daemon=True).start()
+
+    def _accept(self):
+        while not self._closed:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            buffer = bytearray()
+            self.received.append(buffer)
+            threading.Thread(
+                target=self._drain, args=(conn, buffer), daemon=True,
+            ).start()
+
+    def _drain(self, conn, buffer):
+        while True:
+            try:
+                chunk = conn.recv(65536)
+            except OSError:
+                break
+            if not chunk:
+                break
+            buffer.extend(chunk)
+        self.eof.set()
+        with contextlib.suppress(OSError):
+            conn.close()
+
+    def close(self):
+        self._closed = True
+        with contextlib.suppress(OSError):
+            self._listener.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def send_through(proxy: ChaosProxy, data: bytes,
+                 settle: float = 0.5) -> socket.socket:
+    sock = socket.create_connection((proxy.host, proxy.port),
+                                    timeout=5.0)
+    sock.sendall(data)
+    time.sleep(settle)
+    return sock
+
+
+def wait_for(predicate, timeout=5.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, f"timed out on {message}"
+        time.sleep(0.02)
+
+
+def counter_total(name: str) -> float:
+    """Sum of one counter across every label set (e.g. per worker)."""
+    return sum(
+        entry["value"]
+        for entry in current_registry().state()["counters"]
+        if entry["name"] == name
+    )
+
+
+class TestProxyForwarding:
+    def test_faithful_forwarding_and_stats(self):
+        payload = bytes(range(256)) * 16
+        with SinkServer() as sink, \
+                ChaosProxy(sink.host, sink.port) as proxy:
+            sock = send_through(proxy, payload, settle=0)
+            wait_for(lambda: sink.received
+                     and len(sink.received[0]) == len(payload),
+                     message="payload arrival")
+            assert bytes(sink.received[0]) == payload
+            sock.close()
+            stats = proxy.stats()
+            assert stats["connections"] == 1
+            assert stats["bytes_up"] == len(payload)
+            assert stats["corrupt_events"] == 0
+
+    def test_corruption_is_deterministic(self):
+        payload = bytes(range(256)) * 8
+        spec = NetChaosSpec(faults=(
+            NetFault(kind="corrupt", connection=0, after_bytes=100,
+                     direction="up", flips=6),
+        ))
+        damaged = []
+        for _round in range(2):
+            with SinkServer() as sink, \
+                    ChaosProxy(sink.host, sink.port,
+                               spec=spec, seed=42) as proxy:
+                sock = send_through(proxy, payload, settle=0)
+                wait_for(lambda: sink.received
+                         and len(sink.received[0]) == len(payload),
+                         message="damaged payload arrival")
+                damaged.append(bytes(sink.received[0]))
+                sock.close()
+                assert proxy.stats()["corrupt_events"] == 1
+        assert damaged[0] == damaged[1]
+        assert damaged[0] != payload
+        flipped = sum(a != b for a, b in zip(damaged[0], payload))
+        assert 1 <= flipped <= 6
+        # Nothing before the trigger offset is touched.
+        assert damaged[0][:100] == payload[:100]
+
+    def test_cut_severs_after_exact_bytes(self):
+        payload = b"x" * 4096
+        spec = NetChaosSpec(faults=(
+            NetFault(kind="cut", connection=0, after_bytes=1000,
+                     direction="up"),
+        ))
+        with SinkServer() as sink, \
+                ChaosProxy(sink.host, sink.port, spec=spec) as proxy:
+            send_through(proxy, payload, settle=0)
+            wait_for(sink.eof.is_set, message="cut EOF")
+            assert len(sink.received[0]) == 1000
+            assert proxy.stats()["cut_events"] == 1
+
+    def test_stall_goes_half_open(self):
+        spec = NetChaosSpec(faults=(
+            NetFault(kind="stall", connection=0, after_bytes=0,
+                     direction="up"),
+        ))
+        with SinkServer() as sink, \
+                ChaosProxy(sink.host, sink.port, spec=spec) as proxy:
+            sock = send_through(proxy, b"swallowed", settle=0.3)
+            # Nothing arrived, yet nobody saw a FIN or RST.
+            assert not sink.received or not sink.received[0]
+            assert not sink.eof.is_set()
+            assert proxy.stats()["stall_events"] == 1
+            sock.setblocking(False)
+            with pytest.raises(BlockingIOError):
+                sock.recv(1)  # still open from the client's side
+            sock.close()
+
+    def test_partition_buffers_then_heals(self):
+        payload = b"delayed" * 100
+        with SinkServer() as sink, \
+                ChaosProxy(sink.host, sink.port) as proxy:
+            sock = send_through(proxy, b"before", settle=0)
+            wait_for(lambda: sink.received
+                     and len(sink.received[0]) == 6,
+                     message="pre-partition delivery")
+            proxy.partition()
+            sock.sendall(payload)
+            time.sleep(0.3)
+            assert len(sink.received[0]) == 6  # frozen, not lost
+            # New connections are refused while partitioned.
+            probe = socket.create_connection(
+                (proxy.host, proxy.port), timeout=5.0)
+            wait_for(lambda: proxy.stats()["refused"] >= 1,
+                     message="refused connection")
+            probe.close()
+            proxy.heal()
+            wait_for(lambda: len(sink.received[0])
+                     == 6 + len(payload),
+                     message="post-heal delivery")
+            sock.close()
+
+    def test_timed_partition_heals_itself(self):
+        with SinkServer() as sink, \
+                ChaosProxy(sink.host, sink.port) as proxy:
+            proxy.partition(duration=0.2)
+            assert proxy.partitioned
+            wait_for(lambda: not proxy.partitioned,
+                     message="automatic heal")
+
+    def test_upstream_reset_propagates_to_client(self):
+        """An abortive upstream close (RST, the signature of a
+        SIGKILLed peer with unread data) must reach the client.
+
+        Regression: the pump swallowed ECONNRESET and exited without
+        closing the client half, leaving the client a healthy-looking
+        socket to a corpse — it would block on recv() forever while
+        its sends kept landing in the proxy's buffer.
+        """
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        try:
+            with ChaosProxy(*listener.getsockname()[:2]) as proxy:
+                client = socket.create_connection(
+                    (proxy.host, proxy.port), timeout=5.0)
+                upstream, _ = listener.accept()
+                client.sendall(b"ping")
+                assert upstream.recv(4) == b"ping"
+                # l_onoff=1, l_linger=0: close() sends RST, not FIN.
+                upstream.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER,
+                    b"\x01\x00\x00\x00\x00\x00\x00\x00")
+                upstream.close()
+                client.settimeout(5.0)
+                try:
+                    data = client.recv(1)
+                except TimeoutError:
+                    pytest.fail("client never learned the upstream "
+                                "was reset")
+                except OSError:
+                    data = b""  # the reset itself surfaced: also fine
+                assert data == b""
+                client.close()
+        finally:
+            with contextlib.suppress(OSError):
+                listener.close()
+
+    def test_forward_failure_resets_the_sender(self):
+        """When the destination dies, a sender mid-stream must get a
+        reset instead of the proxy silently eating its bytes."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        try:
+            with ChaosProxy(*listener.getsockname()[:2]) as proxy:
+                client = socket.create_connection(
+                    (proxy.host, proxy.port), timeout=5.0)
+                upstream, _ = listener.accept()
+                upstream.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER,
+                    b"\x01\x00\x00\x00\x00\x00\x00\x00")
+                upstream.close()
+                # Keep sending until the proxy's forward fails and the
+                # reset comes back around; bounded, not eventual.
+                deadline = time.monotonic() + 5.0
+                with pytest.raises(OSError):
+                    while True:
+                        assert time.monotonic() < deadline, \
+                            "sender never saw the reset"
+                        client.sendall(b"x" * 1024)
+                        time.sleep(0.01)
+                client.close()
+        finally:
+            with contextlib.suppress(OSError):
+                listener.close()
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            NetFault(kind="gremlin")
+        with pytest.raises(ValueError, match="direction"):
+            NetFault(kind="cut", direction="sideways")
+        with pytest.raises(ValueError, match="after_bytes"):
+            NetFault(kind="cut", after_bytes=-1)
+        with pytest.raises(ValueError, match="latency"):
+            NetChaosSpec(latency=-0.1)
+        with pytest.raises(ValueError, match="bandwidth"):
+            NetChaosSpec(bandwidth=0)
+        assert NetChaosSpec().empty
+        assert not NetChaosSpec(latency=0.01).empty
+
+
+# -- cluster-level scenarios -------------------------------------------------
+
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def proxied_workers(proxy: ChaosProxy, count: int, max_runs: int = 1,
+                    **kwargs):
+    """Thread workers dialing the coordinator *through* the proxy.
+
+    Cheap, but they share one process (and therefore one
+    ``repro.parallel.worker._STATE``): only use them in scenarios
+    where at most one worker is ever mid-run when a link drops.
+    """
+    threads = []
+    for index in range(count):
+        thread = threading.Thread(
+            target=run_worker,
+            args=(proxy.host, proxy.port),
+            kwargs={"worker_id": f"chaos-{index}",
+                    "max_runs": max_runs, **kwargs},
+            daemon=True, name=f"chaos-worker-{index}",
+        )
+        thread.start()
+        threads.append(thread)
+    return threads
+
+
+@contextlib.contextmanager
+def proxied_worker_procs(proxy: ChaosProxy, count: int,
+                         reconnect_backoff: float = 0.05,
+                         reconnect_attempts: int = 20):
+    """Real ``cad-detect cluster-worker`` subprocesses dialing the
+    proxy — required when chaos evicts a worker mid-run (each process
+    owns its worker state, so an eviction cannot bleed into a
+    survivor)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "cluster-worker",
+             proxy.host, str(proxy.port),
+             "--worker-id", f"chaos-{index}",
+             "--max-runs", "1",
+             "--reconnect-attempts", str(reconnect_attempts),
+             "--reconnect-backoff", str(reconnect_backoff)],
+            env=env,
+        )
+        for index in range(count)
+    ]
+    try:
+        yield procs
+    finally:
+        for proc in procs:
+            try:
+                proc.wait(timeout=20)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+def register_frame_bytes(worker_id: str) -> int:
+    """Wire size of one REGISTER frame — used to aim faults *past*
+    registration so they land on in-run traffic."""
+    return len(protocol.pack_frame(protocol.REGISTER, {
+        "worker_id": worker_id,
+        "pid": 2 ** 22,  # representative width
+        "host": socket.gethostname(),
+        "reconnect": False,
+    }))
+
+
+def serial_scores(graph):
+    return CadDetector(
+        method="exact", seed=13, seed_mode="content",
+    ).detect(graph, anomalies_per_transition=3)
+
+
+class TestClusterUnderChaos:
+    def test_corrupt_frame_evicts_one_worker_bitwise(self):
+        """Seeded corruption of one worker's uplink mid-run: the
+        coordinator evicts that connection on the CRC failure,
+        requeues its shard, and the run still matches serial."""
+        graph = make_sequence(num_snapshots=6)
+        serial = serial_scores(graph)
+        trigger = register_frame_bytes("chaos-0") + 30
+        spec = NetChaosSpec(faults=(
+            NetFault(kind="corrupt", connection=0,
+                     after_bytes=trigger, direction="up", flips=12),
+        ))
+        with ClusterCoordinator() as coordinator, \
+                ChaosProxy(coordinator.host, coordinator.port,
+                           spec=spec, seed=7) as proxy, \
+                proxied_worker_procs(proxy, 2):
+            coordinator.wait_for_workers(2, timeout=60)
+            remote = ClusterEngine(
+                coordinator, workers=2, min_workers=2,
+                shard_by="transition", chunk_size=1,
+                method="exact", seed=13,
+                heartbeat_interval=0.1, heartbeat_timeout=10.0,
+            ).detect(graph, anomalies_per_transition=3)
+        assert_reports_bitwise_equal(serial, remote)
+        assert counter_total("cluster_corrupt_frames_total") >= 1
+
+    def test_half_open_worker_is_evicted_bitwise(self):
+        """One worker's uplink silently stops flowing (no FIN): the
+        heartbeat-idle deadline reaps it, its shard requeues, and the
+        half-open eviction counter records the fault class."""
+        graph = make_sequence(num_snapshots=6)
+        serial = serial_scores(graph)
+        trigger = register_frame_bytes("chaos-0") + 30
+        spec = NetChaosSpec(faults=(
+            NetFault(kind="stall", connection=0,
+                     after_bytes=trigger, direction="up"),
+        ))
+        with ClusterCoordinator() as coordinator, \
+                ChaosProxy(coordinator.host, coordinator.port,
+                           spec=spec, seed=7) as proxy, \
+                proxied_worker_procs(proxy, 2):
+            coordinator.wait_for_workers(2, timeout=60)
+            remote = ClusterEngine(
+                coordinator, workers=2, min_workers=2,
+                shard_by="transition", chunk_size=1,
+                method="exact", seed=13,
+                heartbeat_interval=0.1, heartbeat_timeout=1.5,
+            ).detect(graph, anomalies_per_transition=3)
+        assert_reports_bitwise_equal(serial, remote)
+        assert counter_total("cluster_half_open_evictions_total") >= 1
+
+    def test_latency_and_throttling_change_nothing(self):
+        """Pure slowness — latency plus a bandwidth cap — must not
+        alter a single bit of the result."""
+        graph = make_sequence(num_snapshots=4)
+        serial = serial_scores(graph)
+        spec = NetChaosSpec(latency=0.002, bandwidth=20e6)
+        with ClusterCoordinator() as coordinator, \
+                ChaosProxy(coordinator.host, coordinator.port,
+                           spec=spec) as proxy:
+            threads = proxied_workers(proxy, 2)
+            coordinator.wait_for_workers(2, timeout=30)
+            remote = ClusterEngine(
+                coordinator, workers=2, min_workers=2,
+                shard_by="transition", method="exact", seed=13,
+            ).detect(graph, anomalies_per_transition=3)
+        for thread in threads:
+            thread.join(timeout=15)
+        assert_reports_bitwise_equal(serial, remote)
+
+    def test_workers_reconnect_across_coordinator_crash(self):
+        """The coordinator dies without a goodbye; a replacement binds
+        the same port. Parked workers notice the dropped link,
+        re-dial through the proxy with backoff, re-register, and the
+        replacement runs them to a bit-for-bit serial result."""
+        graph = make_sequence(num_snapshots=5)
+        serial = serial_scores(graph)
+        placeholder = socket.socket(socket.AF_INET,
+                                    socket.SOCK_STREAM)
+        placeholder.setsockopt(socket.SOL_SOCKET,
+                               socket.SO_REUSEADDR, 1)
+        placeholder.bind(("127.0.0.1", 0))
+        port = placeholder.getsockname()[1]
+        placeholder.close()
+
+        def bind_coordinator(timeout=15.0):
+            """Rebind the crashed coordinator's port; its just-closed
+            connections can hold the address for a moment."""
+            deadline = time.monotonic() + timeout
+            while True:
+                try:
+                    return ClusterCoordinator(port=port)
+                except OSError:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.1)
+
+        first = ClusterCoordinator(port=port)
+        with ChaosProxy("127.0.0.1", port) as proxy:
+            threads = proxied_workers(
+                proxy, 2,
+                reconnect_attempts=60, reconnect_backoff=0.05,
+            )
+            first.wait_for_workers(2, timeout=30)
+            first.crash()  # SIGKILL-equivalent: no SHUTDOWN frames
+            with bind_coordinator() as second:
+                second.wait_for_workers(2, timeout=30)
+                remote = ClusterEngine(
+                    second, workers=2, min_workers=2,
+                    shard_by="transition", method="exact", seed=13,
+                ).detect(graph, anomalies_per_transition=3)
+            for thread in threads:
+                thread.join(timeout=15)
+        assert_reports_bitwise_equal(serial, remote)
+        assert counter_total("cluster_reconnects_total") >= 2
+
+
+class TestWorkerExitCodes:
+    def test_dead_link_mid_idle_with_no_budget_exits_zero(self):
+        """Budget 0, idle drop: the worker may not reconnect, but it
+        also lost no work — exit 0."""
+        coordinator = ClusterCoordinator()
+        result = {}
+
+        def serve():
+            result["code"] = run_worker(
+                coordinator.host, coordinator.port,
+                worker_id="lone", reconnect_attempts=0,
+            )
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        coordinator.wait_for_workers(1, timeout=30)
+        coordinator.crash()
+        thread.join(timeout=15)
+        assert result["code"] == 0
+
+    def test_shutdown_exits_zero(self):
+        coordinator = ClusterCoordinator()
+        result = {}
+
+        def serve():
+            result["code"] = run_worker(
+                coordinator.host, coordinator.port,
+                worker_id="polite",
+            )
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        coordinator.wait_for_workers(1, timeout=30)
+        coordinator.close()  # sends SHUTDOWN
+        thread.join(timeout=15)
+        assert result["code"] == 0
+
+    def test_idle_worker_survives_a_link_flap(self):
+        """A dropped-and-restored link while parked: the worker
+        reconnects and is still usable for a later run."""
+        with ClusterCoordinator() as coordinator, \
+                ChaosProxy(coordinator.host,
+                           coordinator.port) as proxy:
+            threads = proxied_workers(
+                proxy, 1, reconnect_attempts=20,
+                reconnect_backoff=0.05,
+            )
+            coordinator.wait_for_workers(1, timeout=30)
+            proxy.drop_connections()
+            wait_for(
+                lambda: counter_total("cluster_reconnects_total") >= 1,
+                timeout=30, message="parked worker reconnect",
+            )
+            graph = make_sequence(num_snapshots=3)
+            serial = serial_scores(graph)
+            remote = ClusterEngine(
+                coordinator, workers=1, min_workers=1,
+                shard_by="transition", method="exact", seed=13,
+            ).detect(graph, anomalies_per_transition=3)
+            assert_reports_bitwise_equal(serial, remote)
+        for thread in threads:
+            thread.join(timeout=15)
